@@ -1,0 +1,102 @@
+"""Experiment E7: BDD-engine microbenchmarks (the CUDD substitute).
+
+Throughput of the primitives every flow is built from: apply ops,
+quantification, the fused relational product, renaming, and the
+monolithic-relation build that the partitioned method avoids.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bdd import BddManager
+from repro.bench import circuits
+from repro.network import build_network_bdds
+from repro.symb import PartitionedRelation, functions_to_relation
+
+N = 12
+
+
+def fresh_manager():
+    mgr = BddManager()
+    xs = mgr.add_vars([f"x{i}" for i in range(N)])
+    ys = mgr.add_vars([f"y{i}" for i in range(N)])
+    return mgr, xs, ys
+
+
+def test_apply_and_chain(benchmark) -> None:
+    def run():
+        mgr, xs, ys = fresh_manager()
+        f = 1
+        for x, y in zip(xs, ys):
+            f = mgr.apply_and(f, mgr.apply_or(mgr.var_node(x), mgr.var_node(y)))
+        return f
+
+    assert benchmark(run) > 1
+
+
+def test_apply_xor_parity(benchmark) -> None:
+    def run():
+        mgr, xs, ys = fresh_manager()
+        f = 0
+        for v in xs + ys:
+            f = mgr.apply_xor(f, mgr.var_node(v))
+        return f
+
+    assert benchmark(run) > 1
+
+
+def test_equality_relation_and_exists(benchmark) -> None:
+    # ∃x . (x ≡ y) ∧ g(x): the shape of every image step.
+    def run():
+        mgr, xs, ys = fresh_manager()
+        eq = 1
+        for x, y in zip(xs, ys):
+            eq = mgr.apply_and(
+                eq, mgr.apply_iff(mgr.var_node(x), mgr.var_node(y))
+            )
+        g = 1
+        for x in xs[::2]:
+            g = mgr.apply_and(g, mgr.var_node(x))
+        return mgr.and_exists(eq, g, xs)
+
+    assert benchmark(run) > 1
+
+
+def test_rename_fast_path(benchmark) -> None:
+    mgr = BddManager()
+    pairs = []
+    for i in range(N):
+        cs = mgr.add_var(f"cs{i}")
+        ns = mgr.add_var(f"ns{i}")
+        pairs.append((cs, ns))
+    f = 1
+    for cs, ns in pairs[: N // 2]:
+        f = mgr.apply_and(f, mgr.apply_or(mgr.var_node(ns), 0))
+    rename = {ns: cs for cs, ns in pairs}
+
+    def run():
+        return mgr.rename(f, rename)
+
+    assert benchmark(run) >= 1
+
+
+def test_monolithic_relation_build(benchmark) -> None:
+    """The cost the partitioned method avoids: conjoining all parts."""
+    net = circuits.lfsr(8)
+    mgr = BddManager()
+    iv = {name: mgr.add_var(name) for name in net.inputs}
+    sv, nv = {}, {}
+    for name in net.latches:
+        sv[name] = mgr.add_var(name)
+        nv[name] = mgr.add_var(f"{name}'")
+    bdds = build_network_bdds(net, mgr, iv, sv)
+    rel = functions_to_relation(
+        mgr, ((nv[n], bdds.next_state[n]) for n in net.latches)
+    )
+
+    def run():
+        mgr.clear_caches()
+        return PartitionedRelation(mgr, list(rel)).monolithic()
+
+    assert benchmark(run) > 1

@@ -1,0 +1,77 @@
+"""Experiment E5 (ablation): early-quantification scheduling.
+
+The paper's enabling technique is scheduled partitioned image
+computation.  These benchmarks compare, on symbolic reachability and on
+the solver's inner image:
+
+* partitioned image with scheduling (the paper's method),
+* partitioned image without scheduling (conjoin-then-quantify),
+* image against the pre-built monolithic relation.
+
+Expected shape: scheduled <= naive, with the gap growing with circuit
+size; the monolithic-relation image pays its cost in the relation build.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bdd import BddManager
+from repro.bench import circuits
+from repro.network import build_network_bdds
+from repro.symb import (
+    PartitionedRelation,
+    functions_to_relation,
+    image_monolithic,
+    image_partitioned,
+    network_reachable_states,
+)
+
+CIRCUITS = {
+    "count8": lambda: circuits.counter(8),
+    "lfsr8": lambda: circuits.lfsr(8),
+    "rand10": lambda: circuits.random_network(3, 10, 3, seed=11, n_nodes=60),
+}
+
+
+def setup_network(make):
+    net = make()
+    mgr = BddManager()
+    iv = {name: mgr.add_var(name) for name in net.inputs}
+    sv, nv = {}, {}
+    for name in net.latches:
+        sv[name] = mgr.add_var(name)
+        nv[name] = mgr.add_var(f"{name}'")
+    bdds = build_network_bdds(net, mgr, iv, sv)
+    return net, mgr, bdds, nv
+
+
+@pytest.mark.parametrize("name", CIRCUITS, ids=str)
+@pytest.mark.parametrize("schedule", [True, False], ids=["scheduled", "naive"])
+def test_reachability_scheduling(benchmark, name, schedule) -> None:
+    net, mgr, bdds, nv = setup_network(CIRCUITS[name])
+
+    def run():
+        return network_reachable_states(bdds, ns_vars=nv, schedule=schedule)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.state_count > 0
+
+
+@pytest.mark.parametrize("name", CIRCUITS, ids=str)
+def test_single_image_partitioned_vs_monolithic(benchmark, name) -> None:
+    """One image step from the reachable set, partitioned & scheduled."""
+    net, mgr, bdds, nv = setup_network(CIRCUITS[name])
+    reach = network_reachable_states(bdds, ns_vars=nv).states
+    rel = functions_to_relation(
+        mgr, ((nv[n], bdds.next_state[n]) for n in net.latches)
+    )
+    quantify = list(bdds.input_vars.values()) + list(bdds.state_vars.values())
+    mono = PartitionedRelation(mgr, list(rel)).monolithic()
+    want = image_monolithic(mgr, mono, reach, quantify)
+
+    def run():
+        return image_partitioned(mgr, list(rel), reach, quantify)
+
+    got = benchmark(run)
+    assert got == want

@@ -1,0 +1,51 @@
+"""Supplementary scaling series: solver cost vs unknown-component size.
+
+The paper's Table 1 varies whole benchmarks; this series varies the
+*split* on one circuit family.  One benchmark point per split size, for
+both flows.  Note the direction: on these families, *smaller* unknowns
+are harder — keeping more latches in ``F`` exposes more of the product
+state space to the subset construction, so the flexibility automaton
+(and with it both flows) grows; the partitioned/monolithic gap persists
+across the series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import circuits
+from repro.eqn import build_latch_split_problem, solve_equation
+
+COUNTER_SPLITS = {
+    1: ["b1"],
+    2: ["b1", "b3"],
+    3: ["b1", "b3", "b5"],
+}
+
+LFSR_SPLITS = {
+    1: ["r2"],
+    2: ["r2", "r4"],
+    3: ["r2", "r4", "r5"],
+}
+
+
+@pytest.mark.parametrize("k", COUNTER_SPLITS, ids=lambda k: f"xcs{k}")
+@pytest.mark.parametrize("method", ["partitioned", "monolithic"])
+def test_counter6_split_scaling(benchmark, k, method) -> None:
+    def run():
+        problem = build_latch_split_problem(circuits.counter(6), COUNTER_SPLITS[k])
+        return solve_equation(problem, method=method)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.csf_states > 0
+
+
+@pytest.mark.parametrize("k", LFSR_SPLITS, ids=lambda k: f"xcs{k}")
+@pytest.mark.parametrize("method", ["partitioned", "monolithic"])
+def test_lfsr6_split_scaling(benchmark, k, method) -> None:
+    def run():
+        problem = build_latch_split_problem(circuits.lfsr(6), LFSR_SPLITS[k])
+        return solve_equation(problem, method=method)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.csf_states > 0

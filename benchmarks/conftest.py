@@ -1,0 +1,19 @@
+"""Shared helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--table1-full",
+        action="store_true",
+        default=False,
+        help="run the full Table 1 suite including the slow CNC rows",
+    )
+
+
+@pytest.fixture(scope="session")
+def table1_full(request) -> bool:
+    return request.config.getoption("--table1-full")

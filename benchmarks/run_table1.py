@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Standalone Table 1 printer: the paper-style reproduction table.
+
+Usage::
+
+    python benchmarks/run_table1.py            # all six rows
+    python benchmarks/run_table1.py s27 rand10 # selected rows
+    python benchmarks/run_table1.py --paper    # also print the paper's table
+
+Prints the measured columns (Name, i/o/cs, Fcs/Xcs, States(X), Part,s,
+Mono,s, Ratio) with "CNC" where a flow exceeded its budget, followed by
+the row-by-row mapping to the paper's benchmarks.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.suite import TABLE1_CASES, case_by_name
+from repro.eqn.table1 import PAPER_TABLE1, render_table1, run_table1
+
+
+def main(argv: list[str]) -> int:
+    show_paper = "--paper" in argv
+    names = [a for a in argv if not a.startswith("-")]
+    cases = [case_by_name(n) for n in names] if names else TABLE1_CASES
+    rows = run_table1(cases, verbose=True)
+    print()
+    print("Measured (this machine, pure-Python BDD engine):")
+    print(render_table1(rows))
+    print()
+    print("Row mapping to the paper:")
+    for case, row in zip(cases, rows):
+        print(f"  {case.name:9s} mirrors {case.paper_row}")
+    if show_paper:
+        print()
+        print(PAPER_TABLE1)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

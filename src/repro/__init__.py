@@ -1,0 +1,45 @@
+"""repro — reproduction of "Efficient Solution of Language Equations
+Using Partitioned Representations" (Mishchenko, Brayton, Jiang, Villa,
+Yevtushenko; DATE 2005).
+
+The package solves language equations ``F ∘ X ⊆ S`` for prefix-closed
+``F`` and ``S`` given as multi-level sequential networks, computing the
+Complete Sequential Flexibility (CSF) of an unknown component.  Two
+engines are provided — the paper's *partitioned* flow and the baseline
+*monolithic* flow — plus an explicit reference implementation, on top of
+a from-scratch BDD manager, network, automata and image-computation
+substrate.
+
+Quickstart::
+
+    from repro import solve_latch_split, verify_solution
+    from repro.bench import circuits
+
+    net = circuits.counter(4)
+    result = solve_latch_split(net, x_latches=net.latch_names()[:2])
+    print(result.csf.num_states, "CSF states")
+    report = verify_solution(result)
+    assert report.ok
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]
+
+
+def __getattr__(name: str):
+    # Lazy re-exports keep `import repro` light while offering a flat API.
+    if name in {
+        "solve_latch_split",
+        "solve_equation",
+        "SolveResult",
+        "verify_solution",
+    }:
+        from repro.eqn import solver as _solver
+
+        return getattr(_solver, name)
+    if name in {"implement_csf", "extract_fsm", "fsm_to_network"}:
+        from repro.eqn import implement as _implement
+
+        return getattr(_implement, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,56 @@
+"""Finite automata with symbolic edge labels, and their operations."""
+
+from repro.automata.automaton import Automaton, empty_automaton
+from repro.automata.dot import automaton_to_dot
+from repro.automata.kiss import parse_kiss, write_kiss
+from repro.automata.language import (
+    ContainmentResult,
+    accepts,
+    contained_in,
+    enumerate_language,
+    equivalent,
+    is_empty,
+    sample_words,
+)
+from repro.automata.ops import (
+    complement,
+    complete,
+    determinize,
+    minimize,
+    prefix_close,
+    product,
+    progressive,
+    split_regions,
+    support,
+    union,
+)
+from repro.automata.stg import network_to_automaton, reachable_state_count
+from repro.automata.symbolic_stg import functions_to_automaton
+
+__all__ = [
+    "Automaton",
+    "ContainmentResult",
+    "accepts",
+    "automaton_to_dot",
+    "complement",
+    "complete",
+    "contained_in",
+    "determinize",
+    "empty_automaton",
+    "enumerate_language",
+    "equivalent",
+    "functions_to_automaton",
+    "is_empty",
+    "minimize",
+    "network_to_automaton",
+    "parse_kiss",
+    "prefix_close",
+    "product",
+    "progressive",
+    "reachable_state_count",
+    "sample_words",
+    "split_regions",
+    "support",
+    "union",
+    "write_kiss",
+]

@@ -1,0 +1,41 @@
+"""Graphviz export of automata (used by examples and debugging)."""
+
+from __future__ import annotations
+
+from repro.bdd import iter_cubes
+from repro.automata.automaton import Automaton
+
+
+def automaton_to_dot(aut: Automaton, *, graph_name: str = "automaton") -> str:
+    """Render an automaton as a Graphviz digraph.
+
+    Accepting states are drawn as double circles (the paper's unshaded
+    states); non-accepting states are shaded.  Edge labels list the cube
+    values of the alphabet variables in order, ``-`` for don't-care.
+    """
+    mgr = aut.manager
+    lines = [f"digraph {graph_name} {{", "  rankdir=LR;"]
+    lines.append('  __init [shape=point, label=""];')
+    for sid, name in enumerate(aut.state_names):
+        if sid in aut.accepting:
+            shape = "doublecircle"
+            style = ""
+        else:
+            shape = "circle"
+            style = ", style=filled, fillcolor=gray80"
+        lines.append(f'  s{sid} [label="{name}", shape={shape}{style}];')
+    if aut.initial is not None:
+        lines.append(f"  __init -> s{aut.initial};")
+    for src, bucket in enumerate(aut.edges):
+        for dst, label in bucket.items():
+            cubes = []
+            for cube in iter_cubes(mgr, label):
+                bits = []
+                for name in aut.variables:
+                    value = cube.get(mgr.var_index(name))
+                    bits.append("-" if value is None else str(value))
+                cubes.append("".join(bits))
+            text = "\\n".join(cubes) if cubes else "true"
+            lines.append(f'  s{src} -> s{dst} [label="{text}"];')
+    lines.append("}")
+    return "\n".join(lines)

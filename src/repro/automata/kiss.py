@@ -1,0 +1,132 @@
+"""KISS2 import/export for automata.
+
+KISS2 is the venerable FSM interchange format used by SIS/MVSIS/BALM.
+We use the automaton flavour: a transition line is
+
+    <input-cube> <current-state> <next-state>
+
+where the "input" field covers *all* alphabet variables of the automaton
+(for an FSM read as an automaton, that is the concatenation of the FSM's
+input and output bits — the paper's "simple syntactic change").
+
+Directives supported: ``.i`` (alphabet width), ``.s`` (state count),
+``.p`` (transition count), ``.r`` (reset state), ``.ilb`` (alphabet
+variable names), ``.accepting`` (extension: names of accepting states —
+all states are accepting when absent, matching prefix-closed FSMs).
+"""
+
+from __future__ import annotations
+
+from repro.bdd import iter_cubes
+from repro.bdd.manager import BddManager
+from repro.errors import AutomatonError
+from repro.automata.automaton import Automaton
+
+
+def write_kiss(aut: Automaton) -> str:
+    """Render an automaton in KISS2 text."""
+    if aut.initial is None:
+        raise AutomatonError("cannot write an automaton with no states")
+    mgr = aut.manager
+    lines = [
+        f".i {len(aut.variables)}",
+        ".o 0",
+        f".ilb {' '.join(aut.variables)}",
+        f".s {aut.num_states}",
+        f".r {aut.state_names[aut.initial]}",
+    ]
+    rows: list[str] = []
+    for src, bucket in enumerate(aut.edges):
+        for dst, label in bucket.items():
+            for cube in iter_cubes(mgr, label):
+                bits = []
+                for name in aut.variables:
+                    value = cube.get(mgr.var_index(name))
+                    bits.append("-" if value is None else str(value))
+                rows.append(
+                    f"{''.join(bits)} {aut.state_names[src]} {aut.state_names[dst]}"
+                )
+    lines.append(f".p {len(rows)}")
+    lines.extend(rows)
+    if aut.accepting != set(range(aut.num_states)):
+        names = " ".join(aut.state_names[s] for s in sorted(aut.accepting))
+        lines.append(f".accepting {names}")
+    lines.append(".e")
+    return "\n".join(lines) + "\n"
+
+
+def parse_kiss(text: str, manager: BddManager | None = None) -> Automaton:
+    """Parse KISS2 text into an automaton.
+
+    Alphabet variable names come from ``.ilb`` when present, otherwise
+    ``x0..x{n-1}``.  Variables are declared in ``manager`` on demand.
+    """
+    width: int | None = None
+    names: list[str] | None = None
+    reset: str | None = None
+    accepting_names: list[str] | None = None
+    rows: list[tuple[str, str, str]] = []
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        if tokens[0] == ".i":
+            width = int(tokens[1])
+        elif tokens[0] == ".ilb":
+            names = tokens[1:]
+        elif tokens[0] == ".r":
+            reset = tokens[1]
+        elif tokens[0] == ".accepting":
+            accepting_names = tokens[1:]
+        elif tokens[0] in (".o", ".s", ".p"):
+            continue
+        elif tokens[0] == ".e":
+            break
+        elif tokens[0].startswith("."):
+            raise AutomatonError(f"unsupported KISS directive {tokens[0]!r}")
+        else:
+            if len(tokens) != 3:
+                raise AutomatonError(f"malformed KISS transition: {line!r}")
+            rows.append((tokens[0], tokens[1], tokens[2]))
+    if width is None:
+        raise AutomatonError("KISS input missing .i directive")
+    variables = names if names is not None else [f"x{k}" for k in range(width)]
+    if len(variables) != width:
+        raise AutomatonError(".ilb width does not match .i")
+    mgr = manager if manager is not None else BddManager()
+    for name in variables:
+        if name not in mgr._name_to_var:
+            mgr.add_var(name)
+    aut = Automaton(mgr, tuple(variables))
+    ids: dict[str, int] = {}
+
+    def state_id(name: str) -> int:
+        sid = ids.get(name)
+        if sid is None:
+            sid = aut.add_state(name, accepting=True)
+            ids[name] = sid
+        return sid
+
+    if reset is not None:
+        state_id(reset)
+    for cube, src, dst in rows:
+        if len(cube) != width:
+            raise AutomatonError(f"cube {cube!r} width != {width}")
+        letter: dict[str, int] = {}
+        for bit, name in zip(cube, variables):
+            if bit == "1":
+                letter[name] = 1
+            elif bit == "0":
+                letter[name] = 0
+            elif bit != "-":
+                raise AutomatonError(f"invalid cube character {bit!r}")
+        aut.add_letter_edge(state_id(src), state_id(dst), letter)
+    if reset is not None:
+        aut.initial = ids[reset]
+    if accepting_names is not None:
+        missing = [n for n in accepting_names if n not in ids]
+        if missing:
+            raise AutomatonError(f"unknown accepting states: {missing}")
+        aut.accepting = {ids[n] for n in accepting_names}
+    return aut

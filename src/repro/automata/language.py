@@ -1,0 +1,156 @@
+"""Language-level queries: membership, emptiness, containment, equivalence.
+
+Containment is the workhorse of the paper's verification step
+(Section 4): ``X_P ⊆ X`` and ``F ∘ X ⊆ S`` are both language-containment
+checks.  ``L(A) ⊆ L(B)`` is decided by complementing a determinized
+completed ``B`` and checking emptiness of the product with ``A``; a
+counterexample word is returned when containment fails.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.bdd import pick_minterm
+from repro.bdd.manager import FALSE, BddManager
+from repro.errors import AutomatonError
+from repro.automata.automaton import Automaton
+from repro.automata.ops import complement, complete, determinize, product
+
+
+def accepts(aut: Automaton, word: Sequence[Mapping[str, int]]) -> bool:
+    """Whether ``aut`` accepts ``word`` (a sequence of full letters).
+
+    Works for non-deterministic automata via on-the-fly subset tracking.
+    The empty word is accepted iff the initial state is accepting.
+    """
+    if aut.initial is None:
+        return False
+    current = {aut.initial}
+    for letter in word:
+        missing = set(aut.variables) - set(letter)
+        if missing:
+            raise AutomatonError(f"letter misses variables: {sorted(missing)}")
+        nxt: set[int] = set()
+        for sid in current:
+            nxt.update(aut.successors(sid, letter))
+        if not nxt:
+            return False
+        current = nxt
+    return bool(current & aut.accepting)
+
+
+def enumerate_language(
+    aut: Automaton, max_length: int
+) -> set[tuple[tuple[int, ...], ...]]:
+    """All accepted words of length <= ``max_length`` (brute force).
+
+    Exponential in word length and alphabet width — test helper only.
+    Letters are tuples aligned with :attr:`Automaton.variables`.
+    """
+    words: set[tuple[tuple[int, ...], ...]] = set()
+    letters = list(aut.letters())
+    for length in range(max_length + 1):
+        for combo in itertools.product(letters, repeat=length):
+            word = [aut.letter_dict(letter) for letter in combo]
+            if accepts(aut, word):
+                words.add(tuple(combo))
+    return words
+
+
+def is_empty(aut: Automaton) -> bool:
+    """Whether the language is empty (no reachable accepting state)."""
+    if aut.initial is None:
+        return True
+    return not any(sid in aut.accepting for sid in aut.reachable_states())
+
+
+@dataclass
+class ContainmentResult:
+    """Outcome of a containment check, with a counterexample when it fails."""
+
+    holds: bool
+    counterexample: list[dict[str, int]] | None = None
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+def contained_in(a: Automaton, b: Automaton) -> ContainmentResult:
+    """Decide ``L(a) ⊆ L(b)`` and produce a witness word otherwise.
+
+    Both automata must share a manager and alphabet.
+    """
+    if a.manager is not b.manager:
+        raise AutomatonError("containment requires a shared manager")
+    if set(a.variables) != set(b.variables):
+        raise AutomatonError(
+            f"alphabet mismatch: {a.variables} vs {b.variables}"
+        )
+    bad = product(a, complement(complete(determinize(b))))
+    witness = _find_accepting_word(bad)
+    if witness is None:
+        return ContainmentResult(True)
+    return ContainmentResult(False, witness)
+
+
+def equivalent(a: Automaton, b: Automaton) -> bool:
+    """Language equivalence via two containment checks."""
+    return bool(contained_in(a, b)) and bool(contained_in(b, a))
+
+
+def _find_accepting_word(aut: Automaton) -> list[dict[str, int]] | None:
+    """BFS for a word reaching an accepting state; None if language empty."""
+    if aut.initial is None:
+        return None
+    mgr: BddManager = aut.manager
+    variables = aut.variable_indices()
+    parents: dict[int, tuple[int, int] | None] = {aut.initial: None}
+    queue = [aut.initial]
+    target = None
+    if aut.initial in aut.accepting:
+        return []
+    while queue and target is None:
+        sid = queue.pop(0)
+        for dst, label in aut.edges[sid].items():
+            if label == FALSE or dst in parents:
+                continue
+            parents[dst] = (sid, label)
+            if dst in aut.accepting:
+                target = dst
+                break
+            queue.append(dst)
+    if target is None:
+        return None
+    # Reconstruct letters along the path.
+    path: list[dict[str, int]] = []
+    node = target
+    while parents[node] is not None:
+        src, label = parents[node]  # type: ignore[misc]
+        assignment = pick_minterm(mgr, label, variables)
+        path.append({mgr.var_name(v): val for v, val in assignment.items()})
+        node = src
+    path.reverse()
+    return path
+
+
+def sample_words(
+    aut: Automaton, count: int, max_length: int, *, seed: int = 0
+) -> Iterable[list[dict[str, int]]]:
+    """Random words over the alphabet (not necessarily accepted).
+
+    Useful for differential testing of two automata: feed the same word
+    to both and compare acceptance.
+    """
+    import random
+
+    rng = random.Random(seed)
+    for _ in range(count):
+        length = rng.randint(0, max_length)
+        word = [
+            {name: rng.randint(0, 1) for name in aut.variables}
+            for _ in range(length)
+        ]
+        yield word

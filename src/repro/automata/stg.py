@@ -1,0 +1,95 @@
+"""State transition graph extraction: sequential network -> automaton.
+
+Per Section 2 of the paper: "The automata for F and S are derived, from
+the multi-level networks representing them, simply by taking the set of
+inputs of these automata as the union of the sets of inputs and outputs
+of the corresponding network. ... All reachable states of a network are
+the accepting states of the corresponding automaton" (FSMs are
+prefix-closed; completion adds the one non-accepting DC state).
+
+The extraction enumerates reachable latch valuations explicitly and input
+minterms per state — exponential in the input count, so it is meant for
+the explicit reference flow and for tests on small circuits.  The
+symbolic solver flows never build this object for F x S.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.bdd.manager import BddManager
+from repro.errors import AutomatonError
+from repro.automata.automaton import Automaton
+from repro.network.netlist import Network
+
+
+def state_label(state: dict[str, int], latches: Sequence[str]) -> str:
+    """Canonical textual label of a latch valuation, e.g. ``"01"``."""
+    return "".join(str(state[name]) for name in latches)
+
+
+def network_to_automaton(
+    net: Network,
+    manager: BddManager | None = None,
+    *,
+    max_states: int | None = None,
+) -> Automaton:
+    """Build the (incomplete, all-accepting) automaton of a network.
+
+    The alphabet is ``net.inputs + net.outputs`` in network order; the
+    variables are declared in ``manager`` on demand (a fresh manager is
+    created when none is given).  States are the reachable latch
+    valuations; every state is accepting.  The automaton is deterministic
+    and in general incomplete: a letter ``(i, o)`` is defined in a state
+    only when ``o`` equals the network's output under ``i``.
+
+    Parameters
+    ----------
+    max_states:
+        Safety valve; raises :class:`AutomatonError` when exceeded.
+    """
+    net.validate()
+    mgr = manager if manager is not None else BddManager()
+    variables = tuple(net.inputs) + tuple(net.outputs)
+    for name in variables:
+        if name not in mgr._name_to_var:
+            mgr.add_var(name)
+    overlap = set(net.inputs) & set(net.outputs)
+    if overlap:
+        raise AutomatonError(f"signals both input and output: {sorted(overlap)}")
+
+    aut = Automaton(mgr, variables)
+    latches = net.latch_names()
+    init = net.initial_state()
+    ids: dict[tuple[int, ...], int] = {}
+    queue: list[dict[str, int]] = []
+
+    def state_id(state: dict[str, int]) -> int:
+        key = tuple(state[name] for name in latches)
+        sid = ids.get(key)
+        if sid is None:
+            if max_states is not None and len(ids) >= max_states:
+                raise AutomatonError(f"more than {max_states} reachable states")
+            sid = aut.add_state(state_label(state, latches), accepting=True)
+            ids[key] = sid
+            queue.append(dict(state))
+        return sid
+
+    state_id(init)
+    n_inputs = len(net.inputs)
+    while queue:
+        state = queue.pop(0)
+        src = ids[tuple(state[name] for name in latches)]
+        for code in range(1 << n_inputs):
+            inputs = {
+                name: (code >> k) & 1 for k, name in enumerate(net.inputs)
+            }
+            outputs, next_state = net.step(state, inputs)
+            letter = {**inputs, **outputs}
+            aut.add_letter_edge(src, state_id(next_state), letter)
+    return aut
+
+
+def reachable_state_count(net: Network, *, max_states: int | None = None) -> int:
+    """Number of reachable latch valuations (explicit BFS)."""
+    return network_to_automaton(net, max_states=max_states).num_states

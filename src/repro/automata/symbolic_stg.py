@@ -1,0 +1,103 @@
+"""Symbolic STG extraction: automaton of a component from its BDDs.
+
+Given the partitioned functions of a component — letter-variable bindings
+``{x_j ≡ f_j(letters, cs)}`` and next-state bindings ``{ns_k ≡
+T_k(letters, cs)}`` — enumerate the reachable states explicitly and build
+the (deterministic, all-accepting) automaton whose edge labels are BDDs
+over the letter variables.
+
+This replaces :func:`repro.automata.stg.network_to_automaton` when the
+component's functions already live in a solver manager: it avoids input
+enumeration (symbolic cofactor splitting instead) and lets several
+components (``F``, ``S``, ``X_P``, the solved ``X``) share one manager so
+they can be composed and compared.
+
+Requirement (checked downstream): all letter variables sit above all
+``cs``/``ns`` variables in the manager order.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.bdd.cube import iter_minterms, split_by_vars
+from repro.bdd.manager import TRUE, BddManager
+from repro.errors import AutomatonError
+from repro.automata.automaton import Automaton
+
+
+def functions_to_automaton(
+    mgr: BddManager,
+    *,
+    alphabet: Sequence[str],
+    letter_bindings: Mapping[int, int],
+    next_state: Mapping[int, int],
+    ns_of_cs: Mapping[int, int],
+    init: Mapping[int, int],
+    max_states: int | None = None,
+    state_namer=None,
+) -> Automaton:
+    """Build the automaton of a component held as function BDDs.
+
+    Parameters
+    ----------
+    alphabet:
+        Letter variable names, in display order.
+    letter_bindings:
+        ``letter_var -> function`` pairs asserting ``letter ≡ f(...)``
+        (e.g. output and ``u``-wire functions).  Letter variables without
+        a binding (the component's free inputs) are unconstrained.
+    next_state:
+        ``ns_var -> T(letters, cs)`` next-state bindings.
+    ns_of_cs:
+        ``cs_var -> ns_var`` correspondence (defines the state vector).
+    init:
+        ``cs_var -> 0/1`` initial state.
+    """
+    cs_vars = list(ns_of_cs)
+    ns_vars = [ns_of_cs[v] for v in cs_vars]
+    letter_vars = [mgr.var_index(name) for name in alphabet]
+    aut = Automaton(mgr, tuple(alphabet))
+
+    def default_namer(state: tuple[int, ...]) -> str:
+        return "".join(str(b) for b in state)
+
+    namer = state_namer or default_namer
+    init_key = tuple(init[v] for v in cs_vars)
+    ids: dict[tuple[int, ...], int] = {}
+    queue: list[tuple[int, ...]] = []
+
+    def state_id(key: tuple[int, ...]) -> int:
+        sid = ids.get(key)
+        if sid is None:
+            if max_states is not None and len(ids) >= max_states:
+                raise AutomatonError(f"more than {max_states} reachable states")
+            sid = aut.add_state(namer(key), accepting=True)
+            ids[key] = sid
+            queue.append(key)
+        return sid
+
+    state_id(init_key)
+    while queue:
+        key = queue.pop(0)
+        src = ids[key]
+        assignment = dict(zip(cs_vars, key))
+        relation = TRUE
+        for letter_var, function in letter_bindings.items():
+            bound = mgr.cofactor_cube(function, assignment)
+            relation = mgr.apply_and(
+                relation, mgr.apply_iff(mgr.var_node(letter_var), bound)
+            )
+        for ns_var, function in next_state.items():
+            bound = mgr.cofactor_cube(function, assignment)
+            relation = mgr.apply_and(
+                relation, mgr.apply_iff(mgr.var_node(ns_var), bound)
+            )
+        for leaf, cond in split_by_vars(mgr, relation, letter_vars).items():
+            # Deterministic components: each leaf is one ns minterm.
+            for minterm in iter_minterms(mgr, leaf, ns_vars):
+                dest = [0] * len(cs_vars)
+                for pos, value in enumerate(minterm):
+                    dest[pos] = value
+                aut.add_edge(src, state_id(tuple(dest)), cond)
+    return aut

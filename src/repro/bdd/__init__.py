@@ -1,0 +1,44 @@
+"""Shared ROBDD engine (the paper's CUDD substrate, reimplemented).
+
+Public surface:
+
+* :class:`BddManager` — shared nodes, unique/computed tables, Boolean
+  connectives, quantification and the fused relational product
+  ``and_exists`` that powers partitioned image computation.
+* :class:`Function` — operator-overloaded wrapper for user code.
+* :mod:`repro.bdd.cube` — counting / enumeration / picking of cubes.
+* :mod:`repro.bdd.reorder` — garbage collection and rebuild-based
+  variable reordering.
+* :mod:`repro.bdd.io` — dot export and JSON (de)serialisation.
+"""
+
+from repro.bdd.cube import (
+    iter_cubes,
+    iter_minterms,
+    pick_cube,
+    pick_minterm,
+    sat_count,
+)
+from repro.bdd.function import Function
+from repro.bdd.io import dump_function, load_function, to_dot
+from repro.bdd.manager import FALSE, TRUE, BddManager
+from repro.bdd.reorder import compact, greedy_sift_order, reorder, transfer
+
+__all__ = [
+    "FALSE",
+    "TRUE",
+    "BddManager",
+    "Function",
+    "compact",
+    "dump_function",
+    "greedy_sift_order",
+    "iter_cubes",
+    "iter_minterms",
+    "load_function",
+    "pick_cube",
+    "pick_minterm",
+    "reorder",
+    "sat_count",
+    "to_dot",
+    "transfer",
+]

@@ -1,0 +1,172 @@
+"""Operator-overloaded wrapper around raw BDD node ids.
+
+The manager's int-based API is fast but terse; :class:`Function` is the
+ergonomic face used in examples, the expression builder and user code:
+
+>>> from repro.bdd import BddManager, Function
+>>> m = BddManager()
+>>> a, b = Function.vars(m, "a", "b")
+>>> f = (a & ~b) | (b & ~a)
+>>> f == a ^ b
+True
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.bdd import cube as _cube
+from repro.bdd.manager import FALSE, TRUE, BddManager
+from repro.errors import BddError
+
+
+class Function:
+    """A Boolean function: a node id bound to its manager."""
+
+    __slots__ = ("manager", "node")
+
+    def __init__(self, manager: BddManager, node: int) -> None:
+        self.manager = manager
+        self.node = node
+
+    # -- constructors ---------------------------------------------------- #
+
+    @staticmethod
+    def true(manager: BddManager) -> "Function":
+        """The constant TRUE function."""
+        return Function(manager, TRUE)
+
+    @staticmethod
+    def false(manager: BddManager) -> "Function":
+        """The constant FALSE function."""
+        return Function(manager, FALSE)
+
+    @staticmethod
+    def var(manager: BddManager, name: str) -> "Function":
+        """The positive literal of ``name`` (declared on first use)."""
+        if name in manager._name_to_var:
+            index = manager.var_index(name)
+        else:
+            index = manager.add_var(name)
+        return Function(manager, manager.var_node(index))
+
+    @staticmethod
+    def vars(manager: BddManager, *names: str) -> list["Function"]:
+        """Several literals at once."""
+        return [Function.var(manager, name) for name in names]
+
+    # -- operators ------------------------------------------------------- #
+
+    def _check(self, other: "Function") -> None:
+        if self.manager is not other.manager:
+            raise BddError("operands belong to different managers")
+
+    def __and__(self, other: "Function") -> "Function":
+        self._check(other)
+        return Function(self.manager, self.manager.apply_and(self.node, other.node))
+
+    def __or__(self, other: "Function") -> "Function":
+        self._check(other)
+        return Function(self.manager, self.manager.apply_or(self.node, other.node))
+
+    def __xor__(self, other: "Function") -> "Function":
+        self._check(other)
+        return Function(self.manager, self.manager.apply_xor(self.node, other.node))
+
+    def __invert__(self) -> "Function":
+        return Function(self.manager, self.manager.apply_not(self.node))
+
+    def implies(self, other: "Function") -> "Function":
+        """Implication ``self → other``."""
+        self._check(other)
+        return Function(self.manager, self.manager.apply_implies(self.node, other.node))
+
+    def iff(self, other: "Function") -> "Function":
+        """Biconditional ``self ≡ other``."""
+        self._check(other)
+        return Function(self.manager, self.manager.apply_iff(self.node, other.node))
+
+    def ite(self, then: "Function", otherwise: "Function") -> "Function":
+        """If-then-else with ``self`` as the condition."""
+        self._check(then)
+        self._check(otherwise)
+        return Function(
+            self.manager, self.manager.ite(self.node, then.node, otherwise.node)
+        )
+
+    # -- quantification --------------------------------------------------- #
+
+    def _var_indices(self, names: Iterable[str]) -> list[int]:
+        return [self.manager.var_index(n) for n in names]
+
+    def exists(self, *names: str) -> "Function":
+        """Existentially quantify the named variables."""
+        return Function(
+            self.manager, self.manager.exists(self.node, self._var_indices(names))
+        )
+
+    def forall(self, *names: str) -> "Function":
+        """Universally quantify the named variables."""
+        return Function(
+            self.manager, self.manager.forall(self.node, self._var_indices(names))
+        )
+
+    # -- inspection -------------------------------------------------------- #
+
+    @property
+    def is_true(self) -> bool:
+        """Whether this is the constant TRUE."""
+        return self.node == TRUE
+
+    @property
+    def is_false(self) -> bool:
+        """Whether this is the constant FALSE."""
+        return self.node == FALSE
+
+    def support(self) -> set[str]:
+        """Names of the variables the function depends on."""
+        return {self.manager.var_name(v) for v in self.manager.support(self.node)}
+
+    def size(self) -> int:
+        """Number of internal BDD nodes."""
+        return self.manager.size(self.node)
+
+    def sat_count(self, names: Iterable[str]) -> int:
+        """Number of satisfying assignments over the named variables."""
+        return _cube.sat_count(self.manager, self.node, self._var_indices(names))
+
+    def evaluate(self, assignment: Mapping[str, bool | int]) -> bool:
+        """Evaluate under a name -> value assignment."""
+        return self.manager.eval(self.node, assignment)
+
+    def restrict(self, assignment: Mapping[str, bool | int]) -> "Function":
+        """Cofactor with respect to a name -> value assignment."""
+        bindings = {
+            self.manager.var_index(name): value for name, value in assignment.items()
+        }
+        return Function(self.manager, self.manager.cofactor_cube(self.node, bindings))
+
+    def constrain(self, care: "Function") -> "Function":
+        """Generalised cofactor: agrees with ``self`` wherever ``care``."""
+        self._check(care)
+        return Function(self.manager, self.manager.constrain(self.node, care.node))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Function):
+            return NotImplemented
+        return self.manager is other.manager and self.node == other.node
+
+    def __hash__(self) -> int:
+        return hash((id(self.manager), self.node))
+
+    def __bool__(self) -> bool:
+        raise BddError(
+            "a Function has no truth value; use .is_true / .is_false explicitly"
+        )
+
+    def __repr__(self) -> str:
+        if self.node == TRUE:
+            return "Function(TRUE)"
+        if self.node == FALSE:
+            return "Function(FALSE)"
+        return f"Function(node={self.node}, size={self.size()})"

@@ -1,0 +1,109 @@
+"""Export and (de)serialisation of BDDs.
+
+* :func:`to_dot` renders one or more functions as a Graphviz digraph
+  (solid = then-edge, dashed = else-edge), handy for debugging and docs.
+* :func:`dump_function` / :func:`load_function` round-trip a function
+  through a plain JSON-able structure, used by the test suite and by the
+  CLI's ``--save`` option.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.bdd.manager import FALSE, TRUE, BddManager
+from repro.errors import BddError
+
+
+def to_dot(
+    mgr: BddManager,
+    roots: Mapping[str, int] | Sequence[int],
+    *,
+    graph_name: str = "bdd",
+) -> str:
+    """Render the shared DAG of ``roots`` in Graphviz dot format."""
+    if isinstance(roots, Mapping):
+        named = dict(roots)
+    else:
+        named = {f"f{i}": node for i, node in enumerate(roots)}
+    lines = [f"digraph {graph_name} {{", "  rankdir=TB;"]
+    lines.append('  node0 [label="0", shape=box];')
+    lines.append('  node1 [label="1", shape=box];')
+    seen: set[int] = set()
+    stack = list(named.values())
+    while stack:
+        node = stack.pop()
+        if node < 2 or node in seen:
+            continue
+        seen.add(node)
+        name = mgr.var_name(mgr.node_var(node))
+        lines.append(f'  node{node} [label="{name}", shape=circle];')
+        lo, hi = mgr.node_lo(node), mgr.node_hi(node)
+        lines.append(f"  node{node} -> node{lo} [style=dashed];")
+        lines.append(f"  node{node} -> node{hi} [style=solid];")
+        stack.append(lo)
+        stack.append(hi)
+    for label, node in sorted(named.items()):
+        lines.append(f'  root_{label} [label="{label}", shape=plaintext];')
+        lines.append(f"  root_{label} -> node{node};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def dump_function(mgr: BddManager, f: int) -> dict:
+    """Serialise ``f`` into a JSON-able dict.
+
+    Nodes are listed children-first as ``[var_name, lo_ref, hi_ref]``
+    where refs are ``"F"``, ``"T"`` or an index into the node list.
+    """
+    order: list[int] = []
+    seen: set[int] = set()
+
+    def visit(node: int) -> None:
+        if node < 2 or node in seen:
+            return
+        seen.add(node)
+        visit(mgr.node_lo(node))
+        visit(mgr.node_hi(node))
+        order.append(node)
+
+    visit(f)
+    index = {FALSE: "F", TRUE: "T"}
+    nodes = []
+    for pos, node in enumerate(order):
+        index[node] = pos
+        nodes.append(
+            [
+                mgr.var_name(mgr.node_var(node)),
+                index[mgr.node_lo(node)],
+                index[mgr.node_hi(node)],
+            ]
+        )
+    return {"nodes": nodes, "root": index[f]}
+
+
+def load_function(mgr: BddManager, data: dict) -> int:
+    """Rebuild a function serialised by :func:`dump_function`.
+
+    Variables are matched by name and must already exist in ``mgr``
+    (declared on demand otherwise).
+    """
+    built: list[int] = []
+
+    def ref(token: object) -> int:
+        if token == "F":
+            return FALSE
+        if token == "T":
+            return TRUE
+        if isinstance(token, int):
+            return built[token]
+        raise BddError(f"malformed BDD dump reference: {token!r}")
+
+    for name, lo_ref, hi_ref in data["nodes"]:
+        try:
+            var = mgr.var_index(name)
+        except KeyError:
+            var = mgr.add_var(name)
+        lo, hi = ref(lo_ref), ref(hi_ref)
+        built.append(mgr.ite(mgr.var_node(var), hi, lo))
+    return ref(data["root"])

@@ -1,0 +1,723 @@
+"""A shared, reduced, ordered BDD manager (pure Python).
+
+This module replaces the CUDD package the paper relies on.  It implements
+the classic shared-ROBDD data structure:
+
+* a *unique table* mapping ``(var, lo, hi)`` triples to node ids, which
+  guarantees canonicity (two equivalent functions share one node id);
+* *computed tables* (operation caches) for the Boolean connectives,
+  quantification, the fused relational product ``and_exists`` (the
+  workhorse of image computation), composition and renaming;
+* variable *levels* separate from variable *indices*, so the order can be
+  changed (see :mod:`repro.bdd.reorder`).
+
+Nodes are plain ``int`` ids; ``0`` is the constant FALSE and ``1`` the
+constant TRUE.  All manager methods consume and produce ints, which keeps
+the inner loops fast; :class:`repro.bdd.function.Function` offers an
+operator-overloaded wrapper for user-facing code.
+
+The manager optionally enforces a node budget (``max_nodes``), raising
+:class:`~repro.errors.BddNodeLimit` when exceeded.  The Table 1 harness
+uses this to emulate the paper's "CNC" (could not complete) entries.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.errors import BddError, BddNodeLimit, BddOrderError
+
+#: Node id of the constant FALSE function.
+FALSE = 0
+#: Node id of the constant TRUE function.
+TRUE = 1
+
+#: Sentinel level assigned to the two terminal nodes; compares above all
+#: real variable levels.
+_TERMINAL_LEVEL = 1 << 60
+
+
+class BddManager:
+    """A shared ROBDD manager.
+
+    Parameters
+    ----------
+    max_nodes:
+        Optional node budget.  When the number of live nodes would exceed
+        this, :class:`~repro.errors.BddNodeLimit` is raised.
+
+    Examples
+    --------
+    >>> m = BddManager()
+    >>> a, b = m.add_var("a"), m.add_var("b")
+    >>> f = m.apply_and(m.var_node(a), m.var_node(b))
+    >>> m.eval(f, {"a": True, "b": True})
+    True
+    """
+
+    def __init__(self, max_nodes: int | None = None) -> None:
+        self.max_nodes = max_nodes
+        # Node storage; index 0/1 are the terminals.  Terminal var = -1.
+        self._var: list[int] = [-1, -1]
+        self._lo: list[int] = [0, 1]
+        self._hi: list[int] = [0, 1]
+        # Unique table: (var, lo, hi) -> node id.
+        self._unique: dict[tuple[int, int, int], int] = {}
+        # Variable bookkeeping.
+        self._var_names: list[str] = []
+        self._name_to_var: dict[str, int] = {}
+        self._var2level: list[int] = []
+        self._level2var: list[int] = []
+        # Computed tables.
+        self._not_cache: dict[int, int] = {}
+        self._and_cache: dict[tuple[int, int], int] = {}
+        self._or_cache: dict[tuple[int, int], int] = {}
+        self._xor_cache: dict[tuple[int, int], int] = {}
+        self._ite_cache: dict[tuple[int, int, int], int] = {}
+        self._exists_cache: dict[tuple[int, tuple[int, ...]], int] = {}
+        self._andex_cache: dict[tuple[int, int, tuple[int, ...]], int] = {}
+        self._compose_cache: dict[tuple[int, int, int], int] = {}
+        self._rename_cache: dict[tuple[int, tuple[tuple[int, int], ...]], int] = {}
+        self._restrict_cache: dict[tuple[int, int, int], int] = {}
+        self._constrain_cache: dict[tuple[int, int], int] = {}
+        # Statistics.
+        self.stats: dict[str, int] = {
+            "unique_hits": 0,
+            "cache_hits": 0,
+            "recursive_calls": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Variables
+    # ------------------------------------------------------------------ #
+
+    def add_var(self, name: str) -> int:
+        """Declare a new variable at the bottom of the order.
+
+        Returns the variable *index* (not a node).  Use :meth:`var_node`
+        to obtain the BDD of the variable itself.
+        """
+        if name in self._name_to_var:
+            raise BddError(f"variable {name!r} already declared")
+        var = len(self._var_names)
+        self._var_names.append(name)
+        self._name_to_var[name] = var
+        self._var2level.append(len(self._level2var))
+        self._level2var.append(var)
+        return var
+
+    def add_vars(self, names: Iterable[str]) -> list[int]:
+        """Declare several variables; returns their indices in order."""
+        return [self.add_var(name) for name in names]
+
+    @property
+    def num_vars(self) -> int:
+        """Number of declared variables."""
+        return len(self._var_names)
+
+    def var_name(self, var: int) -> str:
+        """Name of variable index ``var``."""
+        return self._var_names[var]
+
+    def var_index(self, name: str) -> int:
+        """Variable index of ``name``; raises ``KeyError`` if undeclared."""
+        return self._name_to_var[name]
+
+    def var_level(self, var: int) -> int:
+        """Current level (position in the order) of variable ``var``."""
+        return self._var2level[var]
+
+    def var_at_level(self, level: int) -> int:
+        """Variable index currently sitting at ``level``."""
+        return self._level2var[level]
+
+    def var_order(self) -> list[str]:
+        """Variable names from the top of the order to the bottom."""
+        return [self._var_names[v] for v in self._level2var]
+
+    def set_order(self, names: Sequence[str]) -> None:
+        """Set a complete variable order by name (top to bottom).
+
+        All declared variables must be listed exactly once.  Only valid
+        while the manager holds no internal nodes (use
+        :func:`repro.bdd.reorder.reorder` afterwards).
+        """
+        if len(self) > 2:
+            raise BddError("set_order requires an empty manager; use reorder()")
+        if sorted(names) != sorted(self._var_names):
+            raise BddError("set_order must mention every declared variable once")
+        self._level2var = [self._name_to_var[n] for n in names]
+        for level, var in enumerate(self._level2var):
+            self._var2level[var] = level
+
+    def var_node(self, var: int) -> int:
+        """Node for the positive literal of variable index ``var``."""
+        return self._mk(var, FALSE, TRUE)
+
+    def nvar_node(self, var: int) -> int:
+        """Node for the negative literal of variable index ``var``."""
+        return self._mk(var, TRUE, FALSE)
+
+    def node_var(self, f: int) -> int:
+        """Top variable index of node ``f`` (undefined for terminals)."""
+        return self._var[f]
+
+    def node_lo(self, f: int) -> int:
+        """Low (else) child of node ``f``."""
+        return self._lo[f]
+
+    def node_hi(self, f: int) -> int:
+        """High (then) child of node ``f``."""
+        return self._hi[f]
+
+    def level(self, f: int) -> int:
+        """Level of the top variable of ``f`` (terminals compare last)."""
+        if f < 2:
+            return _TERMINAL_LEVEL
+        return self._var2level[self._var[f]]
+
+    # ------------------------------------------------------------------ #
+    # Node construction
+    # ------------------------------------------------------------------ #
+
+    def _mk(self, var: int, lo: int, hi: int) -> int:
+        """Find-or-create the node ``(var, lo, hi)`` (reduction applied)."""
+        if lo == hi:
+            return lo
+        key = (var, lo, hi)
+        unique = self._unique
+        node = unique.get(key)
+        if node is not None:
+            self.stats["unique_hits"] += 1
+            return node
+        if self.max_nodes is not None and len(self._var) >= self.max_nodes:
+            raise BddNodeLimit(self.max_nodes)
+        node = len(self._var)
+        self._var.append(var)
+        self._lo.append(lo)
+        self._hi.append(hi)
+        unique[key] = node
+        return node
+
+    def __len__(self) -> int:
+        """Total number of nodes ever created (including terminals)."""
+        return len(self._var)
+
+    @property
+    def num_nodes(self) -> int:
+        """Total number of nodes in the manager (including terminals)."""
+        return len(self._var)
+
+    # ------------------------------------------------------------------ #
+    # Core connectives
+    # ------------------------------------------------------------------ #
+
+    def apply_not(self, f: int) -> int:
+        """Negation, with a permanent memo table."""
+        if f == FALSE:
+            return TRUE
+        if f == TRUE:
+            return FALSE
+        cache = self._not_cache
+        r = cache.get(f)
+        if r is not None:
+            return r
+        r = self._mk(self._var[f], self.apply_not(self._lo[f]), self.apply_not(self._hi[f]))
+        cache[f] = r
+        cache[r] = f
+        return r
+
+    def apply_and(self, f: int, g: int) -> int:
+        """Conjunction."""
+        if f == g:
+            return f
+        if f == FALSE or g == FALSE:
+            return FALSE
+        if f == TRUE:
+            return g
+        if g == TRUE:
+            return f
+        if f > g:
+            f, g = g, f
+        key = (f, g)
+        r = self._and_cache.get(key)
+        if r is not None:
+            self.stats["cache_hits"] += 1
+            return r
+        self.stats["recursive_calls"] += 1
+        lf, lg = self.level(f), self.level(g)
+        if lf <= lg:
+            var = self._var[f]
+            f0, f1 = self._lo[f], self._hi[f]
+        else:
+            var = self._var[g]
+            f0 = f1 = f
+        if lg <= lf:
+            g0, g1 = self._lo[g], self._hi[g]
+        else:
+            g0 = g1 = g
+        r = self._mk(var, self.apply_and(f0, g0), self.apply_and(f1, g1))
+        self._and_cache[key] = r
+        return r
+
+    def apply_or(self, f: int, g: int) -> int:
+        """Disjunction."""
+        if f == g:
+            return f
+        if f == TRUE or g == TRUE:
+            return TRUE
+        if f == FALSE:
+            return g
+        if g == FALSE:
+            return f
+        if f > g:
+            f, g = g, f
+        key = (f, g)
+        r = self._or_cache.get(key)
+        if r is not None:
+            self.stats["cache_hits"] += 1
+            return r
+        self.stats["recursive_calls"] += 1
+        lf, lg = self.level(f), self.level(g)
+        if lf <= lg:
+            var = self._var[f]
+            f0, f1 = self._lo[f], self._hi[f]
+        else:
+            var = self._var[g]
+            f0 = f1 = f
+        if lg <= lf:
+            g0, g1 = self._lo[g], self._hi[g]
+        else:
+            g0 = g1 = g
+        r = self._mk(var, self.apply_or(f0, g0), self.apply_or(f1, g1))
+        self._or_cache[key] = r
+        return r
+
+    def apply_xor(self, f: int, g: int) -> int:
+        """Exclusive or."""
+        if f == g:
+            return FALSE
+        if f == FALSE:
+            return g
+        if g == FALSE:
+            return f
+        if f == TRUE:
+            return self.apply_not(g)
+        if g == TRUE:
+            return self.apply_not(f)
+        if f > g:
+            f, g = g, f
+        key = (f, g)
+        r = self._xor_cache.get(key)
+        if r is not None:
+            self.stats["cache_hits"] += 1
+            return r
+        self.stats["recursive_calls"] += 1
+        lf, lg = self.level(f), self.level(g)
+        if lf <= lg:
+            var = self._var[f]
+            f0, f1 = self._lo[f], self._hi[f]
+        else:
+            var = self._var[g]
+            f0 = f1 = f
+        if lg <= lf:
+            g0, g1 = self._lo[g], self._hi[g]
+        else:
+            g0 = g1 = g
+        r = self._mk(var, self.apply_xor(f0, g0), self.apply_xor(f1, g1))
+        self._xor_cache[key] = r
+        return r
+
+    def apply_iff(self, f: int, g: int) -> int:
+        """Biconditional (XNOR) — used to form ``ns_k ≡ T_k`` partitions."""
+        return self.apply_not(self.apply_xor(f, g))
+
+    def apply_implies(self, f: int, g: int) -> int:
+        """Implication ``f → g``."""
+        return self.apply_or(self.apply_not(f), g)
+
+    def apply_diff(self, f: int, g: int) -> int:
+        """Difference ``f ∧ ¬g``."""
+        return self.apply_and(f, self.apply_not(g))
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else ``(f ∧ g) ∨ (¬f ∧ h)``."""
+        if f == TRUE:
+            return g
+        if f == FALSE:
+            return h
+        if g == h:
+            return g
+        if g == TRUE and h == FALSE:
+            return f
+        if g == FALSE and h == TRUE:
+            return self.apply_not(f)
+        key = (f, g, h)
+        r = self._ite_cache.get(key)
+        if r is not None:
+            self.stats["cache_hits"] += 1
+            return r
+        self.stats["recursive_calls"] += 1
+        top = min(self.level(f), self.level(g), self.level(h))
+        var = self._level2var[top]
+        f0, f1 = self._cofactors_at(f, top)
+        g0, g1 = self._cofactors_at(g, top)
+        h0, h1 = self._cofactors_at(h, top)
+        r = self._mk(var, self.ite(f0, g0, h0), self.ite(f1, g1, h1))
+        self._ite_cache[key] = r
+        return r
+
+    def _cofactors_at(self, f: int, level: int) -> tuple[int, int]:
+        """Shannon cofactors of ``f`` with respect to the var at ``level``."""
+        if self.level(f) == level:
+            return self._lo[f], self._hi[f]
+        return f, f
+
+    # ------------------------------------------------------------------ #
+    # Quantification and the relational product
+    # ------------------------------------------------------------------ #
+
+    def _levels_key(self, variables: Iterable[int]) -> tuple[int, ...]:
+        """Canonical (sorted, deduplicated) level tuple for a var set."""
+        return tuple(sorted({self._var2level[v] for v in variables}))
+
+    def exists(self, f: int, variables: Iterable[int]) -> int:
+        """Existential quantification of ``variables`` (indices) from ``f``."""
+        levels = self._levels_key(variables)
+        if not levels:
+            return f
+        return self._exists_rec(f, levels)
+
+    def forall(self, f: int, variables: Iterable[int]) -> int:
+        """Universal quantification of ``variables`` (indices) from ``f``."""
+        return self.apply_not(self.exists(self.apply_not(f), variables))
+
+    def _exists_rec(self, f: int, levels: tuple[int, ...]) -> int:
+        if f < 2:
+            return f
+        top = self._var2level[self._var[f]]
+        # Drop quantified levels strictly above the top of f.
+        i = bisect_left(levels, top)
+        if i:
+            levels = levels[i:]
+        if not levels:
+            return f
+        key = (f, levels)
+        r = self._exists_cache.get(key)
+        if r is not None:
+            self.stats["cache_hits"] += 1
+            return r
+        self.stats["recursive_calls"] += 1
+        lo, hi = self._lo[f], self._hi[f]
+        if levels[0] == top:
+            rest = levels[1:]
+            r0 = self._exists_rec(lo, rest)
+            if r0 == TRUE:
+                r = TRUE
+            else:
+                r = self.apply_or(r0, self._exists_rec(hi, rest))
+        else:
+            r = self._mk(self._var[f], self._exists_rec(lo, levels), self._exists_rec(hi, levels))
+        self._exists_cache[key] = r
+        return r
+
+    def and_exists(self, f: int, g: int, variables: Iterable[int]) -> int:
+        """Fused relational product ``∃ variables . (f ∧ g)``.
+
+        This is the core primitive of image computation: the conjunction is
+        never materialised above the quantified variables, which is what
+        makes partitioned image computation feasible.
+        """
+        levels = self._levels_key(variables)
+        if not levels:
+            return self.apply_and(f, g)
+        return self._andex_rec(f, g, levels)
+
+    def _andex_rec(self, f: int, g: int, levels: tuple[int, ...]) -> int:
+        if f == FALSE or g == FALSE:
+            return FALSE
+        if f == TRUE and g == TRUE:
+            return TRUE
+        if f == TRUE:
+            return self._exists_rec(g, levels)
+        if g == TRUE or f == g:
+            return self._exists_rec(f, levels)
+        top = min(self.level(f), self.level(g))
+        i = bisect_left(levels, top)
+        if i:
+            levels = levels[i:]
+        if not levels:
+            return self.apply_and(f, g)
+        if f > g:
+            f, g = g, f
+        key = (f, g, levels)
+        r = self._andex_cache.get(key)
+        if r is not None:
+            self.stats["cache_hits"] += 1
+            return r
+        self.stats["recursive_calls"] += 1
+        f0, f1 = self._cofactors_at(f, top)
+        g0, g1 = self._cofactors_at(g, top)
+        if levels[0] == top:
+            rest = levels[1:]
+            r0 = self._andex_rec(f0, g0, rest)
+            if r0 == TRUE:
+                r = TRUE
+            else:
+                r = self.apply_or(r0, self._andex_rec(f1, g1, rest))
+        else:
+            var = self._level2var[top]
+            r = self._mk(var, self._andex_rec(f0, g0, levels), self._andex_rec(f1, g1, levels))
+        self._andex_cache[key] = r
+        return r
+
+    # ------------------------------------------------------------------ #
+    # Cofactor, composition, renaming
+    # ------------------------------------------------------------------ #
+
+    def restrict(self, f: int, var: int, value: bool | int) -> int:
+        """Cofactor of ``f`` with respect to ``var = value``."""
+        val = 1 if value else 0
+        target = self._var2level[var]
+        return self._restrict_rec(f, var, val, target)
+
+    def _restrict_rec(self, f: int, var: int, val: int, target: int) -> int:
+        if f < 2 or self.level(f) > target:
+            return f
+        if self._var[f] == var:
+            return self._hi[f] if val else self._lo[f]
+        key = (f, var, val)
+        r = self._restrict_cache.get(key)
+        if r is not None:
+            return r
+        r = self._mk(
+            self._var[f],
+            self._restrict_rec(self._lo[f], var, val, target),
+            self._restrict_rec(self._hi[f], var, val, target),
+        )
+        self._restrict_cache[key] = r
+        return r
+
+    def cofactor_cube(self, f: int, assignment: Mapping[int, bool | int]) -> int:
+        """Cofactor with respect to several ``var -> value`` bindings."""
+        for var, val in sorted(assignment.items(), key=lambda kv: self._var2level[kv[0]]):
+            f = self.restrict(f, var, val)
+        return f
+
+    def constrain(self, f: int, c: int) -> int:
+        """Generalised cofactor (Coudert-Madre constrain operator).
+
+        Returns a function that agrees with ``f`` everywhere ``c`` holds
+        (``constrain(f,c) ∧ c == f ∧ c``) and is typically smaller than
+        ``f`` — the classic image-computation simplification: the
+        transition parts can be constrained by the current frontier.
+        ``c`` must not be FALSE.
+        """
+        if c == FALSE:
+            raise BddError("constrain by the FALSE function")
+        if c == TRUE or f == FALSE or f == TRUE:
+            return f
+        if f == c:
+            return TRUE
+        key = (f, c)
+        r = self._constrain_cache.get(key)
+        if r is not None:
+            return r
+        top = min(self.level(f), self.level(c))
+        f0, f1 = self._cofactors_at(f, top)
+        c0, c1 = self._cofactors_at(c, top)
+        if c0 == FALSE:
+            r = self.constrain(f1, c1)
+        elif c1 == FALSE:
+            r = self.constrain(f0, c0)
+        else:
+            var = self._level2var[top]
+            r = self._mk(var, self.constrain(f0, c0), self.constrain(f1, c1))
+        self._constrain_cache[key] = r
+        return r
+
+    def compose(self, f: int, var: int, g: int) -> int:
+        """Substitute function ``g`` for variable ``var`` in ``f``."""
+        target = self._var2level[var]
+        return self._compose_rec(f, var, g, target)
+
+    def _compose_rec(self, f: int, var: int, g: int, target: int) -> int:
+        if f < 2 or self.level(f) > target:
+            return f
+        key = (f, var, g)
+        r = self._compose_cache.get(key)
+        if r is not None:
+            return r
+        if self._var[f] == var:
+            r = self.ite(g, self._hi[f], self._lo[f])
+        else:
+            c0 = self._compose_rec(self._lo[f], var, g, target)
+            c1 = self._compose_rec(self._hi[f], var, g, target)
+            r = self.ite(self.var_node(self._var[f]), c1, c0)
+        self._compose_cache[key] = r
+        return r
+
+    def vector_compose(self, f: int, substitution: Mapping[int, int]) -> int:
+        """Simultaneously substitute ``substitution[var]`` for each var.
+
+        Implemented by introducing the substitutions bottom-up, which is
+        correct because each single :meth:`compose` removes its variable.
+        Simultaneity holds when the substituted functions do not mention
+        the substituted variables; that is asserted.
+        """
+        sub_vars = set(substitution)
+        for g in substitution.values():
+            if self.support(g) & sub_vars:
+                raise BddError("vector_compose requires substitutions independent of substituted vars")
+        for var in sorted(sub_vars, key=lambda v: self._var2level[v], reverse=True):
+            f = self.compose(f, var, substitution[var])
+        return f
+
+    def rename(self, f: int, var_map: Mapping[int, int]) -> int:
+        """Rename variables of ``f`` according to ``var_map`` (old -> new).
+
+        Uses a fast structural rebuild when the mapping preserves the
+        variable order; otherwise falls back to the quantification-based
+        method (which requires the new variables to be absent from the
+        support of ``f``).
+        """
+        relevant = {old: new for old, new in var_map.items() if old != new}
+        if not relevant:
+            return f
+        key = (f, tuple(sorted(relevant.items())))
+        r = self._rename_cache.get(key)
+        if r is not None:
+            return r
+        olds = sorted(relevant, key=lambda v: self._var2level[v])
+        news = [relevant[v] for v in olds]
+        new_levels = [self._var2level[v] for v in news]
+        order_ok = all(new_levels[i] < new_levels[i + 1] for i in range(len(news) - 1))
+        if order_ok:
+            try:
+                r = self._rename_rec(f, relevant, {})
+            except BddOrderError:
+                r = self._rename_general(f, relevant)
+        else:
+            r = self._rename_general(f, relevant)
+        self._rename_cache[key] = r
+        return r
+
+    def _rename_rec(self, f: int, var_map: Mapping[int, int], memo: dict[int, int]) -> int:
+        if f < 2:
+            return f
+        r = memo.get(f)
+        if r is not None:
+            return r
+        lo = self._rename_rec(self._lo[f], var_map, memo)
+        hi = self._rename_rec(self._hi[f], var_map, memo)
+        var = var_map.get(self._var[f], self._var[f])
+        level = self._var2level[var]
+        if min(self.level(lo), self.level(hi)) <= level:
+            raise BddOrderError("rename does not preserve the variable order")
+        r = self._mk(var, lo, hi)
+        memo[f] = r
+        return r
+
+    def _rename_general(self, f: int, var_map: Mapping[int, int]) -> int:
+        support = self.support(f)
+        if any(new in support for new in var_map.values()):
+            raise BddOrderError(
+                "general rename requires target variables absent from the support"
+            )
+        eq = TRUE
+        for old, new in var_map.items():
+            eq = self.apply_and(
+                eq, self.apply_iff(self.var_node(old), self.var_node(new))
+            )
+        return self.and_exists(f, eq, list(var_map))
+
+    # ------------------------------------------------------------------ #
+    # Inspection
+    # ------------------------------------------------------------------ #
+
+    def support(self, f: int) -> set[int]:
+        """Set of variable indices ``f`` depends on."""
+        seen: set[int] = set()
+        result: set[int] = set()
+        stack = [f]
+        while stack:
+            node = stack.pop()
+            if node < 2 or node in seen:
+                continue
+            seen.add(node)
+            result.add(self._var[node])
+            stack.append(self._lo[node])
+            stack.append(self._hi[node])
+        return result
+
+    def size(self, f: int) -> int:
+        """Number of internal nodes in the DAG rooted at ``f``."""
+        seen: set[int] = set()
+        stack = [f]
+        count = 0
+        while stack:
+            node = stack.pop()
+            if node < 2 or node in seen:
+                continue
+            seen.add(node)
+            count += 1
+            stack.append(self._lo[node])
+            stack.append(self._hi[node])
+        return count
+
+    def size_many(self, roots: Iterable[int]) -> int:
+        """Number of distinct internal nodes among several roots."""
+        seen: set[int] = set()
+        stack = list(roots)
+        count = 0
+        while stack:
+            node = stack.pop()
+            if node < 2 or node in seen:
+                continue
+            seen.add(node)
+            count += 1
+            stack.append(self._lo[node])
+            stack.append(self._hi[node])
+        return count
+
+    def eval(self, f: int, assignment: Mapping[str, bool | int]) -> bool:
+        """Evaluate ``f`` under a name -> value assignment."""
+        node = f
+        while node >= 2:
+            name = self._var_names[self._var[node]]
+            node = self._hi[node] if assignment[name] else self._lo[node]
+        return node == TRUE
+
+    def eval_vars(self, f: int, assignment: Mapping[int, bool | int]) -> bool:
+        """Evaluate ``f`` under a var-index -> value assignment."""
+        node = f
+        while node >= 2:
+            node = self._hi[node] if assignment[self._var[node]] else self._lo[node]
+        return node == TRUE
+
+    def cube(self, assignment: Mapping[int, bool | int]) -> int:
+        """Build the conjunction of literals given by ``assignment``."""
+        f = TRUE
+        for var, val in sorted(
+            assignment.items(), key=lambda kv: self._var2level[kv[0]], reverse=True
+        ):
+            lit = self.var_node(var) if val else self.nvar_node(var)
+            f = self.apply_and(lit, f)
+        return f
+
+    def clear_caches(self) -> None:
+        """Drop all computed tables (the unique table is preserved)."""
+        self._and_cache.clear()
+        self._or_cache.clear()
+        self._xor_cache.clear()
+        self._ite_cache.clear()
+        self._exists_cache.clear()
+        self._andex_cache.clear()
+        self._compose_cache.clear()
+        self._rename_cache.clear()
+        self._restrict_cache.clear()
+        self._constrain_cache.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BddManager vars={self.num_vars} nodes={len(self)}>"

@@ -1,0 +1,161 @@
+"""Garbage collection and variable reordering for the BDD manager.
+
+Pure-Python managers cannot afford CUDD-style in-place sifting, so this
+module provides the two operations that matter at our scale:
+
+* :func:`compact` — mark-and-sweep garbage collection that rebuilds the
+  node arrays keeping only nodes reachable from the given roots, and
+  returns an old-id -> new-id mapping for the caller's live references;
+* :func:`transfer` / :func:`reorder` — copy functions into another
+  manager (possibly with a different variable order), which doubles as a
+  rebuild-based reordering primitive.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.bdd.manager import FALSE, TRUE, BddManager
+from repro.errors import BddError
+
+
+def compact(mgr: BddManager, roots: Iterable[int]) -> dict[int, int]:
+    """Garbage-collect ``mgr`` keeping only nodes reachable from ``roots``.
+
+    Node ids are renumbered; the returned dict maps every old live id
+    (including terminals) to its new id, and callers must remap any node
+    ids they hold.  All computed tables are cleared.
+    """
+    reachable: set[int] = {FALSE, TRUE}
+    stack = list(roots)
+    while stack:
+        node = stack.pop()
+        if node < 2 or node in reachable:
+            continue
+        reachable.add(node)
+        stack.append(mgr._lo[node])
+        stack.append(mgr._hi[node])
+
+    mapping: dict[int, int] = {FALSE: FALSE, TRUE: TRUE}
+    new_var: list[int] = [-1, -1]
+    new_lo: list[int] = [0, 1]
+    new_hi: list[int] = [0, 1]
+    new_unique: dict[tuple[int, int, int], int] = {}
+    # Children are always created before parents, so ascending id order is
+    # a valid topological order.
+    for node in range(2, len(mgr._var)):
+        if node not in reachable:
+            continue
+        var = mgr._var[node]
+        lo = mapping[mgr._lo[node]]
+        hi = mapping[mgr._hi[node]]
+        new_id = len(new_var)
+        new_var.append(var)
+        new_lo.append(lo)
+        new_hi.append(hi)
+        new_unique[(var, lo, hi)] = new_id
+        mapping[node] = new_id
+
+    mgr._var = new_var
+    mgr._lo = new_lo
+    mgr._hi = new_hi
+    mgr._unique = new_unique
+    mgr.clear_caches()
+    mgr._not_cache.clear()
+    return mapping
+
+
+def transfer(
+    f: int,
+    src: BddManager,
+    dst: BddManager,
+    name_map: dict[str, str] | None = None,
+) -> int:
+    """Copy function ``f`` from manager ``src`` into manager ``dst``.
+
+    Variables are matched by name (optionally renamed through
+    ``name_map``); they must already be declared in ``dst``.  The copy is
+    order-safe: it recombines children with ITE, so the destination order
+    may differ arbitrarily from the source order.
+    """
+    memo: dict[int, int] = {FALSE: FALSE, TRUE: TRUE}
+
+    def rec(node: int) -> int:
+        cached = memo.get(node)
+        if cached is not None:
+            return cached
+        name = src.var_name(src.node_var(node))
+        if name_map is not None:
+            name = name_map.get(name, name)
+        try:
+            var = dst.var_index(name)
+        except KeyError:
+            raise BddError(f"transfer: variable {name!r} not declared in destination")
+        lo = rec(src.node_lo(node))
+        hi = rec(src.node_hi(node))
+        result = dst.ite(dst.var_node(var), hi, lo)
+        memo[node] = result
+        return result
+
+    return rec(f)
+
+
+def reorder(
+    mgr: BddManager,
+    new_order: Sequence[str],
+    roots: Sequence[int],
+) -> tuple[BddManager, list[int]]:
+    """Rebuild ``roots`` in a fresh manager with variable order ``new_order``.
+
+    Returns the new manager and the transferred roots.  ``new_order`` must
+    list every variable of ``mgr`` exactly once (top to bottom).
+    """
+    if sorted(new_order) != sorted(mgr.var_order()):
+        raise BddError("reorder must mention every declared variable once")
+    fresh = BddManager(max_nodes=mgr.max_nodes)
+    fresh.add_vars(new_order)
+    new_roots = [transfer(f, mgr, fresh) for f in roots]
+    return fresh, new_roots
+
+
+def greedy_sift_order(
+    mgr: BddManager,
+    roots: Sequence[int],
+    *,
+    max_passes: int = 1,
+) -> list[str]:
+    """Search for a better variable order by rebuild-based sifting.
+
+    A lightweight stand-in for CUDD's dynamic reordering: each variable in
+    turn is tried at every position (by rebuilding the roots in a scratch
+    manager) and left at the position minimising the shared node count.
+    Quadratic in the number of variables and linear in BDD size per trial,
+    so intended for modest managers; returns the best order found.
+    """
+    order = mgr.var_order()
+    if not roots or len(order) < 3:
+        return order
+
+    def cost(candidate: Sequence[str]) -> int:
+        scratch = BddManager()
+        scratch.add_vars(candidate)
+        copies = [transfer(f, mgr, scratch) for f in roots]
+        return scratch.size_many(copies)
+
+    best_cost = cost(order)
+    for _ in range(max_passes):
+        improved = False
+        for name in list(order):
+            base = [n for n in order if n != name]
+            for pos in range(len(order)):
+                candidate = base[:pos] + [name] + base[pos:]
+                if candidate == order:
+                    continue
+                c = cost(candidate)
+                if c < best_cost:
+                    best_cost = c
+                    order = candidate
+                    improved = True
+        if not improved:
+            break
+    return order

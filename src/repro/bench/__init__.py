@@ -1,0 +1,6 @@
+"""Benchmark circuits and the Table 1 experiment suite."""
+
+from repro.bench import circuits
+from repro.bench.iscas import S27_BLIF, figure3_network, s27
+
+__all__ = ["S27_BLIF", "circuits", "figure3_network", "s27"]

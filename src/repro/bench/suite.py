@@ -1,0 +1,112 @@
+"""The Table 1 experiment suite (Experiment E1).
+
+Six latch-splitting cases of growing size mirroring the paper's rows
+(s510 → s526); see DESIGN.md §5 for the circuit substitution argument.
+Expected qualitative shape (matching the paper):
+
+* the smallest cases favour the *monolithic* method slightly (the paper's
+  s510 had ratio 0.7);
+* the ratio grows with instance size (s208: 2.0, s298: 3.0, s349: 21.5);
+* the largest instances are CNC ("could not complete") for the
+  monolithic method within the resource budget, while the partitioned
+  method still finishes.
+
+Budgets are deliberate parts of each case so the CNC outcomes are
+deterministic and testable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.bench import circuits
+from repro.bench.iscas import s27
+from repro.network.netlist import Network
+
+
+@dataclass
+class SplitCase:
+    """One Table 1 row: a circuit, a latch split and resource budgets."""
+
+    name: str
+    make: Callable[[], Network]
+    x_latches: Sequence[str]
+    paper_row: str  # the paper row this case mirrors
+    max_seconds: float = 60.0
+    max_nodes: int = 2_000_000
+    expect_mono_cnc: bool = False
+    notes: str = ""
+
+    def network(self) -> Network:
+        return self.make()
+
+    def describe(self) -> str:
+        net = self.network()
+        return f"{self.name} ({net.stats()}, {net.num_latches - len(self.x_latches)}/{len(self.x_latches)})"
+
+
+#: The six Table 1 rows.  Ordered by increasing difficulty, like the paper.
+TABLE1_CASES: list[SplitCase] = [
+    SplitCase(
+        name="s27",
+        make=s27,
+        x_latches=("G6",),
+        paper_row="s510 (19/7/6, 3/3)",
+        notes="tiny instance; monolithic may win (paper ratio 0.7)",
+    ),
+    SplitCase(
+        name="count6",
+        make=lambda: circuits.counter(6),
+        x_latches=("b1", "b3", "b5"),
+        paper_row="s208 (10/1/8, 4/4)",
+        notes="counter, like s208's structure",
+    ),
+    SplitCase(
+        name="johnson8",
+        make=lambda: circuits.johnson(8),
+        x_latches=("j1", "j3", "j5", "j7"),
+        paper_row="s298 (3/6/14, 7/7)",
+    ),
+    SplitCase(
+        name="rand10",
+        make=lambda: circuits.random_network(3, 10, 3, seed=11, n_nodes=60),
+        x_latches=("l1", "l4", "l7"),
+        paper_row="s349 (9/11/15, 5/10)",
+        notes="random multi-level logic; monolithic hiding gets expensive",
+    ),
+    SplitCase(
+        name="lfsr8",
+        make=lambda: circuits.lfsr(8),
+        x_latches=("r2", "r4", "r6"),
+        paper_row="extra row (large-ratio regime between s349 and s444)",
+        max_seconds=60.0,
+        notes="xor feedback; both complete but the ratio is large",
+    ),
+    SplitCase(
+        name="rand14",
+        make=lambda: circuits.random_network(3, 14, 4, seed=9, n_nodes=80),
+        x_latches=("l2", "l5", "l8", "l11"),
+        paper_row="s444 (3/6/21, 5/16)",
+        max_seconds=20.0,
+        max_nodes=1_500_000,
+        expect_mono_cnc=True,
+    ),
+    SplitCase(
+        name="rand15",
+        make=lambda: circuits.random_network(2, 15, 3, seed=33, n_nodes=75),
+        x_latches=("l1", "l6", "l11"),
+        paper_row="s526 (3/6/21, 5/16)",
+        max_seconds=20.0,
+        max_nodes=1_500_000,
+        expect_mono_cnc=True,
+    ),
+]
+
+
+def case_by_name(name: str) -> SplitCase:
+    """Look up a Table 1 case by row name."""
+    for case in TABLE1_CASES:
+        if case.name == name:
+            return case
+    raise KeyError(f"no Table 1 case named {name!r}")

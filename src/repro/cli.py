@@ -1,0 +1,234 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro-lang-eqn solve  --blif FILE --x-latches a,b [--method ...]
+    repro-lang-eqn table1 [--rows s27,count6] [--paper]
+    repro-lang-eqn info   --blif FILE
+    repro-lang-eqn reach  --blif FILE
+    repro-lang-eqn stg    --blif FILE [--kiss-out F] [--dot-out F]
+
+``solve`` computes the CSF of the selected latches of a BLIF circuit
+(optionally synthesising a replacement circuit with ``--implement-out``)
+and can export the result as KISS2/DOT; ``table1`` reproduces the
+paper's experiment; ``info`` prints circuit statistics; ``reach`` runs
+symbolic reachability; ``stg`` extracts the state transition graph.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro._version import __version__
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lang-eqn",
+        description=(
+            "Language-equation solving with partitioned representations "
+            "(reproduction of Mishchenko et al., DATE 2005)"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser("solve", help="compute the CSF of a latch split")
+    solve.add_argument("--blif", required=True, help="input circuit (BLIF)")
+    solve.add_argument(
+        "--x-latches",
+        required=True,
+        help="comma-separated latch output names moved to the unknown",
+    )
+    solve.add_argument(
+        "--method",
+        default="partitioned",
+        choices=("partitioned", "monolithic", "explicit"),
+    )
+    solve.add_argument("--max-seconds", type=float, default=None)
+    solve.add_argument("--max-nodes", type=int, default=None)
+    solve.add_argument("--no-verify", action="store_true", help="skip formal checks")
+    solve.add_argument("--kiss-out", help="write the CSF as KISS2 to this file")
+    solve.add_argument("--dot-out", help="write the CSF as Graphviz dot")
+    solve.add_argument(
+        "--implement-out",
+        help="extract a sub-solution FSM and write its circuit (BLIF)",
+    )
+
+    table1 = sub.add_parser("table1", help="reproduce the paper's Table 1")
+    table1.add_argument("--rows", help="comma-separated case names (default: all)")
+    table1.add_argument(
+        "--paper", action="store_true", help="also print the paper's numbers"
+    )
+
+    info = sub.add_parser("info", help="print circuit statistics")
+    info.add_argument("--blif", required=True)
+
+    reach = sub.add_parser("reach", help="symbolic reachability analysis")
+    reach.add_argument("--blif", required=True)
+    reach.add_argument(
+        "--no-schedule",
+        action="store_true",
+        help="disable early-quantification scheduling",
+    )
+
+    stg = sub.add_parser("stg", help="extract the state transition graph")
+    stg.add_argument("--blif", required=True)
+    stg.add_argument("--max-states", type=int, default=100_000)
+    stg.add_argument("--kiss-out", help="write the automaton as KISS2")
+    stg.add_argument("--dot-out", help="write the automaton as Graphviz dot")
+    stg.add_argument(
+        "--complete", action="store_true", help="add the DC completion state"
+    )
+    return parser
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from repro.network.blif import read_blif
+    from repro.eqn.solver import solve_latch_split, verify_solution
+    from repro.util.limits import ResourceLimit
+
+    net = read_blif(args.blif)
+    x_latches = [name for name in args.x_latches.split(",") if name]
+    limit = None
+    if args.max_seconds is not None or args.max_nodes is not None:
+        limit = ResourceLimit(max_seconds=args.max_seconds, max_nodes=args.max_nodes)
+    result = solve_latch_split(net, x_latches, method=args.method, limit=limit)
+    print(result.summary())
+    if result.stats is not None:
+        print(
+            f"  subsets={result.stats.subsets} edges={result.stats.edges} "
+            f"peak_nodes={result.stats.peak_nodes}"
+        )
+    if not args.no_verify:
+        report = verify_solution(result)
+        print(f"  verification: {report.summary()}")
+        if not report.ok:
+            return 1
+    if args.kiss_out:
+        from repro.automata.kiss import write_kiss
+
+        with open(args.kiss_out, "w", encoding="utf-8") as handle:
+            handle.write(write_kiss(result.csf))
+        print(f"  CSF written to {args.kiss_out} (KISS2)")
+    if args.dot_out:
+        from repro.automata.dot import automaton_to_dot
+
+        with open(args.dot_out, "w", encoding="utf-8") as handle:
+            handle.write(automaton_to_dot(result.csf))
+        print(f"  CSF written to {args.dot_out} (dot)")
+    if args.implement_out:
+        from repro.eqn.implement import implement_csf
+        from repro.network.blif import save_blif
+
+        impl = implement_csf(
+            result.csf,
+            result.problem.u_names,
+            result.problem.v_names,
+            name=f"{net.name}_impl",
+        )
+        save_blif(impl.network, args.implement_out)
+        print(
+            f"  implementation ({impl.state_count} states, "
+            f"{impl.network.num_latches} latches) written to {args.implement_out}"
+        )
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.bench.suite import TABLE1_CASES, case_by_name
+    from repro.eqn.table1 import PAPER_TABLE1, render_table1, run_table1
+
+    if args.rows:
+        cases = [case_by_name(name) for name in args.rows.split(",") if name]
+    else:
+        cases = TABLE1_CASES
+    rows = run_table1(cases, verbose=True)
+    print()
+    print(render_table1(rows))
+    if args.paper:
+        print()
+        print(PAPER_TABLE1)
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.network.blif import read_blif
+
+    net = read_blif(args.blif)
+    print(f"model:   {net.name}")
+    print(f"i/o/cs:  {net.stats()}")
+    print(f"inputs:  {' '.join(net.inputs)}")
+    print(f"outputs: {' '.join(net.outputs)}")
+    print(f"latches: {' '.join(net.latch_names())}")
+    print(f"nodes:   {len(net.nodes)}")
+    return 0
+
+
+def _cmd_reach(args: argparse.Namespace) -> int:
+    from repro.bdd.manager import BddManager
+    from repro.network.bddbuild import build_network_bdds
+    from repro.network.blif import read_blif
+    from repro.symb.reach import network_reachable_states
+
+    net = read_blif(args.blif)
+    mgr = BddManager()
+    input_vars = {name: mgr.add_var(name) for name in net.inputs}
+    cs, ns = {}, {}
+    for name in net.latches:
+        cs[name] = mgr.add_var(name)
+        ns[name] = mgr.add_var(f"{name}'")
+    bdds = build_network_bdds(net, mgr, input_vars, cs)
+    result = network_reachable_states(
+        bdds, ns_vars=ns, schedule=not args.no_schedule
+    )
+    print(f"model:            {net.name} ({net.stats()})")
+    print(f"reachable states: {result.state_count} of {2 ** net.num_latches}")
+    print(f"iterations:       {result.iterations}")
+    print(f"BDD nodes:        {len(mgr)}")
+    return 0
+
+
+def _cmd_stg(args: argparse.Namespace) -> int:
+    from repro.network.blif import read_blif
+    from repro.automata.ops import complete
+    from repro.automata.stg import network_to_automaton
+
+    net = read_blif(args.blif)
+    aut = network_to_automaton(net, max_states=args.max_states)
+    if args.complete:
+        aut = complete(aut)
+    print(f"model:  {net.name} ({net.stats()})")
+    print(f"states: {aut.num_states}  edges: {aut.num_edges()}")
+    print(f"deterministic: {aut.is_deterministic()}  complete: {aut.is_complete()}")
+    if args.kiss_out:
+        from repro.automata.kiss import write_kiss
+
+        with open(args.kiss_out, "w", encoding="utf-8") as handle:
+            handle.write(write_kiss(aut))
+        print(f"automaton written to {args.kiss_out} (KISS2)")
+    if args.dot_out:
+        from repro.automata.dot import automaton_to_dot
+
+        with open(args.dot_out, "w", encoding="utf-8") as handle:
+            handle.write(automaton_to_dot(aut))
+        print(f"automaton written to {args.dot_out} (dot)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "solve": _cmd_solve,
+        "table1": _cmd_table1,
+        "info": _cmd_info,
+        "reach": _cmd_reach,
+        "stg": _cmd_stg,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

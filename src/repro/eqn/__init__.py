@@ -1,0 +1,73 @@
+"""Language-equation solving: the paper's core contribution.
+
+Public surface:
+
+* :func:`solve_latch_split` / :func:`solve_equation` — one-call solvers
+  (partitioned / monolithic / explicit flows).
+* :class:`EquationProblem` / :func:`build_problem` — problem instances.
+* :func:`verify_solution` — the paper's formal checks.
+* :func:`extract_csf` — prefix-closed input-progressive trimming.
+"""
+
+from repro.eqn.csf import csf_state_count, extract_csf
+from repro.eqn.implement import (
+    Implementation,
+    extract_fsm,
+    fsm_to_network,
+    implement_csf,
+    recompose_with_implementation,
+)
+from repro.eqn.explicit_solver import (
+    fixed_automaton,
+    solve_explicit,
+    specification_automaton,
+)
+from repro.eqn.monolithic import MonolithicOracle
+from repro.eqn.partitioned import PartitionedOracle
+from repro.eqn.problem import (
+    EquationProblem,
+    build_latch_split_problem,
+    build_problem,
+)
+from repro.eqn.solver import (
+    METHODS,
+    SolveResult,
+    solve_equation,
+    solve_latch_split,
+)
+from repro.eqn.subset import SubsetEdge, SubsetStats, subset_construct
+from repro.eqn.verify import (
+    VerificationReport,
+    compose_with_fixed,
+    particular_solution_automaton,
+    verify_solution,
+)
+
+__all__ = [
+    "EquationProblem",
+    "Implementation",
+    "METHODS",
+    "MonolithicOracle",
+    "PartitionedOracle",
+    "SolveResult",
+    "SubsetEdge",
+    "SubsetStats",
+    "VerificationReport",
+    "build_latch_split_problem",
+    "build_problem",
+    "compose_with_fixed",
+    "csf_state_count",
+    "extract_csf",
+    "extract_fsm",
+    "fixed_automaton",
+    "fsm_to_network",
+    "implement_csf",
+    "particular_solution_automaton",
+    "recompose_with_implementation",
+    "solve_equation",
+    "solve_explicit",
+    "solve_latch_split",
+    "specification_automaton",
+    "subset_construct",
+    "verify_solution",
+]

@@ -1,0 +1,31 @@
+"""Complete Sequential Flexibility extraction.
+
+"The CSF is the largest prefix-closed, input-progressive automaton
+contained in X (and thus an FSM)."  Given the most general solution
+produced by the subset construction, this is ``Progressive_u ∘
+PrefixClose`` — with trimming, the solution is already prefix-closed
+(all states accepting), so only the progressive trimming remains.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.automata.automaton import Automaton
+from repro.automata.ops import prefix_close, progressive
+
+
+def extract_csf(solution: Automaton, u_names: Sequence[str]) -> Automaton:
+    """CSF = largest prefix-closed input-progressive sub-automaton.
+
+    ``u_names`` are the input variables of the unknown component (the
+    ``u`` wires); progressiveness demands an outgoing transition for
+    every ``u`` assignment in every state.
+    """
+    closed = prefix_close(solution)
+    return progressive(closed, list(u_names))
+
+
+def csf_state_count(csf: Automaton) -> int:
+    """Number of states of the CSF (the paper's ``States(X)`` column)."""
+    return csf.num_states if csf.accepting else 0

@@ -1,0 +1,240 @@
+"""Sub-solution extraction: from the CSF back to a circuit.
+
+The paper closes with: "Finding an optimum sub-solution of the CSF
+remains the outstanding problem for future research."  This module
+implements the natural baseline for that step, which makes the library
+usable end to end for resynthesis:
+
+1. **Determinise the choice**: the CSF allows, per state and per input
+   letter ``u``, a *set* of output letters ``v`` (and successors).  An
+   FSM implementation must pick exactly one.  :func:`extract_fsm` picks
+   deterministically (lexicographically smallest ``(v, successor)``),
+   yielding a complete Mealy machine over ``(u, v)``.
+2. **Minimise** the chosen machine (Moore partition refinement).
+3. **Encode** it as a multi-level sequential network
+   (:func:`fsm_to_network`): binary state encoding, next-state and
+   output functions synthesised as sums of minterm cubes.
+
+The result can be recomposed with the fixed component ``F`` and is
+guaranteed (and tested) to satisfy ``F ∘ X' ⊆ S``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.bdd.cube import pick_minterm
+from repro.bdd.manager import FALSE
+from repro.errors import EquationError
+from repro.expr.ast import And, Const, Expr, Not, Or, Var
+from repro.automata.automaton import Automaton
+from repro.automata.ops import minimize
+from repro.network.netlist import Network
+
+
+@dataclass
+class Implementation:
+    """An implementable sub-solution of a CSF."""
+
+    fsm: Automaton  # deterministic, u-complete Mealy machine over (u, v)
+    network: Network  # its circuit encoding (inputs u, outputs v)
+    state_count: int
+
+
+def extract_fsm(
+    csf: Automaton,
+    u_names: Sequence[str],
+    v_names: Sequence[str],
+) -> Automaton:
+    """Pick one deterministic, u-complete FSM inside the CSF.
+
+    For every reachable state and every ``u`` assignment the CSF (being
+    input-progressive) offers at least one ``(v, successor)`` option; the
+    lexicographically smallest is chosen, so the result is reproducible.
+    The selection is exponential in ``len(u_names)`` (one decision per
+    input letter), like any Mealy table construction.
+    """
+    if csf.initial is None or not csf.accepting:
+        raise EquationError("cannot extract an FSM from an empty CSF")
+    mgr = csf.manager
+    u_vars = [mgr.var_index(n) for n in u_names]
+    v_vars = [mgr.var_index(n) for n in v_names]
+
+    fsm = Automaton(mgr, csf.variables)
+    ids: dict[int, int] = {}
+    queue: list[int] = []
+
+    def fsm_id(state: int) -> int:
+        sid = ids.get(state)
+        if sid is None:
+            sid = fsm.add_state(csf.state_names[state], accepting=True)
+            ids[state] = sid
+            queue.append(state)
+        return sid
+
+    fsm_id(csf.initial)
+    while queue:
+        state = queue.pop(0)
+        src = ids[state]
+        for u_bits in itertools.product((0, 1), repeat=len(u_vars)):
+            u_assign = dict(zip(u_vars, u_bits))
+            best: tuple[tuple[int, ...], int] | None = None
+            for dst, label in csf.edges[state].items():
+                cof = mgr.cofactor_cube(label, u_assign)
+                if cof == FALSE:
+                    continue
+                v_choice = pick_minterm(mgr, cof, v_vars)
+                key = (tuple(v_choice[v] for v in v_vars), dst)
+                if best is None or key < best:
+                    best = key
+            if best is None:
+                raise EquationError(
+                    f"CSF state {csf.state_names[state]!r} is not "
+                    f"input-progressive for u={u_bits}"
+                )
+            v_bits, dst = best
+            letter = {name: bit for name, bit in zip(u_names, u_bits)}
+            letter.update({name: bit for name, bit in zip(v_names, v_bits)})
+            fsm.add_letter_edge(src, fsm_id(dst), letter)
+    return fsm
+
+
+def fsm_to_network(
+    fsm: Automaton,
+    u_names: Sequence[str],
+    v_names: Sequence[str],
+    *,
+    name: str = "implementation",
+) -> Network:
+    """Encode a deterministic u-complete Mealy automaton as a circuit.
+
+    States are binary-encoded in ``ceil(log2(n))`` latches initialised to
+    the code of the initial state (the initial state gets code 0).
+    Next-state and output functions are sums of ``(state, u)`` minterm
+    cubes read off the transition table.
+    """
+    if fsm.initial is None:
+        raise EquationError("cannot encode an empty automaton")
+    mgr = fsm.manager
+    u_vars = [mgr.var_index(n) for n in u_names]
+    v_vars = [mgr.var_index(n) for n in v_names]
+
+    # Order states so the initial state has code 0.
+    order = [fsm.initial] + [s for s in range(fsm.num_states) if s != fsm.initial]
+    code = {state: idx for idx, state in enumerate(order)}
+    n_bits = max(1, (fsm.num_states - 1).bit_length())
+    state_sig = [f"st{k}" for k in range(n_bits)]
+
+    net = Network(name=name)
+    for u in u_names:
+        net.add_input(u)
+
+    def state_cube_expr(state: int) -> Expr:
+        bits = code[state]
+        literals: list[Expr] = []
+        for k, sig in enumerate(state_sig):
+            literals.append(Var(sig) if (bits >> k) & 1 else Not(Var(sig)))
+        return And(tuple(literals))
+
+    def u_cube_expr(u_bits: Sequence[int]) -> Expr:
+        literals: list[Expr] = []
+        for bit, name in zip(u_bits, u_names):
+            literals.append(Var(name) if bit else Not(Var(name)))
+        return And(tuple(literals)) if literals else Const(True)
+
+    ns_terms: list[list[Expr]] = [[] for _ in range(n_bits)]
+    v_terms: dict[str, list[Expr]] = {v: [] for v in v_names}
+    for state in range(fsm.num_states):
+        for u_bits in itertools.product((0, 1), repeat=len(u_vars)):
+            u_assign = dict(zip(u_vars, u_bits))
+            found = None
+            for dst, label in fsm.edges[state].items():
+                cof = mgr.cofactor_cube(label, u_assign)
+                if cof != FALSE:
+                    v_choice = pick_minterm(mgr, cof, v_vars)
+                    found = (dst, v_choice)
+                    break
+            if found is None:
+                raise EquationError(
+                    f"state {fsm.state_names[state]!r} has no transition "
+                    f"for u={u_bits}; the FSM is not u-complete"
+                )
+            dst, v_choice = found
+            cube = And((state_cube_expr(state), u_cube_expr(u_bits)))
+            dst_code = code[dst]
+            for k in range(n_bits):
+                if (dst_code >> k) & 1:
+                    ns_terms[k].append(cube)
+            for v_name, v_var in zip(v_names, v_vars):
+                if v_choice[v_var]:
+                    v_terms[v_name].append(cube)
+
+    for k, sig in enumerate(state_sig):
+        terms = ns_terms[k]
+        expr: Expr = Or(tuple(terms)) if terms else Const(False)
+        net.add_node(f"ns_{sig}", expr)
+        net.add_latch(sig, f"ns_{sig}", 0)
+    for v_name in v_names:
+        terms = v_terms[v_name]
+        expr = Or(tuple(terms)) if terms else Const(False)
+        net.add_node(v_name, expr)
+        net.add_output(v_name)
+    net.validate()
+    return net
+
+
+def implement_csf(
+    csf: Automaton,
+    u_names: Sequence[str],
+    v_names: Sequence[str],
+    *,
+    minimise: bool = True,
+    name: str = "implementation",
+) -> Implementation:
+    """End-to-end sub-solution: CSF -> deterministic FSM -> circuit."""
+    fsm = extract_fsm(csf, u_names, v_names)
+    if minimise:
+        fsm = minimize(fsm)
+    network = fsm_to_network(fsm, u_names, v_names, name=name)
+    return Implementation(fsm=fsm, network=network, state_count=fsm.num_states)
+
+
+def recompose_with_implementation(
+    problem, implementation: Implementation
+) -> Network:
+    """Stitch ``F`` and an extracted implementation into one network.
+
+    Analogous to :func:`repro.network.transform.recompose`, but with the
+    synthesised circuit in place of the original split-off part.  State
+    signals of the implementation are renamed to avoid collisions.
+    """
+    split = problem.split
+    rename = {sig: f"x_{sig}" for sig in implementation.network.latches}
+    rename.update(
+        {
+            latch.driver: f"x_{latch.driver}"
+            for latch in implementation.network.latches.values()
+        }
+    )
+    impl = implementation.network.rename_signals(rename)
+    merged = Network(name=f"{split.original.name}_resynthesised")
+    for name in split.original.inputs:
+        merged.add_input(name)
+    for latch in split.fixed.latches.values():
+        merged.add_latch(latch.output, latch.driver, latch.init)
+    for latch in impl.latches.values():
+        merged.add_latch(latch.output, latch.driver, latch.init)
+    for node in split.fixed.nodes.values():
+        merged.add_node(node.name, node.expr)
+    for node in impl.nodes.values():
+        if node.name in merged.driven_signals():
+            raise EquationError(f"recompose collision on {node.name!r}")
+        merged.add_node(node.name, node.expr)
+    from repro.network.transform import v_wire
+
+    for out in split.original.outputs:
+        merged.add_output(v_wire(out) if out in split.x_latches else out)
+    merged.validate()
+    return merged

@@ -1,0 +1,145 @@
+"""The baseline flow: monolithic transition-output relations.
+
+This is the comparison implementation of the paper's Table 1: "the
+completion of S is done first, then the intermediate product is derived,
+followed by hiding and determinization, performed in a traditional way."
+
+Concretely the oracle materialises, as single BDDs:
+
+* ``TO^F(i,v,u,o,cs1,ns1) = Π(ns≡T^F) ∧ Π(u≡U) ∧ Π(o≡O^F)``
+* ``TO^S(i,o,cs2,ns2)   = Π(ns≡T^S) ∧ Π(o≡O^S)``
+* the *completed* ``TO^S'`` with an explicit DC1 state.  As the paper
+  notes, an unreachable state code cannot encode DC1 (unreachable states
+  still have next states), so a fresh flag variable ``S.dc`` is used.
+* the product ``TO^P = TO^F ∧ TO^S'`` and the *hidden* relation
+  ``TS(u,v,cs,ns) = ∃i,o TO^P`` — the monolithic quantification that
+  dominates the cost of this flow.
+
+Complementation of the (deterministic) completed ``S`` is the acceptance
+flip tracked by the subset driver: product states with ``S.dc = 1`` are
+the accepting states of ``F × complement(S)``, and subsets containing one
+are trimmed to DCN exactly as in the partitioned flow.
+"""
+
+from __future__ import annotations
+
+from repro.bdd.cube import split_by_vars
+from repro.bdd.manager import FALSE, TRUE, BddManager
+from repro.eqn.problem import EquationProblem
+from repro.eqn.subset import SubsetEdge
+
+
+class MonolithicOracle:
+    """Transition oracle computing on monolithic relations."""
+
+    def __init__(self, problem: EquationProblem, *, trim: bool = True) -> None:
+        self.problem = problem
+        self.trim = trim
+        mgr: BddManager = problem.manager
+        self.mgr = mgr
+
+        # ---- monolithic TO^F ---- #
+        to_f = TRUE
+        for name in problem.f_ns_vars:
+            to_f = mgr.apply_and(
+                to_f,
+                mgr.apply_iff(
+                    mgr.var_node(problem.f_ns_vars[name]), problem.f_next[name]
+                ),
+            )
+        for name in problem.u_names:
+            to_f = mgr.apply_and(
+                to_f,
+                mgr.apply_iff(mgr.var_node(problem.u_vars[name]), problem.f_u[name]),
+            )
+        for name in problem.o_names:
+            to_f = mgr.apply_and(
+                to_f,
+                mgr.apply_iff(mgr.var_node(problem.o_vars[name]), problem.f_o[name]),
+            )
+        self.to_f = to_f
+
+        # ---- monolithic TO^S ---- #
+        to_s = TRUE
+        for name in problem.s_ns_vars:
+            to_s = mgr.apply_and(
+                to_s,
+                mgr.apply_iff(
+                    mgr.var_node(problem.s_ns_vars[name]), problem.s_next[name]
+                ),
+            )
+        for name in problem.o_names:
+            to_s = mgr.apply_and(
+                to_s,
+                mgr.apply_iff(mgr.var_node(problem.o_vars[name]), problem.s_o[name]),
+            )
+
+        # ---- complete S: direct undefined (i,o) to the DC1 state ---- #
+        dc = mgr.var_node(problem.dc_var)
+        dc_next = mgr.var_node(problem.dc_ns_var)
+        s_ns = list(problem.s_ns_vars.values())
+        undefined = mgr.apply_not(mgr.exists(to_s, s_ns))  # A(i,o,cs2)
+        dc_code = mgr.cube({v: 0 for v in s_ns})  # DC1 = (dc=1, ns2=0…0)
+        to_s_completed = mgr.apply_or(
+            mgr.apply_and(
+                mgr.apply_and(mgr.apply_not(dc), to_s), mgr.apply_not(dc_next)
+            ),
+            mgr.apply_and(
+                mgr.apply_or(dc, undefined), mgr.apply_and(dc_next, dc_code)
+            ),
+        )
+        self.to_s_completed = to_s_completed
+
+        # ---- product and hiding (the monolithic bottleneck) ---- #
+        product = mgr.apply_and(to_f, to_s_completed)
+        hide = [problem.i_vars[n] for n in problem.i_names] + [
+            problem.o_vars[n] for n in problem.o_names
+        ]
+        self.ts = mgr.exists(product, hide)  # TS(u, v, cs, ns)
+
+        self.cs_vars = problem.all_cs_vars() + [problem.dc_var]
+        self.ns_vars = problem.all_ns_vars() + [problem.dc_ns_var]
+        self.rename = dict(problem.ns_to_cs())
+        self.rename[problem.dc_ns_var] = problem.dc_var
+        self.uv_vars = problem.uv_vars()
+        self.init_cube = mgr.apply_and(
+            problem.init_cube, mgr.apply_not(mgr.var_node(problem.dc_var))
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def initial(self) -> int:
+        return self.init_cube
+
+    def is_accepting(self, psi: int) -> bool:
+        """Accepting in X unless ψ contains a DC1 product state."""
+        dc = self.mgr.var_node(self.problem.dc_var)
+        return self.mgr.apply_and(psi, dc) == FALSE
+
+    def expand(self, psi: int) -> tuple[list[SubsetEdge], int]:
+        mgr = self.mgr
+        # P_ψ(u,v,ns) = ∃cs [ TS ∧ ψ ]
+        p = mgr.and_exists(psi, self.ts, self.cs_vars)
+        domain = mgr.exists(p, self.ns_vars)
+        if self.trim:
+            # Q_ψ: classes leading into a DC1-flagged successor.
+            dc_next = mgr.var_node(self.problem.dc_ns_var)
+            q = mgr.exists(mgr.apply_and(p, dc_next), self.ns_vars)
+            p_good = mgr.apply_diff(p, q)
+            edges = [
+                SubsetEdge(cond=cond, successor=mgr.rename(leaf, self.rename))
+                for leaf, cond in split_by_vars(mgr, p_good, self.uv_vars).items()
+            ]
+            dca = mgr.apply_diff(mgr.apply_not(q), domain)
+            return edges, dca
+        edges = []
+        for leaf, cond in split_by_vars(mgr, p, self.uv_vars).items():
+            successor = mgr.rename(leaf, self.rename)
+            edges.append(
+                SubsetEdge(
+                    cond=cond,
+                    successor=successor,
+                    accepting=self.is_accepting(successor),
+                )
+            )
+        return edges, mgr.apply_not(domain)

@@ -1,0 +1,181 @@
+"""The paper's contribution: the partitioned transition oracle.
+
+Implements Section 3.2 verbatim.  For each subset state ψ(cs):
+
+* ``Q_ψ(u,v) = ∃i,cs [ Π_j(u_j ≡ U_j) ∧ ¬C ∧ ψ ]`` — the (u,v) classes
+  under which some input makes the outputs of ``F`` and ``S``
+  non-conform.  Computed **one output at a time** (``¬C = Σ_j ¬C_j``)
+  so the monolithic conformance relation is never built.
+* ``P_ψ(u,v,ns) = ∃i,cs [ Π_j(u_j ≡ U_j) ∧ Π_k(ns_k ≡ T_k) ∧ ψ ]`` —
+  the successor image, a partitioned image computation with early
+  quantification of ``i`` and ``cs``.
+* ``P'_ψ = P_ψ ∧ ¬Q_ψ``; its (u,v)-cofactor classes are the outgoing
+  edges, each leaf (a function of ``ns``) renamed ``ns → cs`` becoming
+  the successor subset.
+* letters with no successor and not in ``Q_ψ`` go to the accepting
+  completion state ``DCA`` (handled by the driver).
+
+Neither ``F`` nor ``S`` is ever completed and no monolithic relation is
+ever constructed; validity rests on Theorem 1 (tested in
+``tests/automata/test_commutation.py``).
+
+``trim=False`` disables the DCN shortcut of footnote 9 for the E6
+ablation: a DC1 flag variable is threaded through the image as one more
+partition ``dc' ≡ (dc ∨ ¬C)``, non-conforming subsets are expanded like
+any others, and prefix-closure removes them at the end.
+"""
+
+from __future__ import annotations
+
+from repro.bdd.cube import split_by_vars
+from repro.bdd.manager import FALSE, BddManager
+from repro.symb.image import image_partitioned, image_with_plan, plan_image
+from repro.eqn.problem import EquationProblem
+from repro.eqn.subset import SubsetEdge
+
+
+class PartitionedOracle:
+    """Transition oracle computing on partitioned representations."""
+
+    def __init__(
+        self,
+        problem: EquationProblem,
+        *,
+        schedule: bool = True,
+        trim: bool = True,
+    ) -> None:
+        self.problem = problem
+        self.schedule = schedule
+        self.trim = trim
+        mgr: BddManager = problem.manager
+        self.mgr = mgr
+
+        # Π_j (u_j ≡ U_j): F's communication outputs.
+        self.u_parts = [
+            mgr.apply_iff(mgr.var_node(problem.u_vars[name]), problem.f_u[name])
+            for name in problem.u_names
+        ]
+        # Π_k (ns_k ≡ T_k): product transition partition = union of the
+        # partitions of F and S (the paper's partitioned product).
+        self.t_parts = [
+            mgr.apply_iff(mgr.var_node(problem.f_ns_vars[name]), problem.f_next[name])
+            for name in problem.f_ns_vars
+        ] + [
+            mgr.apply_iff(mgr.var_node(problem.s_ns_vars[name]), problem.s_next[name])
+            for name in problem.s_ns_vars
+        ]
+        # Per-output non-conformance ¬C_j = ¬[O^F_j ≡ O^S_j].
+        self.nonconf = [
+            mgr.apply_not(c) for _, c in problem.conformance_parts()
+        ]
+        self.quantify = problem.quantify_vars()
+        self.ns_vars = problem.all_ns_vars()
+        self.rename = problem.ns_to_cs()
+        self.uv_vars = problem.uv_vars()
+        self.init_cube = problem.init_cube
+        if not self.trim:
+            # DC1 flag partition: dc' ≡ (dc ∨ ¬C).   Only built in the
+            # ablation mode — with trimming the flag never exists.
+            any_nonconf = FALSE
+            for nc in self.nonconf:
+                any_nonconf = mgr.apply_or(any_nonconf, nc)
+            flag = mgr.apply_or(mgr.var_node(problem.dc_var), any_nonconf)
+            self.dc_part = mgr.apply_iff(mgr.var_node(problem.dc_ns_var), flag)
+            self.t_parts = self.t_parts + [self.dc_part]
+            self.quantify = self.quantify + [problem.dc_var]
+            self.ns_vars = self.ns_vars + [problem.dc_ns_var]
+            self.rename = dict(self.rename)
+            self.rename[problem.dc_ns_var] = problem.dc_var
+            self.init_cube = mgr.apply_and(
+                self.init_cube, mgr.apply_not(mgr.var_node(problem.dc_var))
+            )
+        # Every ψ is a function of the product cs variables, so the
+        # quantification schedules can be computed once and reused for
+        # every subset expansion.
+        cs_support = set(self.quantify)
+        if self.schedule:
+            self.p_plan = plan_image(
+                mgr, self.u_parts + self.t_parts, self.quantify, cs_support
+            )
+            self.q_plans = [
+                plan_image(mgr, self.u_parts + [nc], self.quantify, cs_support)
+                for nc in self.nonconf
+            ]
+        else:
+            self.p_plan = None
+            self.q_plans = None
+
+    # ------------------------------------------------------------------ #
+
+    def initial(self) -> int:
+        return self.init_cube
+
+    def is_accepting(self, psi: int) -> bool:
+        """A subset is accepting unless it contains a DC1-flagged state."""
+        if self.trim:
+            return True
+        dc = self.mgr.var_node(self.problem.dc_var)
+        return self.mgr.apply_and(psi, dc) == FALSE
+
+    def non_conformance(self, psi: int) -> int:
+        """``Q_ψ(u,v)``, computed one output at a time."""
+        mgr = self.mgr
+        q = FALSE
+        if self.q_plans is not None:
+            for plan, leftover in self.q_plans:
+                q = mgr.apply_or(q, image_with_plan(mgr, plan, leftover, psi))
+            return q
+        for nc in self.nonconf:
+            q = mgr.apply_or(
+                q,
+                image_partitioned(
+                    mgr,
+                    self.u_parts + [nc],
+                    psi,
+                    self.quantify,
+                    schedule=False,
+                ),
+            )
+        return q
+
+    def successor_image(self, psi: int) -> int:
+        """``P_ψ(u,v,ns)`` — the partitioned image of ψ."""
+        if self.p_plan is not None:
+            plan, leftover = self.p_plan
+            return image_with_plan(self.mgr, plan, leftover, psi)
+        return image_partitioned(
+            self.mgr,
+            self.u_parts + self.t_parts,
+            psi,
+            self.quantify,
+            schedule=False,
+        )
+
+    def expand(self, psi: int) -> tuple[list[SubsetEdge], int]:
+        mgr = self.mgr
+        p = self.successor_image(psi)
+        if self.trim:
+            q = self.non_conformance(psi)
+            p_good = mgr.apply_diff(p, q)
+            edges = [
+                SubsetEdge(cond=cond, successor=mgr.rename(leaf, self.rename))
+                for leaf, cond in split_by_vars(mgr, p_good, self.uv_vars).items()
+            ]
+            domain = mgr.exists(p, self.ns_vars)
+            dca = mgr.apply_diff(mgr.apply_not(q), domain)
+            return edges, dca
+        # Ablation: no trimming — every class is expanded; acceptance of
+        # the successor is decided by its DC1 flag.
+        edges = []
+        for leaf, cond in split_by_vars(mgr, p, self.uv_vars).items():
+            successor = mgr.rename(leaf, self.rename)
+            edges.append(
+                SubsetEdge(
+                    cond=cond,
+                    successor=successor,
+                    accepting=self.is_accepting(successor),
+                )
+            )
+        domain = mgr.exists(p, self.ns_vars)
+        dca = mgr.apply_not(domain)
+        return edges, dca

@@ -1,0 +1,127 @@
+"""Formal verification of computed solutions (Section 4).
+
+After computing the CSF ``X`` the paper verifies:
+
+1. ``X_P ⊆ X`` — the particular solution (the split-off circuit part) is
+   contained in the computed flexibility;
+2. ``F ∘ X_P ≡ S`` — recomposing the particular solution reproduces the
+   specification exactly (sanity of the split);
+3. ``F ∘ X ⊆ S`` — *soundness* of the flexibility: composing ``F`` with
+   the most general solution stays within the specification.
+
+All three are language checks on explicit automata built from the
+problem's function BDDs, so they are independent of the solver flow
+being verified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.automata.automaton import Automaton
+from repro.automata.language import ContainmentResult, contained_in
+from repro.automata.ops import product, support
+from repro.automata.symbolic_stg import functions_to_automaton
+from repro.eqn.explicit_solver import fixed_automaton, specification_automaton
+from repro.eqn.problem import EquationProblem
+from repro.eqn.solver import SolveResult
+
+
+@dataclass
+class VerificationReport:
+    """Results of the three paper checks."""
+
+    xp_contained: ContainmentResult
+    composition_equivalent: bool
+    solution_sound: ContainmentResult
+
+    @property
+    def ok(self) -> bool:
+        return (
+            bool(self.xp_contained)
+            and self.composition_equivalent
+            and bool(self.solution_sound)
+        )
+
+    def summary(self) -> str:
+        return (
+            f"Xp⊆X: {bool(self.xp_contained)}  "
+            f"F∘Xp≡S: {self.composition_equivalent}  "
+            f"F∘X⊆S: {bool(self.solution_sound)}"
+        )
+
+
+def particular_solution_automaton(problem: EquationProblem) -> Automaton:
+    """Automaton of ``X_P`` (the split-off circuit) over ``(u, v)``.
+
+    The unknown component's latches get fresh state variables at the
+    bottom of the order (below every letter variable, as required by the
+    symbolic STG builder).
+    """
+    mgr = problem.manager
+    unknown = problem.split.unknown
+    cs_vars: dict[str, int] = {}
+    ns_vars: dict[str, int] = {}
+    for name in unknown.latches:
+        for var_name, table in ((f"Xp.{name}", cs_vars), (f"Xp.{name}'", ns_vars)):
+            try:
+                table[name] = mgr.var_index(var_name)
+            except KeyError:
+                table[name] = mgr.add_var(var_name)
+    from repro.network.bddbuild import build_network_bdds
+
+    input_map = {wire: problem.u_vars[wire] for wire in unknown.inputs}
+    bdds = build_network_bdds(unknown, mgr, input_map, cs_vars)
+    return functions_to_automaton(
+        mgr,
+        alphabet=problem.uv_names(),
+        letter_bindings={
+            problem.v_vars[wire]: bdds.outputs[wire] for wire in unknown.outputs
+        },
+        next_state={ns_vars[name]: bdds.next_state[name] for name in unknown.latches},
+        ns_of_cs={cs_vars[name]: ns_vars[name] for name in unknown.latches},
+        init={cs_vars[name]: latch.init for name, latch in unknown.latches.items()},
+    )
+
+
+def compose_with_fixed(
+    problem: EquationProblem, x_aut: Automaton
+) -> Automaton:
+    """``(F × X) ↓ (i, o)``: the closed-loop external behaviour."""
+    f_aut = fixed_automaton(problem)
+    closed = product(f_aut, x_aut)
+    return support(closed, problem.i_names + problem.o_names)
+
+
+def verify_solution(
+    result: SolveResult,
+    *,
+    check_composition: bool = True,
+) -> VerificationReport:
+    """Run the paper's three checks on a solve result.
+
+    ``check_composition=False`` skips the (more expensive) equivalence
+    check ``F ∘ X_P ≡ S`` and reports it as vacuously true.
+    """
+    problem = result.problem
+    xp_aut = particular_solution_automaton(problem)
+    s_aut = specification_automaton(problem)
+
+    xp_contained = contained_in(xp_aut, result.csf)
+
+    if check_composition:
+        closed_p = compose_with_fixed(problem, xp_aut)
+        composition_equivalent = bool(contained_in(closed_p, s_aut)) and bool(
+            contained_in(s_aut, closed_p)
+        )
+    else:
+        composition_equivalent = True
+
+    closed_x = compose_with_fixed(problem, result.csf)
+    solution_sound = contained_in(closed_x, s_aut)
+
+    return VerificationReport(
+        xp_contained=xp_contained,
+        composition_equivalent=composition_equivalent,
+        solution_sound=solution_sound,
+    )

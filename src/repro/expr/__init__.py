@@ -1,0 +1,36 @@
+"""Boolean expression front-end: AST, parser, BDD building."""
+
+from repro.expr.ast import (
+    FALSE_EXPR,
+    TRUE_EXPR,
+    And,
+    Const,
+    Expr,
+    Not,
+    Or,
+    Var,
+    Xor,
+    and_,
+    or_,
+    var,
+    xor_,
+)
+from repro.expr.parser import ExprParseError, parse_expr
+
+__all__ = [
+    "And",
+    "Const",
+    "Expr",
+    "ExprParseError",
+    "FALSE_EXPR",
+    "Not",
+    "Or",
+    "TRUE_EXPR",
+    "Var",
+    "Xor",
+    "and_",
+    "or_",
+    "parse_expr",
+    "var",
+    "xor_",
+]

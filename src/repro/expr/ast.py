@@ -1,0 +1,227 @@
+"""Boolean expression AST.
+
+A tiny structural representation of Boolean formulas used by the network
+package (gate functions) and the expression parser.  Expressions are
+immutable, hashable, evaluable against an environment, and convertible to
+BDDs against any manager.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.bdd.manager import FALSE, TRUE, BddManager
+
+
+class Expr:
+    """Base class of Boolean expressions."""
+
+    def evaluate(self, env: Mapping[str, bool | int]) -> bool:
+        """Evaluate under a name -> value environment."""
+        raise NotImplementedError
+
+    def to_bdd(self, mgr: BddManager) -> int:
+        """Build the BDD of this expression (variables matched by name).
+
+        Variables must already be declared in ``mgr``; this keeps variable
+        ordering an explicit, deliberate choice of the caller.
+        """
+        raise NotImplementedError
+
+    def variables(self) -> frozenset[str]:
+        """Names of the variables occurring in the expression."""
+        raise NotImplementedError
+
+    # Operator sugar so tests and examples can compose expressions.
+    def __and__(self, other: "Expr") -> "Expr":
+        return And((self, other))
+
+    def __or__(self, other: "Expr") -> "Expr":
+        return Or((self, other))
+
+    def __xor__(self, other: "Expr") -> "Expr":
+        return Xor((self, other))
+
+    def __invert__(self) -> "Expr":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A Boolean constant."""
+
+    value: bool
+
+    def evaluate(self, env: Mapping[str, bool | int]) -> bool:
+        return self.value
+
+    def to_bdd(self, mgr: BddManager) -> int:
+        return TRUE if self.value else FALSE
+
+    def variables(self) -> frozenset[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "1" if self.value else "0"
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A variable reference by name."""
+
+    name: str
+
+    def evaluate(self, env: Mapping[str, bool | int]) -> bool:
+        return bool(env[self.name])
+
+    def to_bdd(self, mgr: BddManager) -> int:
+        return mgr.var_node(mgr.var_index(self.name))
+
+    def variables(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    """Negation."""
+
+    arg: Expr
+
+    def evaluate(self, env: Mapping[str, bool | int]) -> bool:
+        return not self.arg.evaluate(env)
+
+    def to_bdd(self, mgr: BddManager) -> int:
+        return mgr.apply_not(self.arg.to_bdd(mgr))
+
+    def variables(self) -> frozenset[str]:
+        return self.arg.variables()
+
+    def __str__(self) -> str:
+        return f"!{_wrap(self.arg)}"
+
+
+@dataclass(frozen=True)
+class And(Expr):
+    """N-ary conjunction."""
+
+    args: tuple[Expr, ...]
+
+    def evaluate(self, env: Mapping[str, bool | int]) -> bool:
+        return all(a.evaluate(env) for a in self.args)
+
+    def to_bdd(self, mgr: BddManager) -> int:
+        result = TRUE
+        for a in self.args:
+            result = mgr.apply_and(result, a.to_bdd(mgr))
+            if result == FALSE:
+                break
+        return result
+
+    def variables(self) -> frozenset[str]:
+        return frozenset().union(*(a.variables() for a in self.args))
+
+    def __str__(self) -> str:
+        return " & ".join(_wrap(a) for a in self.args) if self.args else "1"
+
+
+@dataclass(frozen=True)
+class Or(Expr):
+    """N-ary disjunction."""
+
+    args: tuple[Expr, ...]
+
+    def evaluate(self, env: Mapping[str, bool | int]) -> bool:
+        return any(a.evaluate(env) for a in self.args)
+
+    def to_bdd(self, mgr: BddManager) -> int:
+        result = FALSE
+        for a in self.args:
+            result = mgr.apply_or(result, a.to_bdd(mgr))
+            if result == TRUE:
+                break
+        return result
+
+    def variables(self) -> frozenset[str]:
+        return frozenset().union(*(a.variables() for a in self.args))
+
+    def __str__(self) -> str:
+        return " | ".join(_wrap(a) for a in self.args) if self.args else "0"
+
+
+@dataclass(frozen=True)
+class Xor(Expr):
+    """N-ary exclusive or (parity)."""
+
+    args: tuple[Expr, ...]
+
+    def evaluate(self, env: Mapping[str, bool | int]) -> bool:
+        return sum(bool(a.evaluate(env)) for a in self.args) % 2 == 1
+
+    def to_bdd(self, mgr: BddManager) -> int:
+        result = FALSE
+        for a in self.args:
+            result = mgr.apply_xor(result, a.to_bdd(mgr))
+        return result
+
+    def variables(self) -> frozenset[str]:
+        return frozenset().union(*(a.variables() for a in self.args))
+
+    def __str__(self) -> str:
+        return " ^ ".join(_wrap(a) for a in self.args) if self.args else "0"
+
+
+def _wrap(e: Expr) -> str:
+    """Parenthesise compound sub-expressions when stringifying."""
+    if isinstance(e, (Var, Const, Not)):
+        return str(e)
+    return f"({e})"
+
+
+def and_(*args: Expr) -> Expr:
+    """N-ary AND convenience constructor."""
+    return And(tuple(args))
+
+
+def or_(*args: Expr) -> Expr:
+    """N-ary OR convenience constructor."""
+    return Or(tuple(args))
+
+
+def xor_(*args: Expr) -> Expr:
+    """N-ary XOR convenience constructor."""
+    return Xor(tuple(args))
+
+
+def var(name: str) -> Var:
+    """Variable convenience constructor."""
+    return Var(name)
+
+
+def substitute(expr: Expr, mapping: Mapping[str, str]) -> Expr:
+    """Rename the variables of ``expr`` according to ``mapping``.
+
+    Names absent from ``mapping`` are kept.  Used by the latch-splitting
+    transform to redirect signals through the u/v communication wires.
+    """
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, Var):
+        new_name = mapping.get(expr.name)
+        return expr if new_name is None else Var(new_name)
+    if isinstance(expr, Not):
+        return Not(substitute(expr.arg, mapping))
+    if isinstance(expr, And):
+        return And(tuple(substitute(a, mapping) for a in expr.args))
+    if isinstance(expr, Or):
+        return Or(tuple(substitute(a, mapping) for a in expr.args))
+    if isinstance(expr, Xor):
+        return Xor(tuple(substitute(a, mapping) for a in expr.args))
+    raise TypeError(f"unknown expression node: {expr!r}")
+
+
+TRUE_EXPR = Const(True)
+FALSE_EXPR = Const(False)

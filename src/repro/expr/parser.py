@@ -1,0 +1,116 @@
+"""Recursive-descent parser for Boolean expressions.
+
+Grammar (loosest binding first)::
+
+    or_expr   := xor_expr ( ('|' | '+') xor_expr )*
+    xor_expr  := and_expr ( '^' and_expr )*
+    and_expr  := unary ( ('&' | '*') unary )*
+    unary     := ('!' | '~') unary | atom
+    atom      := '(' or_expr ')' | '0' | '1' | identifier
+
+Identifiers may contain letters, digits, ``_``, ``.``, ``[``, ``]`` —
+enough for netlist signal names like ``cs[3]`` or ``G17``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ReproError
+from repro.expr.ast import And, Const, Expr, Not, Or, Var, Xor
+
+
+class ExprParseError(ReproError):
+    """Raised on malformed expression text."""
+
+
+_TOKEN = re.compile(r"\s*(?:([&*|+^!~()])|([A-Za-z_][\w.\[\]]*|0|1))")
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN.match(text, pos)
+        if not m or m.end() == pos:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise ExprParseError(f"cannot tokenize expression at: {remainder[:20]!r}")
+        tokens.append(m.group(1) or m.group(2))
+        pos = m.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[str]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> str | None:
+        if self.pos < len(self.tokens):
+            return self.tokens[self.pos]
+        return None
+
+    def take(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise ExprParseError("unexpected end of expression")
+        self.pos += 1
+        return token
+
+    def parse_or(self) -> Expr:
+        args = [self.parse_xor()]
+        while self.peek() in ("|", "+"):
+            self.take()
+            args.append(self.parse_xor())
+        return args[0] if len(args) == 1 else Or(tuple(args))
+
+    def parse_xor(self) -> Expr:
+        args = [self.parse_and()]
+        while self.peek() == "^":
+            self.take()
+            args.append(self.parse_and())
+        return args[0] if len(args) == 1 else Xor(tuple(args))
+
+    def parse_and(self) -> Expr:
+        args = [self.parse_unary()]
+        while self.peek() in ("&", "*"):
+            self.take()
+            args.append(self.parse_unary())
+        return args[0] if len(args) == 1 else And(tuple(args))
+
+    def parse_unary(self) -> Expr:
+        if self.peek() in ("!", "~"):
+            self.take()
+            return Not(self.parse_unary())
+        return self.parse_atom()
+
+    def parse_atom(self) -> Expr:
+        token = self.take()
+        if token == "(":
+            inner = self.parse_or()
+            closing = self.take()
+            if closing != ")":
+                raise ExprParseError(f"expected ')', found {closing!r}")
+            return inner
+        if token == "0":
+            return Const(False)
+        if token == "1":
+            return Const(True)
+        if token in ("&", "*", "|", "+", "^", ")"):
+            raise ExprParseError(f"unexpected operator {token!r}")
+        return Var(token)
+
+
+def parse_expr(text: str) -> Expr:
+    """Parse ``text`` into an :class:`~repro.expr.ast.Expr`.
+
+    >>> str(parse_expr("a & !b | c ^ d"))
+    '(a & !b) | (c ^ d)'
+    """
+    parser = _Parser(_tokenize(text))
+    expr = parser.parse_or()
+    if parser.peek() is not None:
+        raise ExprParseError(f"trailing tokens: {parser.tokens[parser.pos:]!r}")
+    return expr

@@ -1,0 +1,37 @@
+"""Sequential network substrate: netlists, BLIF, simulation, surgery."""
+
+from repro.network.bddbuild import NetworkBdds, build_network_bdds, declare_network_vars
+from repro.network.blif import parse_blif, read_blif, save_blif, write_blif
+from repro.network.netlist import Latch, Network, Node, flatten_expr
+from repro.network.transform import (
+    LatchSplit,
+    compose_networks,
+    cone_of,
+    latch_split,
+    prune_dangling,
+    recompose,
+    u_wire,
+    v_wire,
+)
+
+__all__ = [
+    "Latch",
+    "LatchSplit",
+    "Network",
+    "NetworkBdds",
+    "Node",
+    "build_network_bdds",
+    "compose_networks",
+    "cone_of",
+    "declare_network_vars",
+    "flatten_expr",
+    "latch_split",
+    "parse_blif",
+    "prune_dangling",
+    "read_blif",
+    "recompose",
+    "save_blif",
+    "u_wire",
+    "v_wire",
+    "write_blif",
+]

@@ -1,0 +1,160 @@
+"""Build partitioned BDD representations from sequential networks.
+
+This derives exactly the objects the paper computes on: "the latch
+next-state functions, {T_k(i, cs)}, and the primary-output functions,
+{O_j(i, cs)}, can be computed and stored as BDDs in terms of the primary
+inputs and the current state variables."
+
+Variables are declared by the caller (so a solver can interleave the
+variable groups of several networks into one global order);
+:func:`declare_network_vars` offers a sensible default.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.bdd.manager import BddManager
+from repro.errors import NetworkError
+from repro.network.netlist import Network
+
+
+@dataclass
+class NetworkBdds:
+    """Partitioned BDD view of a network.
+
+    Attributes
+    ----------
+    manager:
+        The BDD manager all functions live in.
+    net:
+        The source network.
+    input_vars:
+        Input signal -> manager variable index.
+    state_vars:
+        Latch output signal -> manager variable index (the ``cs`` vars).
+    next_state:
+        Latch output signal -> BDD of its next-state function ``T_k(i,cs)``.
+    outputs:
+        Output signal -> BDD of its output function ``O_j(i,cs)``.
+    init_cube:
+        BDD of the initial state (a full cube over the ``cs`` vars).
+    """
+
+    manager: BddManager
+    net: Network
+    input_vars: dict[str, int]
+    state_vars: dict[str, int]
+    next_state: dict[str, int] = field(default_factory=dict)
+    outputs: dict[str, int] = field(default_factory=dict)
+    init_cube: int = 1
+
+    def all_input_vars(self) -> list[int]:
+        """Input variable indices, in network input order."""
+        return [self.input_vars[name] for name in self.net.inputs]
+
+    def all_state_vars(self) -> list[int]:
+        """State variable indices, in latch order."""
+        return [self.state_vars[name] for name in self.net.latches]
+
+    def state_cube(self, state: Mapping[str, int]) -> int:
+        """Characteristic cube of one concrete latch valuation."""
+        return self.manager.cube(
+            {self.state_vars[name]: value for name, value in state.items()}
+        )
+
+
+def declare_network_vars(
+    mgr: BddManager,
+    net: Network,
+    *,
+    prefix: str = "",
+) -> tuple[dict[str, int], dict[str, int]]:
+    """Declare one variable per input and per latch of ``net``.
+
+    Returns ``(input_vars, state_vars)`` keyed by signal name.  Variable
+    names are ``prefix + signal``.
+    """
+    input_vars = {name: mgr.add_var(prefix + name) for name in net.inputs}
+    state_vars = {name: mgr.add_var(prefix + name) for name in net.latches}
+    return input_vars, state_vars
+
+
+def build_network_bdds(
+    net: Network,
+    mgr: BddManager,
+    input_vars: Mapping[str, int],
+    state_vars: Mapping[str, int],
+) -> NetworkBdds:
+    """Build ``{T_k}`` and ``{O_j}`` BDDs for ``net`` in ``mgr``.
+
+    ``input_vars`` / ``state_vars`` map the network's input and latch
+    signals to already-declared manager variables.
+    """
+    net.validate()
+    missing_inputs = set(net.inputs) - set(input_vars)
+    if missing_inputs:
+        raise NetworkError(f"missing input vars: {sorted(missing_inputs)}")
+    missing_states = set(net.latches) - set(state_vars)
+    if missing_states:
+        raise NetworkError(f"missing state vars: {sorted(missing_states)}")
+
+    values: dict[str, int] = {}
+    for name in net.inputs:
+        values[name] = mgr.var_node(input_vars[name])
+    for name in net.latches:
+        values[name] = mgr.var_node(state_vars[name])
+    for name in net.topo_order():
+        expr = net.nodes[name].expr
+        values[name] = _expr_bdd(expr, values, mgr)
+
+    result = NetworkBdds(
+        manager=mgr,
+        net=net,
+        input_vars=dict(input_vars),
+        state_vars=dict(state_vars),
+    )
+    for name, latch in net.latches.items():
+        result.next_state[name] = values[latch.driver]
+    for name in net.outputs:
+        result.outputs[name] = values[name]
+    result.init_cube = mgr.cube(
+        {state_vars[name]: latch.init for name, latch in net.latches.items()}
+    )
+    return result
+
+
+def _expr_bdd(expr, values: Mapping[str, int], mgr: BddManager) -> int:
+    """Evaluate an expression tree to a BDD over pre-computed signal BDDs."""
+    from repro.expr.ast import And, Const, Not, Or, Var, Xor
+
+    if isinstance(expr, Const):
+        return 1 if expr.value else 0
+    if isinstance(expr, Var):
+        try:
+            return values[expr.name]
+        except KeyError:
+            raise NetworkError(f"signal {expr.name!r} has no BDD value")
+    if isinstance(expr, Not):
+        return mgr.apply_not(_expr_bdd(expr.arg, values, mgr))
+    if isinstance(expr, And):
+        result = 1
+        for arg in expr.args:
+            result = mgr.apply_and(result, _expr_bdd(arg, values, mgr))
+            if result == 0:
+                break
+        return result
+    if isinstance(expr, Or):
+        result = 0
+        for arg in expr.args:
+            result = mgr.apply_or(result, _expr_bdd(arg, values, mgr))
+            if result == 1:
+                break
+        return result
+    if isinstance(expr, Xor):
+        result = 0
+        for arg in expr.args:
+            result = mgr.apply_xor(result, _expr_bdd(arg, values, mgr))
+        return result
+    raise TypeError(f"unknown expression node: {expr!r}")

@@ -1,0 +1,201 @@
+"""BLIF reader and writer for sequential networks.
+
+Supports the subset of Berkeley Logic Interchange Format used by the
+ISCAS/MCNC sequential benchmarks: ``.model``, ``.inputs``, ``.outputs``,
+``.latch`` (with optional type/control and init value), ``.names``
+single-output SOP covers, and ``.end``.  Continuation lines (``\\``) and
+``#`` comments are handled.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.bdd import BddManager, iter_cubes
+from repro.errors import BlifError
+from repro.expr.ast import And, Const, Expr, Not, Or, Var
+from repro.network.netlist import Network
+
+
+def _logical_lines(text: str) -> Iterable[str]:
+    """Yield non-empty logical lines with comments and continuations folded."""
+    pending = ""
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].rstrip()
+        if not line:
+            continue
+        if line.endswith("\\"):
+            pending += line[:-1] + " "
+            continue
+        yield (pending + line).strip()
+        pending = ""
+    if pending.strip():
+        yield pending.strip()
+
+
+def _cover_to_expr(inputs: list[str], rows: list[tuple[str, str]]) -> Expr:
+    """Convert a .names SOP cover to an expression.
+
+    ``rows`` are (cube, value) pairs.  A cover must be uniformly on-set
+    ("1") or off-set ("0"); the off-set form is complemented.
+    """
+    if not rows:
+        return Const(False)
+    values = {value for _, value in rows}
+    if len(values) != 1 or values - {"0", "1"}:
+        raise BlifError(f"mixed or invalid cover values: {sorted(values)}")
+    value = values.pop()
+    terms: list[Expr] = []
+    for cube, _ in rows:
+        if len(cube) != len(inputs):
+            raise BlifError(
+                f"cube {cube!r} length {len(cube)} != {len(inputs)} inputs"
+            )
+        literals: list[Expr] = []
+        for bit, name in zip(cube, inputs):
+            if bit == "1":
+                literals.append(Var(name))
+            elif bit == "0":
+                literals.append(Not(Var(name)))
+            elif bit != "-":
+                raise BlifError(f"invalid cube character {bit!r} in {cube!r}")
+        if literals:
+            terms.append(literals[0] if len(literals) == 1 else And(tuple(literals)))
+        else:
+            terms.append(Const(True))
+    expr: Expr = terms[0] if len(terms) == 1 else Or(tuple(terms))
+    if value == "0":
+        expr = Not(expr)
+    return expr
+
+
+def parse_blif(text: str) -> Network:
+    """Parse BLIF text into a :class:`~repro.network.netlist.Network`."""
+    net = Network()
+    current_names: list[str] | None = None
+    current_rows: list[tuple[str, str]] = []
+    saw_model = False
+
+    def flush_names() -> None:
+        nonlocal current_names, current_rows
+        if current_names is None:
+            return
+        *fanins, output = current_names
+        if not fanins:
+            # Constant node: a single row "1" means TRUE, none means FALSE.
+            if not current_rows:
+                expr: Expr = Const(False)
+            elif len(current_rows) == 1 and current_rows[0] == ("", "1"):
+                expr = Const(True)
+            elif len(current_rows) == 1 and current_rows[0] == ("", "0"):
+                expr = Const(False)
+            else:
+                raise BlifError(f"malformed constant cover for {output!r}")
+        else:
+            expr = _cover_to_expr(fanins, current_rows)
+        net.add_node(output, expr)
+        current_names = None
+        current_rows = []
+
+    for line in _logical_lines(text):
+        tokens = line.split()
+        keyword = tokens[0]
+        if keyword.startswith("."):
+            flush_names()
+        if keyword == ".model":
+            if saw_model:
+                raise BlifError("multiple .model sections are not supported")
+            saw_model = True
+            net.name = tokens[1] if len(tokens) > 1 else "network"
+        elif keyword == ".inputs":
+            for name in tokens[1:]:
+                net.add_input(name)
+        elif keyword == ".outputs":
+            for name in tokens[1:]:
+                net.add_output(name)
+        elif keyword == ".latch":
+            if len(tokens) < 3:
+                raise BlifError(f"malformed .latch line: {line!r}")
+            driver, output = tokens[1], tokens[2]
+            init = 0
+            extra = tokens[3:]
+            if extra:
+                # Optional [<type> <control>] then optional init value.
+                if extra[-1] in ("0", "1", "2", "3"):
+                    init_token = extra[-1]
+                    init = 0 if init_token in ("0", "2", "3") else 1
+            net.add_latch(output, driver, init)
+        elif keyword == ".names":
+            current_names = tokens[1:]
+            if not current_names:
+                raise BlifError("empty .names line")
+        elif keyword == ".end":
+            break
+        elif keyword.startswith("."):
+            raise BlifError(f"unsupported BLIF directive {keyword!r}")
+        else:
+            if current_names is None:
+                raise BlifError(f"cover row outside .names: {line!r}")
+            if len(tokens) == 1:
+                if len(current_names) == 1:
+                    cube, value = "", tokens[0]  # constant node row
+                else:
+                    raise BlifError(f"malformed cover row: {line!r}")
+            elif len(tokens) == 2:
+                cube, value = tokens
+            else:
+                raise BlifError(f"malformed cover row: {line!r}")
+            current_rows.append((cube, value))
+    flush_names()
+    net.validate()
+    return net
+
+
+def read_blif(path: str) -> Network:
+    """Read a network from a BLIF file."""
+    with open(path, encoding="utf-8") as handle:
+        return parse_blif(handle.read())
+
+
+def _expr_to_cover(expr: Expr) -> tuple[list[str], list[str]]:
+    """SOP cover (inputs, rows) of an expression via its BDD cubes."""
+    variables = sorted(expr.variables())
+    mgr = BddManager()
+    mgr.add_vars(variables)
+    node = expr.to_bdd(mgr)
+    if node == 0:
+        return [], []  # FALSE: empty cover
+    if node == 1:
+        return [], ["1"]  # TRUE: single empty cube
+    rows = []
+    for cube in iter_cubes(mgr, node):
+        bits = []
+        for name in variables:
+            value = cube.get(mgr.var_index(name))
+            bits.append("-" if value is None else str(value))
+        rows.append("".join(bits) + " 1")
+    return variables, rows
+
+
+def write_blif(net: Network) -> str:
+    """Render a network as BLIF text (SOP covers derived via BDDs)."""
+    net.validate()
+    lines = [f".model {net.name}"]
+    if net.inputs:
+        lines.append(".inputs " + " ".join(net.inputs))
+    if net.outputs:
+        lines.append(".outputs " + " ".join(net.outputs))
+    for latch in net.latches.values():
+        lines.append(f".latch {latch.driver} {latch.output} {latch.init}")
+    for node in net.nodes.values():
+        fanins, rows = _expr_to_cover(node.expr)
+        lines.append(".names " + " ".join(fanins + [node.name]))
+        lines.extend(rows)
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def save_blif(net: Network, path: str) -> None:
+    """Write a network to a BLIF file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(write_blif(net))

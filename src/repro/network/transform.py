@@ -1,0 +1,294 @@
+"""Network surgery: latch splitting and recomposition (Section 4).
+
+The paper's benchmark generator is *latch splitting*: "a syntactic
+transformation of a sequential circuit into two circuits, one containing
+a subset of the latches of the original circuit and the other containing
+the rest.  One of these becomes the fixed component, F, ... while the
+other represents a particular solution, X_P, for the unknown component."
+
+Topology produced (matching Figure 1):
+
+* ``F`` keeps the latches *not* selected, all primary inputs ``i`` and
+  outputs ``o``; every read of a moved latch becomes a fresh input
+  ``v_<latch>``; ``F`` additionally outputs ``u`` wires — buffered copies
+  of the primary inputs and of the kept latch states — which are exactly
+  what the moved next-state logic needs to observe.
+* ``X_P`` owns the selected latches: inputs ``u``, outputs
+  ``v_<latch>`` (Moore-style buffers of its latch states), and next-state
+  nodes that are the original next-state functions flattened to
+  ``(i, cs)`` and rewired through ``u``/its own state.
+
+:func:`recompose` stitches the two back together; the result is
+cycle-accurate equivalent to the original network (tested), which is the
+correctness invariant behind using the original behaviour as ``S``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import NetworkError
+from repro.expr.ast import Var, substitute
+from repro.network.netlist import Latch, Network, Node, flatten_expr
+
+
+def u_wire(signal: str) -> str:
+    """Name of the ``u`` wire exposing original signal ``signal``."""
+    return f"u_{signal}"
+
+
+def v_wire(latch: str) -> str:
+    """Name of the ``v`` wire carrying moved-latch state ``latch``."""
+    return f"v_{latch}"
+
+
+@dataclass
+class LatchSplit:
+    """Result of :func:`latch_split`.
+
+    Attributes
+    ----------
+    original:
+        The unmodified input network (used as the specification ``S``).
+    fixed:
+        The fixed component ``F`` (inputs ``i + v``, outputs ``o + u``).
+    unknown:
+        The particular solution ``X_P`` (inputs ``u``, outputs ``v``).
+    x_latches:
+        Names of the latches moved into the unknown component.
+    u_signals:
+        Original-network signals exposed on the ``u`` wires, in order.
+    u_names / v_names:
+        The wire names (``u_*`` / ``v_*``), in order.
+    """
+
+    original: Network
+    fixed: Network
+    unknown: Network
+    x_latches: list[str]
+    u_signals: list[str]
+    u_names: list[str] = field(default_factory=list)
+    v_names: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.u_names:
+            self.u_names = [u_wire(s) for s in self.u_signals]
+        if not self.v_names:
+            self.v_names = [v_wire(s) for s in self.x_latches]
+
+    def describe(self) -> str:
+        """The paper's ``Fcs/Xcs`` column."""
+        return f"{self.fixed.num_latches}/{self.unknown.num_latches}"
+
+
+def prune_dangling(net: Network) -> Network:
+    """Remove combinational nodes not reachable from outputs or latch drivers."""
+    needed: set[str] = set(net.outputs)
+    needed.update(latch.driver for latch in net.latches.values())
+    keep: set[str] = set()
+    stack = list(needed)
+    while stack:
+        signal = stack.pop()
+        if signal in keep or signal not in net.nodes:
+            continue
+        keep.add(signal)
+        stack.extend(net.nodes[signal].expr.variables())
+    pruned = net.copy()
+    pruned.nodes = {k: v for k, v in net.nodes.items() if k in keep}
+    return pruned
+
+
+def latch_split(
+    net: Network,
+    x_latches: Sequence[str],
+    *,
+    u_signals: Sequence[str] | None = None,
+) -> LatchSplit:
+    """Split ``net`` into a fixed part ``F`` and a particular solution ``X_P``.
+
+    Parameters
+    ----------
+    net:
+        The original sequential network (becomes the specification ``S``).
+    x_latches:
+        Latch output names to move into the unknown component.
+    u_signals:
+        Original signals to expose to the unknown component on the ``u``
+        wires.  Defaults to all primary inputs plus all kept latches,
+        which guarantees ``X_P`` can reproduce the moved logic exactly.
+
+    Raises
+    ------
+    NetworkError
+        If ``x_latches`` is empty, not a subset of the latches, or the
+        moved next-state logic needs a signal not exposed through ``u``.
+    """
+    net.validate()
+    x_set = list(dict.fromkeys(x_latches))
+    if not x_set:
+        raise NetworkError("latch_split requires at least one latch to move")
+    unknown_latches = set(x_set)
+    missing = unknown_latches - set(net.latches)
+    if missing:
+        raise NetworkError(f"unknown latches to split: {sorted(missing)}")
+    kept_latches = [name for name in net.latches if name not in unknown_latches]
+
+    if u_signals is None:
+        u_list = list(net.inputs) + kept_latches
+    else:
+        u_list = list(dict.fromkeys(u_signals))
+        undriven = [s for s in u_list if s not in net.inputs and s not in net.latches]
+        if undriven:
+            raise NetworkError(
+                f"u_signals must be inputs or latches, got: {undriven}"
+            )
+
+    # ---------------- fixed component F ---------------- #
+    fixed = Network(name=f"{net.name}_F")
+    for name in net.inputs:
+        fixed.add_input(name)
+    for latch in x_set:
+        fixed.add_input(v_wire(latch))
+    to_v = {latch: v_wire(latch) for latch in x_set}
+    for name in kept_latches:
+        latch = net.latches[name]
+        driver = to_v.get(latch.driver, latch.driver)
+        fixed.add_latch(name, driver, latch.init)
+    for node in net.nodes.values():
+        fixed.add_node(node.name, substitute(node.expr, to_v))
+    for out in net.outputs:
+        fixed.add_output(to_v.get(out, out))
+    for signal in u_list:
+        wire = u_wire(signal)
+        if wire in fixed.driven_signals():
+            raise NetworkError(f"u wire {wire!r} collides with an existing signal")
+        fixed.add_node(wire, Var(to_v.get(signal, signal)))
+        fixed.add_output(wire)
+    fixed = prune_dangling(fixed)
+    fixed.validate()
+
+    # ---------------- particular solution X_P ---------------- #
+    stop = list(net.inputs) + net.latch_names()
+    rewire = {signal: u_wire(signal) for signal in u_list}
+    # Moved latches keep their own names inside X_P and observe themselves.
+    for latch in x_set:
+        rewire.pop(latch, None)
+
+    unknown = Network(name=f"{net.name}_Xp")
+    for signal in u_list:
+        unknown.add_input(u_wire(signal))
+    for name in x_set:
+        latch = net.latches[name]
+        flat = flatten_expr(net, latch.driver, stop)
+        needed = flat.variables() - unknown_latches
+        unexposed = [s for s in sorted(needed) if s not in u_list]
+        if unexposed:
+            raise NetworkError(
+                f"next-state of {name!r} needs unexposed signals {unexposed}; "
+                "extend u_signals"
+            )
+        driver_node = f"ns_{name}"
+        while driver_node in unknown.driven_signals() or driver_node in unknown_latches:
+            driver_node += "_"
+        unknown.add_node(driver_node, substitute(flat, rewire))
+        unknown.add_latch(name, driver_node, latch.init)
+    for name in x_set:
+        unknown.add_node(v_wire(name), Var(name))
+        unknown.add_output(v_wire(name))
+    unknown.validate()
+
+    return LatchSplit(
+        original=net,
+        fixed=fixed,
+        unknown=unknown,
+        x_latches=x_set,
+        u_signals=u_list,
+    )
+
+
+def recompose(split: LatchSplit) -> Network:
+    """Reconnect ``F`` and ``X_P`` into one closed network.
+
+    The ``u`` wires are already driven inside ``F``; the ``v`` inputs of
+    ``F`` are replaced by the ``v`` output nodes of ``X_P``.  The result
+    has the original primary inputs and outputs and is cycle-accurate
+    equivalent to the original network.
+    """
+    fixed, unknown = split.fixed, split.unknown
+    merged = Network(name=f"{split.original.name}_recomposed")
+    for name in split.original.inputs:
+        merged.add_input(name)
+    for latch in fixed.latches.values():
+        merged.add_latch(latch.output, latch.driver, latch.init)
+    for latch in unknown.latches.values():
+        merged.add_latch(latch.output, latch.driver, latch.init)
+    for node in fixed.nodes.values():
+        merged.add_node(node.name, node.expr)
+    for node in unknown.nodes.values():
+        if node.name in merged.driven_signals():
+            raise NetworkError(f"recompose collision on {node.name!r}")
+        merged.add_node(node.name, node.expr)
+    for out in split.original.outputs:
+        merged.add_output(v_wire(out) if out in split.x_latches else out)
+    merged.validate()
+    return merged
+
+
+def compose_networks(
+    a: Network,
+    b: Network,
+    *,
+    name: str | None = None,
+    keep_internal_outputs: bool = False,
+) -> Network:
+    """Generic synchronous composition of two networks.
+
+    Signals are connected *by name*: an input of one network that is
+    driven (node, latch or input) in the other becomes an internal wire.
+    Remaining inputs stay primary inputs; outputs of both networks stay
+    primary outputs unless they drive the other network's inputs and
+    ``keep_internal_outputs`` is False.  Combinational cycles through the
+    connection are rejected by validation.
+
+    This generalises :func:`recompose`: ``recompose(split)`` is
+    ``compose_networks(split.fixed, split.unknown)`` up to output
+    selection.
+    """
+    merged = Network(name=name or f"{a.name}+{b.name}")
+    driven = (set(a.nodes) | set(a.latches)) | (set(b.nodes) | set(b.latches))
+    for net in (a, b):
+        for signal in net.inputs:
+            if signal not in driven and signal not in merged.inputs:
+                merged.add_input(signal)
+    for net in (a, b):
+        for latch in net.latches.values():
+            merged.add_latch(latch.output, latch.driver, latch.init)
+        for node in net.nodes.values():
+            if node.name in merged.driven_signals():
+                raise NetworkError(f"composition collision on {node.name!r}")
+            merged.add_node(node.name, node.expr)
+    other_inputs = {"a": set(b.inputs), "b": set(a.inputs)}
+    for key, net in (("a", a), ("b", b)):
+        for out in net.outputs:
+            internal = out in other_inputs[key]
+            if (not internal or keep_internal_outputs) and out not in merged.outputs:
+                merged.add_output(out)
+    merged.validate()
+    return merged
+
+
+def cone_of(net: Network, signals: Iterable[str]) -> set[str]:
+    """Transitive fan-in (signal names) of the given signals."""
+    seen: set[str] = set()
+    stack = list(signals)
+    while stack:
+        signal = stack.pop()
+        if signal in seen:
+            continue
+        seen.add(signal)
+        if signal in net.nodes:
+            stack.extend(net.nodes[signal].expr.variables())
+        elif signal in net.latches:
+            stack.append(net.latches[signal].driver)
+    return seen

@@ -1,0 +1,36 @@
+"""Symbolic engine: partitioned relations, scheduling, image, reachability."""
+
+from repro.symb.image import (
+    constrain_parts,
+    image_monolithic,
+    image_partitioned,
+    preimage_partitioned,
+)
+from repro.symb.reach import (
+    ReachabilityResult,
+    network_reachable_states,
+    reachable_states,
+)
+from repro.symb.relation import (
+    PartitionedRelation,
+    functions_to_relation,
+    output_relation,
+    transition_relation,
+)
+from repro.symb.schedule import cluster_parts, schedule_parts
+
+__all__ = [
+    "PartitionedRelation",
+    "ReachabilityResult",
+    "cluster_parts",
+    "constrain_parts",
+    "functions_to_relation",
+    "image_monolithic",
+    "image_partitioned",
+    "network_reachable_states",
+    "output_relation",
+    "preimage_partitioned",
+    "reachable_states",
+    "schedule_parts",
+    "transition_relation",
+]

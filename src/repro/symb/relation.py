@@ -1,0 +1,116 @@
+"""Partitioned transition/output relations.
+
+The paper's central data structure: instead of the monolithic relation
+``T(i,cs,ns) = Π_k [ns_k ≡ T_k(i,cs)]`` (whose BDD "may be huge"), keep
+the list of conjuncts — one small BDD per latch/output — and perform all
+computations directly on the parts.  :class:`PartitionedRelation` is a
+thin container with helpers to build the parts from a network's function
+BDDs and to (deliberately) collapse to the monolithic form for the
+baseline flow.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.bdd.manager import TRUE, BddManager
+
+
+@dataclass
+class PartitionedRelation:
+    """A conjunction of relation parts kept in partitioned form."""
+
+    manager: BddManager
+    parts: list[int] = field(default_factory=list)
+
+    def add_part(self, part: int) -> None:
+        """Append one conjunct (dropping trivially-true parts)."""
+        if part != TRUE:
+            self.parts.append(part)
+
+    def add_function(self, var: int, function: int) -> None:
+        """Append the part ``var ≡ function`` (e.g. ``ns_k ≡ T_k``)."""
+        mgr = self.manager
+        self.add_part(mgr.apply_iff(mgr.var_node(var), function))
+
+    def extend(self, other: "PartitionedRelation") -> None:
+        """Concatenate parts — the paper's partitioned *product*:
+
+        "the partitioned representation of the product automaton is
+        simply the union of the two partitions."
+        """
+        self.parts.extend(other.parts)
+
+    def monolithic(self) -> int:
+        """Collapse to a single conjunction (the baseline representation)."""
+        mgr = self.manager
+        result = TRUE
+        for part in self.parts:
+            result = mgr.apply_and(result, part)
+        return result
+
+    def support(self) -> set[int]:
+        """Union of the supports of all parts."""
+        out: set[int] = set()
+        for part in self.parts:
+            out |= self.manager.support(part)
+        return out
+
+    def size(self) -> int:
+        """Shared BDD node count of all parts."""
+        return self.manager.size_many(self.parts)
+
+    def copy(self) -> "PartitionedRelation":
+        return PartitionedRelation(self.manager, list(self.parts))
+
+    def __len__(self) -> int:
+        return len(self.parts)
+
+    def __iter__(self):
+        return iter(self.parts)
+
+
+def functions_to_relation(
+    mgr: BddManager,
+    bindings: Iterable[tuple[int, int]],
+) -> PartitionedRelation:
+    """Build ``Π (var ≡ function)`` in partitioned form.
+
+    ``bindings`` yields (variable index, function BDD) pairs — e.g. the
+    ``(ns_k, T_k)`` pairs of a network.
+    """
+    rel = PartitionedRelation(mgr)
+    for var, function in bindings:
+        rel.add_function(var, function)
+    return rel
+
+
+def transition_relation(
+    mgr: BddManager,
+    next_state: Mapping[str, int],
+    ns_vars: Mapping[str, int],
+    order: Sequence[str] | None = None,
+) -> PartitionedRelation:
+    """Partitioned transition relation ``{ns_k ≡ T_k(i,cs)}`` of a network.
+
+    ``next_state`` maps latch name -> function BDD and ``ns_vars`` maps
+    latch name -> next-state variable index.
+    """
+    names = list(order) if order is not None else list(next_state)
+    return functions_to_relation(
+        mgr, ((ns_vars[name], next_state[name]) for name in names)
+    )
+
+
+def output_relation(
+    mgr: BddManager,
+    outputs: Mapping[str, int],
+    o_vars: Mapping[str, int],
+    order: Sequence[str] | None = None,
+) -> PartitionedRelation:
+    """Partitioned output relation ``{o_j ≡ O_j(i,cs)}`` of a network."""
+    names = list(order) if order is not None else list(outputs)
+    return functions_to_relation(
+        mgr, ((o_vars[name], outputs[name]) for name in names)
+    )

@@ -1,0 +1,7 @@
+"""Small shared utilities: timers, resource limits, table formatting."""
+
+from repro.util.limits import ResourceLimit
+from repro.util.tables import format_table
+from repro.util.timer import Stopwatch
+
+__all__ = ["ResourceLimit", "Stopwatch", "format_table"]

@@ -1,0 +1,51 @@
+"""Deterministic resource budgets for solver runs.
+
+The paper reports "CNC" (could not complete) for the monolithic flow on its
+two largest benchmarks.  To reproduce that failure mode deterministically,
+solver flows accept a :class:`ResourceLimit` combining a wall-clock budget
+and a BDD-node budget; exceeding either raises a library exception that the
+Table 1 harness converts into a "CNC" table entry.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import TimeLimit
+
+
+@dataclass
+class ResourceLimit:
+    """A combined wall-clock / BDD-node budget.
+
+    Parameters
+    ----------
+    max_seconds:
+        Wall-clock budget in seconds; ``None`` means unlimited.
+    max_nodes:
+        BDD node budget (enforced by the BDD manager); ``None`` means
+        unlimited.
+    """
+
+    max_seconds: float | None = None
+    max_nodes: int | None = None
+    _start: float = field(default_factory=time.perf_counter, repr=False)
+
+    def restart(self) -> None:
+        """Restart the wall-clock budget."""
+        self._start = time.perf_counter()
+
+    def elapsed(self) -> float:
+        """Seconds since construction or :meth:`restart`."""
+        return time.perf_counter() - self._start
+
+    def check_time(self) -> None:
+        """Raise :class:`~repro.errors.TimeLimit` when over budget."""
+        if self.max_seconds is not None and self.elapsed() > self.max_seconds:
+            raise TimeLimit(self.max_seconds)
+
+    @staticmethod
+    def unlimited() -> "ResourceLimit":
+        """A limit object that never fires."""
+        return ResourceLimit(max_seconds=None, max_nodes=None)

@@ -1,0 +1,37 @@
+"""Minimal fixed-width table formatting for the benchmark harness output."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    align_left: Sequence[int] = (0,),
+) -> str:
+    """Render ``rows`` under ``headers`` as a fixed-width text table.
+
+    Columns listed in ``align_left`` (by index) are left-aligned; all other
+    columns are right-aligned, which matches the look of the paper's Table 1.
+
+    >>> print(format_table(["Name", "n"], [["s27", 3]]))
+    Name  n
+    ----  -
+    s27   3
+    """
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    left = set(align_left)
+
+    def fmt_row(row: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(row):
+            parts.append(cell.ljust(widths[i]) if i in left else cell.rjust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = [fmt_row(cells[0])]
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in cells[1:])
+    return "\n".join(lines)

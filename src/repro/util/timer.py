@@ -1,0 +1,25 @@
+"""Wall-clock stopwatch used by the solver flows and the bench harness."""
+
+from __future__ import annotations
+
+import time
+
+
+class Stopwatch:
+    """A restartable wall-clock stopwatch.
+
+    >>> sw = Stopwatch()
+    >>> sw.elapsed() >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+
+    def restart(self) -> None:
+        """Reset the stopwatch to zero."""
+        self._start = time.perf_counter()
+
+    def elapsed(self) -> float:
+        """Seconds elapsed since construction or the last :meth:`restart`."""
+        return time.perf_counter() - self._start

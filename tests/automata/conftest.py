@@ -1,0 +1,55 @@
+"""Shared fixtures and random-automaton strategies for automata tests."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bdd.manager import BddManager
+from repro.automata.automaton import Automaton
+
+ALPHABET = ("x", "y")
+
+
+@pytest.fixture()
+def mgr() -> BddManager:
+    m = BddManager()
+    m.add_vars(ALPHABET)
+    return m
+
+
+def random_automaton(
+    seed: int,
+    *,
+    n_states: int = 4,
+    variables: tuple[str, ...] = ALPHABET,
+    edge_density: float = 0.5,
+    accept_prob: float = 0.7,
+    deterministic: bool = False,
+) -> Automaton:
+    """A seeded random automaton over ``variables``.
+
+    When ``deterministic`` is set, each state assigns each letter to at
+    most one destination (possibly none -> incomplete DFA).
+    """
+    rng = random.Random(seed)
+    m = BddManager()
+    m.add_vars(variables)
+    aut = Automaton(m, variables)
+    for sid in range(n_states):
+        aut.add_state(f"q{sid}", accepting=rng.random() < accept_prob)
+    letters = [
+        {name: (code >> k) & 1 for k, name in enumerate(variables)}
+        for code in range(1 << len(variables))
+    ]
+    for src in range(n_states):
+        for letter in letters:
+            if deterministic:
+                if rng.random() < edge_density:
+                    aut.add_letter_edge(src, rng.randrange(n_states), letter)
+            else:
+                for dst in range(n_states):
+                    if rng.random() < edge_density / n_states * 2:
+                        aut.add_letter_edge(src, dst, letter)
+    return aut

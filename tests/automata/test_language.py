@@ -1,0 +1,147 @@
+"""Tests for language queries: membership, emptiness, containment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bdd.manager import TRUE
+from repro.errors import AutomatonError
+from repro.automata import (
+    Automaton,
+    accepts,
+    contained_in,
+    empty_automaton,
+    enumerate_language,
+    equivalent,
+    is_empty,
+    sample_words,
+)
+from tests.automata.conftest import ALPHABET, random_automaton
+
+WORD_LEN = 3
+
+
+class TestAccepts:
+    def test_empty_word(self, mgr) -> None:
+        aut = Automaton(mgr, ALPHABET)
+        aut.add_state(accepting=True)
+        assert accepts(aut, [])
+        aut2 = Automaton(mgr, ALPHABET)
+        aut2.add_state(accepting=False)
+        assert not accepts(aut2, [])
+
+    def test_nondeterministic_acceptance(self, mgr) -> None:
+        # Two branches on the same letter; only one reaches acceptance.
+        aut = Automaton(mgr, ALPHABET)
+        q0 = aut.add_state(accepting=False)
+        q1 = aut.add_state(accepting=False)
+        q2 = aut.add_state(accepting=True)
+        aut.add_letter_edge(q0, q1, {"x": 1})
+        aut.add_letter_edge(q0, q2, {"x": 1})
+        assert accepts(aut, [{"x": 1, "y": 0}])
+
+    def test_partial_letter_rejected(self, mgr) -> None:
+        aut = Automaton(mgr, ALPHABET)
+        aut.add_state()
+        with pytest.raises(AutomatonError):
+            accepts(aut, [{"x": 1}])
+
+    def test_run_dies_on_undefined_letter(self, mgr) -> None:
+        aut = Automaton(mgr, ALPHABET)
+        q0 = aut.add_state(accepting=True)
+        aut.add_letter_edge(q0, q0, {"x": 1})
+        assert not accepts(aut, [{"x": 0, "y": 0}])
+
+
+class TestEmptiness:
+    def test_no_states(self, mgr) -> None:
+        aut = Automaton(mgr, ALPHABET)
+        assert is_empty(aut)
+
+    def test_empty_automaton_helper(self, mgr) -> None:
+        assert is_empty(empty_automaton(mgr, ALPHABET))
+
+    def test_unreachable_accepting_state(self, mgr) -> None:
+        aut = Automaton(mgr, ALPHABET)
+        aut.add_state(accepting=False)
+        aut.add_state(accepting=True)  # unreachable
+        assert is_empty(aut)
+
+    def test_reachable_accepting_state(self, mgr) -> None:
+        aut = Automaton(mgr, ALPHABET)
+        q0 = aut.add_state(accepting=False)
+        q1 = aut.add_state(accepting=True)
+        aut.add_edge(q0, q1, TRUE)
+        assert not is_empty(aut)
+
+
+class TestContainment:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_containment_matches_brute_force(self, seed) -> None:
+        from repro.bdd.reorder import transfer
+        from repro.automata.automaton import Automaton as A
+
+        a = random_automaton(seed, n_states=3)
+        b_raw = random_automaton(seed + 31, n_states=3)
+        b = A(a.manager, a.variables)
+        for sid in range(b_raw.num_states):
+            b.add_state(b_raw.state_names[sid], accepting=sid in b_raw.accepting)
+        for src, bucket in enumerate(b_raw.edges):
+            for dst, label in bucket.items():
+                b.add_edge(src, dst, transfer(label, b_raw.manager, a.manager))
+        result = contained_in(a, b)
+        la = enumerate_language(a, WORD_LEN)
+        lb = enumerate_language(b, WORD_LEN)
+        if result.holds:
+            assert la <= lb
+        else:
+            assert result.counterexample is not None
+            # The counterexample is accepted by a and rejected by b.
+            assert accepts(a, result.counterexample)
+            assert not accepts(b, result.counterexample)
+
+    def test_self_containment(self) -> None:
+        aut = random_automaton(5)
+        assert contained_in(aut, aut).holds
+
+    def test_equivalence_of_isomorphic_automata(self, mgr) -> None:
+        a = Automaton(mgr, ALPHABET)
+        qa = a.add_state()
+        a.add_letter_edge(qa, qa, {"x": 1})
+        b = Automaton(mgr, ALPHABET)
+        qb = b.add_state()
+        b.add_letter_edge(qb, qb, {"x": 1})
+        assert equivalent(a, b)
+
+    def test_strict_containment_detected(self, mgr) -> None:
+        # a: only x=1 letters; b: everything.
+        a = Automaton(mgr, ALPHABET)
+        qa = a.add_state()
+        a.add_letter_edge(qa, qa, {"x": 1})
+        b = Automaton(mgr, ALPHABET)
+        qb = b.add_state()
+        b.add_edge(qb, qb, TRUE)
+        assert contained_in(a, b).holds
+        result = contained_in(b, a)
+        assert not result.holds
+        assert result.counterexample is not None
+        assert result.counterexample[-1]["x"] == 0
+
+    def test_alphabet_mismatch_rejected(self, mgr) -> None:
+        a = Automaton(mgr, ("x",))
+        a.add_state()
+        b = Automaton(mgr, ALPHABET)
+        b.add_state()
+        with pytest.raises(AutomatonError):
+            contained_in(a, b)
+
+
+class TestSampling:
+    def test_sample_words_shape_and_determinism(self) -> None:
+        aut = random_automaton(3)
+        words1 = list(sample_words(aut, 10, 4, seed=7))
+        words2 = list(sample_words(aut, 10, 4, seed=7))
+        assert words1 == words2
+        assert len(words1) == 10
+        for word in words1:
+            assert all(set(letter) == set(aut.variables) for letter in word)

@@ -1,0 +1,333 @@
+"""Tests for automaton operations against brute-force language semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bdd.manager import FALSE, TRUE
+from repro.errors import AutomatonError
+from repro.automata import (
+    Automaton,
+    accepts,
+    complement,
+    complete,
+    determinize,
+    enumerate_language,
+    minimize,
+    prefix_close,
+    product,
+    progressive,
+    split_regions,
+    support,
+)
+from tests.automata.conftest import ALPHABET, random_automaton
+
+WORD_LEN = 3
+SEEDS = range(12)
+
+
+class TestComplete:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_complete_is_complete_and_preserves_language(self, seed) -> None:
+        aut = random_automaton(seed)
+        completed = complete(aut)
+        assert completed.is_complete()
+        assert enumerate_language(aut, WORD_LEN) == enumerate_language(
+            completed, WORD_LEN
+        )
+
+    def test_complete_adds_nonaccepting_sink_with_self_loop(self, mgr) -> None:
+        aut = Automaton(mgr, ALPHABET)
+        s0 = aut.add_state("s")
+        aut.add_letter_edge(s0, s0, {"x": 1, "y": 1})
+        completed = complete(aut)
+        dc = completed.num_states - 1
+        assert completed.state_names[dc] == "DC"
+        assert dc not in completed.accepting
+        assert completed.edges[dc] == {dc: TRUE}
+
+    def test_complete_on_complete_automaton_adds_nothing(self, mgr) -> None:
+        aut = Automaton(mgr, ALPHABET)
+        s0 = aut.add_state()
+        aut.add_edge(s0, s0, TRUE)
+        assert complete(aut).num_states == 1
+
+
+class TestDeterminize:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_determinize_preserves_language(self, seed) -> None:
+        aut = random_automaton(seed)
+        det = determinize(aut)
+        assert det.is_deterministic()
+        assert enumerate_language(aut, WORD_LEN) == enumerate_language(det, WORD_LEN)
+
+    def test_determinize_merges_nondeterministic_branches(self, mgr) -> None:
+        aut = Automaton(mgr, ALPHABET)
+        s0 = aut.add_state("a", accepting=False)
+        s1 = aut.add_state("b", accepting=False)
+        s2 = aut.add_state("c", accepting=True)
+        aut.add_letter_edge(s0, s1, {"x": 1})
+        aut.add_letter_edge(s0, s2, {"x": 1})
+        det = determinize(aut)
+        assert det.num_states == 2  # {a}, {b,c}
+        assert det.is_deterministic()
+
+    def test_subset_accepting_iff_member_accepting(self, mgr) -> None:
+        aut = Automaton(mgr, ALPHABET)
+        s0 = aut.add_state("a", accepting=False)
+        s1 = aut.add_state("b", accepting=True)
+        aut.add_letter_edge(s0, s0, {"x": 0})
+        aut.add_letter_edge(s0, s1, {"x": 0})
+        det = determinize(aut)
+        labels = dict(zip(det.state_names, range(det.num_states)))
+        assert labels["{a}"] not in det.accepting
+        assert labels["{a,b}"] in det.accepting
+
+
+class TestComplement:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_complement_flips_membership(self, seed) -> None:
+        aut = random_automaton(seed)
+        comp = complement(complete(determinize(aut)))
+        lang = enumerate_language(aut, WORD_LEN)
+        comp_lang = enumerate_language(comp, WORD_LEN)
+        letters = list(aut.letters())
+        total = sum(len(letters) ** k for k in range(WORD_LEN + 1))
+        assert len(lang) + len(comp_lang) == total
+        assert not (lang & comp_lang)
+
+    def test_complement_requires_complete(self, mgr) -> None:
+        aut = Automaton(mgr, ALPHABET)
+        s0 = aut.add_state()
+        aut.add_letter_edge(s0, s0, {"x": 1})
+        with pytest.raises(AutomatonError):
+            complement(aut)
+
+    def test_complement_requires_deterministic(self, mgr) -> None:
+        aut = Automaton(mgr, ALPHABET)
+        s0, s1 = aut.add_state(), aut.add_state()
+        aut.add_edge(s0, s0, TRUE)
+        aut.add_edge(s0, s1, TRUE)
+        aut.add_edge(s1, s1, TRUE)
+        with pytest.raises(AutomatonError):
+            complement(aut)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_double_complement_is_identity(self, seed) -> None:
+        aut = complete(determinize(random_automaton(seed)))
+        twice = complement(complement(aut))
+        assert enumerate_language(aut, WORD_LEN) == enumerate_language(twice, WORD_LEN)
+
+
+class TestProduct:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_product_is_language_intersection(self, seed) -> None:
+        a = random_automaton(seed)
+        b_raw = random_automaton(seed + 100)
+        # Rebuild b in a's manager to share variables.
+        b = Automaton(a.manager, a.variables)
+        for sid in range(b_raw.num_states):
+            b.add_state(b_raw.state_names[sid], accepting=sid in b_raw.accepting)
+        for src, bucket in enumerate(b_raw.edges):
+            for dst, label in bucket.items():
+                from repro.bdd.reorder import transfer
+
+                b.add_edge(src, dst, transfer(label, b_raw.manager, a.manager))
+        prod = product(a, b)
+        assert enumerate_language(prod, WORD_LEN) == (
+            enumerate_language(a, WORD_LEN) & enumerate_language(b, WORD_LEN)
+        )
+
+    def test_product_over_different_supports(self, mgr) -> None:
+        # a constrains x, b constrains y; the product constrains both.
+        a = Automaton(mgr, ("x",))
+        sa = a.add_state()
+        a.add_letter_edge(sa, sa, {"x": 1})
+        b = Automaton(mgr, ("y",))
+        sb = b.add_state()
+        b.add_letter_edge(sb, sb, {"y": 0})
+        prod = product(a, b)
+        assert prod.variables == ("x", "y")
+        assert accepts(prod, [{"x": 1, "y": 0}])
+        assert not accepts(prod, [{"x": 1, "y": 1}])
+        assert not accepts(prod, [{"x": 0, "y": 0}])
+
+    def test_product_requires_shared_manager(self) -> None:
+        a = random_automaton(1)
+        b = random_automaton(2)
+        with pytest.raises(AutomatonError):
+            product(a, b)
+
+
+class TestSupport:
+    def test_hiding_quantifies_labels(self, mgr) -> None:
+        aut = Automaton(mgr, ALPHABET)
+        s0, s1 = aut.add_state(), aut.add_state()
+        aut.add_letter_edge(s0, s1, {"x": 1, "y": 0})
+        hidden = support(aut, ("y",))
+        assert hidden.variables == ("y",)
+        assert accepts(hidden, [{"y": 0}])
+        assert not accepts(hidden, [{"y": 1}])
+
+    def test_hiding_can_create_nondeterminism(self, mgr) -> None:
+        aut = Automaton(mgr, ALPHABET)
+        s0, s1, s2 = aut.add_state(), aut.add_state(), aut.add_state()
+        aut.add_letter_edge(s0, s1, {"x": 0, "y": 0})
+        aut.add_letter_edge(s0, s2, {"x": 1, "y": 0})
+        assert aut.is_deterministic()
+        hidden = support(aut, ("y",))
+        assert not hidden.is_deterministic()
+
+    def test_expansion_leaves_labels_unconstrained(self, mgr) -> None:
+        aut = Automaton(mgr, ("x",))
+        s0 = aut.add_state()
+        aut.add_letter_edge(s0, s0, {"x": 1})
+        expanded = support(aut, ("x", "y"))
+        assert accepts(expanded, [{"x": 1, "y": 0}])
+        assert accepts(expanded, [{"x": 1, "y": 1}])
+        assert not accepts(expanded, [{"x": 0, "y": 0}])
+
+    def test_expand_then_restrict_is_identity(self, mgr) -> None:
+        aut = random_automaton(3)
+        m = aut.manager
+        m.add_var("z")
+        expanded = support(aut, aut.variables + ("z",))
+        back = support(expanded, aut.variables)
+        assert enumerate_language(aut, WORD_LEN) == enumerate_language(back, WORD_LEN)
+
+    def test_undeclared_variable_rejected(self, mgr) -> None:
+        aut = Automaton(mgr, ALPHABET)
+        aut.add_state()
+        with pytest.raises(AutomatonError):
+            support(aut, ("nope",))
+
+
+class TestPrefixClose:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_prefix_closed_language(self, seed) -> None:
+        aut = random_automaton(seed)
+        closed = prefix_close(aut)
+        lang = enumerate_language(closed, WORD_LEN)
+        for word in lang:
+            for k in range(len(word)):
+                assert word[:k] in lang
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_prefix_close_keeps_only_always_accepting_runs(self, seed) -> None:
+        aut = random_automaton(seed)
+        closed = prefix_close(aut)
+        # Every word of the closed language is in the original language.
+        assert enumerate_language(closed, WORD_LEN) <= enumerate_language(
+            aut, WORD_LEN
+        )
+        if closed.accepting:
+            # All surviving states accepting.
+            assert closed.accepting == set(range(closed.num_states))
+        else:
+            # Empty-language automaton (initial state was non-accepting).
+            assert closed.num_states == 1 and closed.num_edges() == 0
+
+    def test_nonaccepting_initial_gives_empty(self, mgr) -> None:
+        aut = Automaton(mgr, ALPHABET)
+        aut.add_state(accepting=False)
+        closed = prefix_close(aut)
+        assert closed.accepting == set()
+
+
+class TestProgressive:
+    def test_removes_states_missing_inputs(self, mgr) -> None:
+        # State q1 has no transition under x=1: not input-progressive.
+        aut = Automaton(mgr, ALPHABET)
+        q0, q1 = aut.add_state("q0"), aut.add_state("q1")
+        aut.add_edge(q0, q0, TRUE)
+        aut.add_letter_edge(q0, q1, {"x": 0})
+        aut.add_letter_edge(q1, q1, {"x": 0, "y": 0})
+        result = progressive(aut, ["x"])
+        assert result.state_names == ["q0"]
+
+    def test_removal_cascades(self, mgr) -> None:
+        # q2 dies (missing x=1), then q1 dies (its only x=1 edge went to q2).
+        aut = Automaton(mgr, ALPHABET)
+        q0, q1, q2 = aut.add_state("q0"), aut.add_state("q1"), aut.add_state("q2")
+        aut.add_edge(q0, q0, TRUE)
+        aut.add_letter_edge(q1, q0, {"x": 0})
+        aut.add_letter_edge(q1, q2, {"x": 1})
+        aut.add_letter_edge(q2, q2, {"x": 0})
+        aut.add_letter_edge(q0, q1, {"x": 0})
+        result = progressive(aut, ["x"])
+        assert result.state_names == ["q0"]
+
+    def test_initial_removed_gives_empty(self, mgr) -> None:
+        aut = Automaton(mgr, ALPHABET)
+        q0 = aut.add_state("q0")
+        aut.add_letter_edge(q0, q0, {"x": 0})
+        result = progressive(aut, ["x"])
+        assert result.accepting == set()
+        assert result.num_states == 1
+
+    def test_output_choice_satisfies_progressiveness(self, mgr) -> None:
+        # For input x there must EXIST an output y edge; y=0-only is fine.
+        aut = Automaton(mgr, ALPHABET)
+        q0 = aut.add_state("q0")
+        aut.add_letter_edge(q0, q0, {"y": 0})  # defined for all x with y=0
+        result = progressive(aut, ["x"])
+        assert result.num_states == 1
+        assert result.accepting == {0}
+
+    def test_foreign_input_variable_rejected(self, mgr) -> None:
+        aut = Automaton(mgr, ALPHABET)
+        aut.add_state()
+        with pytest.raises(AutomatonError):
+            progressive(aut, ["nope"])
+
+
+class TestMinimize:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_minimize_preserves_language(self, seed) -> None:
+        aut = random_automaton(seed)
+        small = minimize(aut)
+        assert enumerate_language(aut, WORD_LEN) == enumerate_language(
+            small, WORD_LEN
+        )
+        assert small.num_states <= max(aut.trim().num_states, 1)
+
+    def test_minimize_merges_equivalent_states(self, mgr) -> None:
+        # q1 and q2 behave identically and must merge; q0 differs by
+        # acceptance and must stay separate.
+        aut = Automaton(mgr, ALPHABET)
+        q0 = aut.add_state(accepting=False)
+        q1 = aut.add_state(accepting=True)
+        q2 = aut.add_state(accepting=True)
+        aut.add_letter_edge(q0, q1, {"x": 0})
+        aut.add_letter_edge(q0, q2, {"x": 1})
+        aut.add_edge(q1, q1, TRUE)
+        aut.add_edge(q2, q2, TRUE)
+        small = minimize(aut)
+        assert small.num_states == 2
+
+    def test_minimized_dfa_is_canonical_size(self, mgr) -> None:
+        # Language: words over x where every letter has x=1 (y free).
+        aut = Automaton(mgr, ALPHABET)
+        q0, q1 = aut.add_state(), aut.add_state()
+        x = mgr.var_node(mgr.var_index("x"))
+        aut.add_edge(q0, q0, x)
+        aut.add_edge(q1, q1, TRUE)  # redundant unreachable state
+        small = minimize(aut)
+        assert small.num_states == 1
+
+
+class TestSplitRegions:
+    def test_regions_partition_the_defined_space(self, mgr) -> None:
+        x = mgr.var_node(mgr.var_index("x"))
+        y = mgr.var_node(mgr.var_index("y"))
+        targets = [(0, x), (1, mgr.apply_or(x, y))]
+        regions = list(split_regions(mgr, targets))
+        # x=1 -> {0,1}; x=0,y=1 -> {1}; x=0,y=0 -> nothing.
+        as_dict = {dests: cond for dests, cond in regions}
+        assert set(as_dict) == {frozenset({0, 1}), frozenset({1})}
+        assert as_dict[frozenset({0, 1})] == x
+        union = FALSE
+        for cond in as_dict.values():
+            assert mgr.apply_and(union, cond) == FALSE  # disjoint
+            union = mgr.apply_or(union, cond)
+        assert union == mgr.apply_or(x, y)

@@ -1,0 +1,155 @@
+"""Tests for STG extraction and KISS2 / DOT I/O."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bdd.manager import BddManager
+from repro.bench import circuits, figure3_network, s27
+from repro.errors import AutomatonError
+from repro.automata import (
+    accepts,
+    automaton_to_dot,
+    complete,
+    enumerate_language,
+    equivalent,
+    network_to_automaton,
+    parse_kiss,
+    reachable_state_count,
+    write_kiss,
+)
+from repro.network import Network
+
+
+class TestStg:
+    def test_figure3_reachable_states(self) -> None:
+        # The paper's example: reachable states are 00, 01, 10 (11 is not).
+        aut = network_to_automaton(figure3_network())
+        assert sorted(aut.state_names) == ["00", "01", "10"]
+        assert aut.accepting == {0, 1, 2}
+
+    def test_figure3_transitions_match_paper(self) -> None:
+        aut = network_to_automaton(figure3_network())
+        names = {name: sid for sid, name in enumerate(aut.state_names)}
+        # "the transition from state (00) under input 0 is to state (01).
+        # The output produced by the network in this case is 0."
+        assert aut.successors(names["00"], {"i": 0, "o": 0}) == [names["01"]]
+        # From (10), any input produces output 1 and goes to (01): label -1.
+        assert aut.successors(names["10"], {"i": 0, "o": 1}) == [names["01"]]
+        assert aut.successors(names["10"], {"i": 1, "o": 1}) == [names["01"]]
+        # Undefined: from (00) under (i,o) = (1,1) — the paper's example.
+        assert aut.successors(names["00"], {"i": 1, "o": 1}) == []
+
+    def test_figure3_completion_adds_dc(self) -> None:
+        aut = complete(network_to_automaton(figure3_network()))
+        assert aut.num_states == 4
+        dc = aut.num_states - 1
+        assert dc not in aut.accepting
+        # DC has the universal self-loop.
+        assert aut.edges[dc] == {dc: 1}
+
+    def test_stg_is_deterministic_for_deterministic_networks(self) -> None:
+        for net in (figure3_network(), s27(), circuits.counter(3)):
+            aut = network_to_automaton(net)
+            assert aut.is_deterministic()
+
+    def test_counter_state_count(self) -> None:
+        assert reachable_state_count(circuits.counter(3)) == 8
+        assert reachable_state_count(circuits.johnson(3)) == 6
+        assert reachable_state_count(circuits.shift_register(2)) == 4
+
+    def test_s27_reachable_states(self) -> None:
+        # s27 has 6 reachable states out of 8 (standard result).
+        count = reachable_state_count(s27())
+        assert count == 6
+
+    def test_max_states_guard(self) -> None:
+        with pytest.raises(AutomatonError):
+            network_to_automaton(circuits.counter(4), max_states=3)
+
+    def test_input_output_overlap_rejected(self) -> None:
+        net = Network()
+        net.add_input("a")
+        net.add_output("a")
+        with pytest.raises(AutomatonError):
+            network_to_automaton(net)
+
+    def test_shared_manager_reuse(self) -> None:
+        mgr = BddManager()
+        aut1 = network_to_automaton(figure3_network(), mgr)
+        aut2 = network_to_automaton(figure3_network(), mgr)
+        assert aut1.manager is aut2.manager
+        assert equivalent(aut1, aut2)
+
+    def test_stg_language_matches_simulation(self) -> None:
+        net = circuits.sequence_detector("11")
+        aut = network_to_automaton(net)
+        # Simulate a few input words and check the (i, o) trace is accepted.
+        import random
+
+        rng = random.Random(1)
+        for _ in range(20):
+            word_inputs = [{"x": rng.randint(0, 1)} for _ in range(5)]
+            outs = net.simulate(word_inputs)
+            word = [{**i, **o} for i, o in zip(word_inputs, outs)]
+            assert accepts(aut, word)
+            # Corrupt the last output: must be rejected.
+            bad = [dict(letter) for letter in word]
+            bad[-1]["hit"] ^= 1
+            assert not accepts(aut, bad)
+
+
+class TestKiss:
+    def test_roundtrip_preserves_language(self) -> None:
+        aut = network_to_automaton(figure3_network())
+        text = write_kiss(aut)
+        back = parse_kiss(text)
+        assert back.num_states == aut.num_states
+        assert enumerate_language(back, 3) == enumerate_language(aut, 3)
+
+    def test_roundtrip_with_nonaccepting_states(self) -> None:
+        aut = complete(network_to_automaton(figure3_network()))
+        back = parse_kiss(write_kiss(aut))
+        assert len(back.accepting) == len(aut.accepting)
+        assert enumerate_language(back, 3) == enumerate_language(aut, 3)
+
+    def test_kiss_text_structure(self) -> None:
+        aut = network_to_automaton(figure3_network())
+        text = write_kiss(aut)
+        assert ".i 2" in text
+        assert ".ilb i o" in text
+        assert ".r 00" in text
+        assert text.rstrip().endswith(".e")
+
+    def test_parse_kiss_defaults(self) -> None:
+        text = ".i 1\n.r A\n0 A B\n1 A A\n- B B\n.e\n"
+        aut = parse_kiss(text)
+        assert aut.num_states == 2
+        assert aut.variables == ("x0",)
+        assert aut.accepting == {0, 1}
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "0 A B\n.e\n",  # missing .i
+            ".i 2\n.ilb a\n.e\n",  # width mismatch
+            ".i 1\n.bogus\n.e\n",
+            ".i 1\n0 A\n.e\n",
+            ".i 1\n00 A B\n.e\n",
+            ".i 1\n2 A B\n.e\n",
+            ".i 1\n.r A\n0 A A\n.accepting GHOST\n.e\n",
+        ],
+    )
+    def test_malformed_kiss_rejected(self, bad: str) -> None:
+        with pytest.raises(AutomatonError):
+            parse_kiss(bad)
+
+
+class TestDot:
+    def test_dot_output_mentions_states_and_labels(self) -> None:
+        aut = complete(network_to_automaton(figure3_network()))
+        dot = automaton_to_dot(aut)
+        assert "digraph" in dot
+        assert "doublecircle" in dot  # accepting
+        assert "gray80" in dot  # the DC state
+        assert "->" in dot

@@ -1,0 +1,103 @@
+"""Tests for the symbolic STG builder vs the explicit one."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bdd import BddManager
+from repro.bench import circuits, figure3_network, s27
+from repro.errors import AutomatonError
+from repro.network import build_network_bdds
+from repro.automata import equivalent, functions_to_automaton, network_to_automaton
+
+
+def symbolic_stg(net, mgr=None):
+    """Build the (i, o) automaton of a network via functions_to_automaton."""
+    mgr = mgr if mgr is not None else BddManager()
+    # Letters first (above the state variables).
+    i_vars = {n: mgr.add_var(n) for n in net.inputs}
+    o_vars = {n: mgr.add_var(n) for n in net.outputs}
+    cs, ns = {}, {}
+    for name in net.latches:
+        cs[name] = mgr.add_var(f"cs.{name}")
+        ns[name] = mgr.add_var(f"ns.{name}")
+    bdds = build_network_bdds(net, mgr, i_vars, cs)
+    return functions_to_automaton(
+        mgr,
+        alphabet=list(net.inputs) + list(net.outputs),
+        letter_bindings={o_vars[n]: bdds.outputs[n] for n in net.outputs},
+        next_state={ns[n]: bdds.next_state[n] for n in net.latches},
+        ns_of_cs={cs[n]: ns[n] for n in net.latches},
+        init={cs[n]: latch.init for n, latch in net.latches.items()},
+    )
+
+
+@pytest.mark.parametrize(
+    "make",
+    [
+        figure3_network,
+        s27,
+        lambda: circuits.counter(3),
+        lambda: circuits.johnson(3),
+        lambda: circuits.sequence_detector("101"),
+        lambda: circuits.traffic_light(),
+        lambda: circuits.random_network(2, 3, 2, seed=6),
+    ],
+)
+def test_symbolic_matches_explicit_stg(make) -> None:
+    net = make()
+    symbolic = symbolic_stg(net)
+    mgr = symbolic.manager
+    explicit = network_to_automaton(net, mgr)
+    assert symbolic.num_states == explicit.num_states
+    assert equivalent(symbolic, explicit)
+
+
+def test_symbolic_stg_is_deterministic() -> None:
+    aut = symbolic_stg(s27())
+    assert aut.is_deterministic()
+    assert aut.accepting == set(range(aut.num_states))
+
+
+def test_max_states_guard() -> None:
+    net = circuits.counter(4)
+    mgr = BddManager()
+    i_vars = {n: mgr.add_var(n) for n in net.inputs}
+    o_vars = {n: mgr.add_var(n) for n in net.outputs}
+    cs, ns = {}, {}
+    for name in net.latches:
+        cs[name] = mgr.add_var(f"cs.{name}")
+        ns[name] = mgr.add_var(f"ns.{name}")
+    bdds = build_network_bdds(net, mgr, i_vars, cs)
+    with pytest.raises(AutomatonError):
+        functions_to_automaton(
+            mgr,
+            alphabet=list(net.inputs) + list(net.outputs),
+            letter_bindings={o_vars[n]: bdds.outputs[n] for n in net.outputs},
+            next_state={ns[n]: bdds.next_state[n] for n in net.latches},
+            ns_of_cs={cs[n]: ns[n] for n in net.latches},
+            init={cs[n]: latch.init for n, latch in net.latches.items()},
+            max_states=3,
+        )
+
+
+def test_unconstrained_letters_are_free_inputs() -> None:
+    # A component with NO letter bindings accepts any letter values while
+    # following its transition structure.
+    net = circuits.shift_register(2)
+    mgr = BddManager()
+    i_vars = {n: mgr.add_var(n) for n in net.inputs}
+    cs, ns = {}, {}
+    for name in net.latches:
+        cs[name] = mgr.add_var(f"cs.{name}")
+        ns[name] = mgr.add_var(f"ns.{name}")
+    bdds = build_network_bdds(net, mgr, i_vars, cs)
+    aut = functions_to_automaton(
+        mgr,
+        alphabet=list(net.inputs),
+        letter_bindings={},
+        next_state={ns[n]: bdds.next_state[n] for n in net.latches},
+        ns_of_cs={cs[n]: ns[n] for n in net.latches},
+        init={cs[n]: latch.init for n, latch in net.latches.items()},
+    )
+    assert aut.is_complete()

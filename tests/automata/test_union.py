@@ -1,0 +1,111 @@
+"""Tests for language union (and its interplay with the other ops)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bdd.manager import TRUE
+from repro.bdd.reorder import transfer
+from repro.errors import AutomatonError
+from repro.automata import (
+    Automaton,
+    accepts,
+    contained_in,
+    empty_automaton,
+    enumerate_language,
+    equivalent,
+    union,
+)
+from tests.automata.conftest import ALPHABET, random_automaton
+
+WORD_LEN = 3
+
+
+def rebuild_in(manager, variables, src):
+    dst = Automaton(manager, variables)
+    for sid in range(src.num_states):
+        dst.add_state(src.state_names[sid], accepting=sid in src.accepting)
+    for s, bucket in enumerate(src.edges):
+        for d, label in bucket.items():
+            dst.add_edge(s, d, transfer(label, src.manager, manager))
+    dst.initial = src.initial
+    return dst
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_union_is_language_union(seed) -> None:
+    a = random_automaton(seed)
+    b = rebuild_in(a.manager, a.variables, random_automaton(seed + 77))
+    u = union(a, b)
+    assert enumerate_language(u, WORD_LEN) == (
+        enumerate_language(a, WORD_LEN) | enumerate_language(b, WORD_LEN)
+    )
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_union_contains_both_operands(seed) -> None:
+    a = random_automaton(seed)
+    b = rebuild_in(a.manager, a.variables, random_automaton(seed + 31))
+    u = union(a, b)
+    assert contained_in(a, u).holds
+    assert contained_in(b, u).holds
+
+
+def test_union_with_empty_is_identity(mgr) -> None:
+    a = Automaton(mgr, ALPHABET)
+    s = a.add_state()
+    a.add_letter_edge(s, s, {"x": 1})
+    e = empty_automaton(mgr, ALPHABET)
+    assert equivalent(union(a, e), a)
+    assert equivalent(union(e, a), a)
+
+
+def test_union_of_empties_is_empty(mgr) -> None:
+    e1 = empty_automaton(mgr, ALPHABET)
+    e2 = empty_automaton(mgr, ALPHABET)
+    u = union(e1, e2)
+    assert not accepts(u, [])
+    assert enumerate_language(u, 2) == set()
+
+
+def test_union_epsilon_membership(mgr) -> None:
+    # ε ∈ L(a) ∪ L(b) iff either initial is accepting.
+    a = Automaton(mgr, ALPHABET)
+    a.add_state(accepting=False)
+    b = Automaton(mgr, ALPHABET)
+    b.add_state(accepting=True)
+    assert accepts(union(a, b), [])
+    assert accepts(union(b, a), [])
+    assert not accepts(union(a, a.copy()), [])
+
+
+def test_union_requires_shared_manager() -> None:
+    a = random_automaton(1)
+    b = random_automaton(2)
+    with pytest.raises(AutomatonError):
+        union(a, b)
+
+
+def test_union_alphabet_mismatch_rejected(mgr) -> None:
+    a = Automaton(mgr, ALPHABET)
+    a.add_state()
+    mgr.add_var("w")
+    b = Automaton(mgr, ("w",))
+    b.add_state()
+    with pytest.raises(AutomatonError):
+        union(a, b)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_de_morgan_for_languages(seed) -> None:
+    # comp(det(a ∪ b)) ≡ comp(det a) ∩ comp(det b) on full-word level.
+    from repro.automata import complement, complete, determinize, product
+
+    a = random_automaton(seed, n_states=3)
+    b = rebuild_in(a.manager, a.variables, random_automaton(seed + 5, n_states=3))
+    lhs = complement(complete(determinize(union(a, b))))
+    rhs = product(
+        complement(complete(determinize(a))),
+        complement(complete(determinize(b))),
+    )
+    assert equivalent(lhs, rhs)

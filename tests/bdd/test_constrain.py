@@ -1,0 +1,91 @@
+"""Tests for the generalised cofactor (constrain) operator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import assume, given, settings
+
+from repro.bdd import BddManager
+from repro.bdd.manager import FALSE, TRUE
+from repro.errors import BddError
+from tests.strategies import DEFAULT_VARS, all_assignments, expressions
+
+
+def build_two(e1, e2):
+    mgr = BddManager()
+    mgr.add_vars(DEFAULT_VARS)
+    return mgr, e1.to_bdd(mgr), e2.to_bdd(mgr)
+
+
+@given(expressions(), expressions())
+@settings(max_examples=100, deadline=None)
+def test_constrain_agrees_with_f_on_care_set(e1, e2) -> None:
+    mgr, f, c = build_two(e1, e2)
+    assume(c != FALSE)
+    r = mgr.constrain(f, c)
+    # The defining property: r ∧ c == f ∧ c.
+    assert mgr.apply_and(r, c) == mgr.apply_and(f, c)
+
+
+@given(expressions(), expressions())
+@settings(max_examples=75, deadline=None)
+def test_constrain_pointwise_on_care_set(e1, e2) -> None:
+    mgr, f, c = build_two(e1, e2)
+    assume(c != FALSE)
+    r = mgr.constrain(f, c)
+    for env in all_assignments(DEFAULT_VARS):
+        if mgr.eval(c, env):
+            assert mgr.eval(r, env) == mgr.eval(f, env)
+
+
+@given(expressions())
+@settings(max_examples=50, deadline=None)
+def test_constrain_identities(e) -> None:
+    mgr = BddManager()
+    mgr.add_vars(DEFAULT_VARS)
+    f = e.to_bdd(mgr)
+    assert mgr.constrain(f, TRUE) == f
+    if f != FALSE:
+        assert mgr.constrain(f, f) == TRUE
+    assert mgr.constrain(TRUE, f if f != FALSE else TRUE) == TRUE
+    assert mgr.constrain(FALSE, f if f != FALSE else TRUE) == FALSE
+
+
+def test_constrain_by_false_rejected() -> None:
+    mgr = BddManager()
+    a = mgr.add_var("a")
+    with pytest.raises(BddError):
+        mgr.constrain(mgr.var_node(a), FALSE)
+
+
+def test_function_wrapper_constrain() -> None:
+    from repro.bdd import Function
+
+    mgr = BddManager()
+    a, b = Function.vars(mgr, "a", "b")
+    f = a ^ b
+    r = f.constrain(a)
+    assert (r & a) == (f & a)
+
+
+def test_constrain_simplifies_on_cube_care_set() -> None:
+    # Constraining by a cube is the ordinary cofactor.
+    mgr = BddManager()
+    a, b, c = mgr.add_vars(["a", "b", "c"])
+    f = mgr.apply_or(
+        mgr.apply_and(mgr.var_node(a), mgr.var_node(b)), mgr.var_node(c)
+    )
+    cube = mgr.cube({a: 1})
+    assert mgr.constrain(f, cube) == mgr.restrict(f, a, 1)
+
+
+@given(expressions(), expressions())
+@settings(max_examples=50, deadline=None)
+def test_constrain_can_be_used_in_image(e1, e2) -> None:
+    # ∃x.(f ∧ c) == ∃x.(constrain(f, c) ∧ c): the image-computation use.
+    mgr, f, c = build_two(e1, e2)
+    assume(c != FALSE)
+    variables = [mgr.var_index(n) for n in DEFAULT_VARS[:2]]
+    lhs = mgr.and_exists(f, c, variables)
+    rhs = mgr.and_exists(mgr.constrain(f, c), c, variables)
+    assert lhs == rhs

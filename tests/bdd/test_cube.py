@@ -1,0 +1,128 @@
+"""Tests for sat counting, cube/minterm enumeration and picking."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.bdd import (
+    FALSE,
+    TRUE,
+    BddManager,
+    iter_cubes,
+    iter_minterms,
+    pick_cube,
+    pick_minterm,
+    sat_count,
+)
+from repro.errors import BddError
+from tests.strategies import DEFAULT_VARS, all_assignments, expressions
+
+
+def build(expr):
+    mgr = BddManager()
+    mgr.add_vars(DEFAULT_VARS)
+    return mgr, expr.to_bdd(mgr)
+
+
+def brute_count(expr) -> int:
+    return sum(1 for env in all_assignments(DEFAULT_VARS) if expr.evaluate(env))
+
+
+@given(expressions())
+@settings(max_examples=100, deadline=None)
+def test_sat_count_matches_brute_force(expr) -> None:
+    mgr, node = build(expr)
+    variables = [mgr.var_index(n) for n in DEFAULT_VARS]
+    assert sat_count(mgr, node, variables) == brute_count(expr)
+
+
+@given(expressions())
+@settings(max_examples=75, deadline=None)
+def test_minterms_enumerate_exactly_the_models(expr) -> None:
+    mgr, node = build(expr)
+    variables = [mgr.var_index(n) for n in DEFAULT_VARS]
+    got = {mt for mt in iter_minterms(mgr, node, variables)}
+    want = {
+        tuple(env[n] for n in DEFAULT_VARS)
+        for env in all_assignments(DEFAULT_VARS)
+        if expr.evaluate(env)
+    }
+    assert got == want
+
+
+@given(expressions())
+@settings(max_examples=75, deadline=None)
+def test_cubes_cover_exactly_the_function(expr) -> None:
+    mgr, node = build(expr)
+    cubes = list(iter_cubes(mgr, node))
+    for env in all_assignments(DEFAULT_VARS):
+        covered = any(
+            all(env[mgr.var_name(v)] == val for v, val in cube.items())
+            for cube in cubes
+        )
+        assert covered == expr.evaluate(env)
+
+
+@given(expressions())
+@settings(max_examples=75, deadline=None)
+def test_cubes_are_disjoint(expr) -> None:
+    mgr, node = build(expr)
+    cubes = list(iter_cubes(mgr, node))
+    for env in all_assignments(DEFAULT_VARS):
+        hits = sum(
+            1
+            for cube in cubes
+            if all(env[mgr.var_name(v)] == val for v, val in cube.items())
+        )
+        assert hits <= 1
+
+
+@given(expressions())
+@settings(max_examples=100, deadline=None)
+def test_pick_cube_satisfies(expr) -> None:
+    mgr, node = build(expr)
+    if node == FALSE:
+        with pytest.raises(BddError):
+            pick_cube(mgr, node)
+        return
+    cube = pick_cube(mgr, node)
+    env = {n: 0 for n in DEFAULT_VARS}
+    env.update({mgr.var_name(v): val for v, val in cube.items()})
+    assert expr.evaluate(env)
+
+
+@given(expressions())
+@settings(max_examples=75, deadline=None)
+def test_pick_minterm_is_full_and_satisfying(expr) -> None:
+    mgr, node = build(expr)
+    variables = [mgr.var_index(n) for n in DEFAULT_VARS]
+    if node == FALSE:
+        return
+    mt = pick_minterm(mgr, node, variables)
+    assert set(mt) == set(variables)
+    assert mgr.eval_vars(node, mt)
+
+
+def test_sat_count_requires_support_coverage() -> None:
+    mgr = BddManager()
+    a, b = mgr.add_vars(["a", "b"])
+    f = mgr.apply_and(mgr.var_node(a), mgr.var_node(b))
+    with pytest.raises(BddError):
+        sat_count(mgr, f, [a])
+
+
+def test_sat_count_counts_dont_cares() -> None:
+    mgr = BddManager()
+    a, b, c = mgr.add_vars(["a", "b", "c"])
+    f = mgr.var_node(a)
+    assert sat_count(mgr, f, [a, b, c]) == 4
+    assert sat_count(mgr, TRUE, [a, b, c]) == 8
+    assert sat_count(mgr, FALSE, [a, b, c]) == 0
+
+
+def test_minterms_of_constant_true() -> None:
+    mgr = BddManager()
+    a, b = mgr.add_vars(["a", "b"])
+    assert len(list(iter_minterms(mgr, TRUE, [a, b]))) == 4
+    assert list(iter_minterms(mgr, FALSE, [a, b])) == []

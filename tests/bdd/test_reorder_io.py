@@ -1,0 +1,133 @@
+"""Tests for garbage collection, reordering, transfer, dot and dumps."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import (
+    BddManager,
+    compact,
+    dump_function,
+    greedy_sift_order,
+    load_function,
+    reorder,
+    to_dot,
+    transfer,
+)
+from repro.errors import BddError
+from tests.strategies import DEFAULT_VARS, all_assignments, expressions
+
+
+def build(expr):
+    mgr = BddManager()
+    mgr.add_vars(DEFAULT_VARS)
+    return mgr, expr.to_bdd(mgr)
+
+
+@given(expressions())
+@settings(max_examples=50, deadline=None)
+def test_compact_preserves_semantics(expr) -> None:
+    mgr, node = build(expr)
+    # Create garbage on purpose.
+    for name in DEFAULT_VARS:
+        mgr.apply_xor(node, mgr.var_node(mgr.var_index(name)))
+    mapping = compact(mgr, [node])
+    new_node = mapping[node]
+    for env in all_assignments(DEFAULT_VARS):
+        assert mgr.eval(new_node, env) == expr.evaluate(env)
+
+
+@given(expressions())
+@settings(max_examples=30, deadline=None)
+def test_compact_reduces_to_live_nodes(expr) -> None:
+    mgr, node = build(expr)
+    for name in DEFAULT_VARS:
+        mgr.apply_xor(node, mgr.var_node(mgr.var_index(name)))
+    live = mgr.size(node)
+    compact(mgr, [node])
+    assert len(mgr) == live + 2  # live internal nodes + 2 terminals
+
+
+@given(expressions(), st.permutations(list(DEFAULT_VARS)))
+@settings(max_examples=50, deadline=None)
+def test_reorder_preserves_semantics(expr, new_order) -> None:
+    mgr, node = build(expr)
+    fresh, (copy,) = reorder(mgr, new_order, [node])
+    assert fresh.var_order() == list(new_order)
+    for env in all_assignments(DEFAULT_VARS):
+        assert fresh.eval(copy, env) == expr.evaluate(env)
+
+
+def test_reorder_rejects_incomplete_order() -> None:
+    mgr = BddManager()
+    mgr.add_vars(["a", "b"])
+    with pytest.raises(BddError):
+        reorder(mgr, ["a"], [])
+
+
+@given(expressions())
+@settings(max_examples=50, deadline=None)
+def test_transfer_with_rename(expr) -> None:
+    mgr, node = build(expr)
+    dst = BddManager()
+    dst.add_vars([f"{n}_x" for n in DEFAULT_VARS])
+    copy = transfer(node, mgr, dst, name_map={n: f"{n}_x" for n in DEFAULT_VARS})
+    for env in all_assignments(DEFAULT_VARS):
+        renamed = {f"{n}_x": v for n, v in env.items()}
+        assert dst.eval(copy, renamed) == expr.evaluate(env)
+
+
+def test_transfer_requires_declared_vars() -> None:
+    mgr = BddManager()
+    mgr.add_vars(["a"])
+    dst = BddManager()
+    with pytest.raises(BddError):
+        transfer(mgr.var_node(0), mgr, dst)
+
+
+def test_greedy_sift_finds_interleaved_order_for_comparator() -> None:
+    # The equality function x_i <-> y_i is exponential when all x precede
+    # all y, linear when interleaved; sifting should find a good order.
+    n = 4
+    mgr = BddManager()
+    xs = mgr.add_vars([f"x{i}" for i in range(n)])
+    ys = mgr.add_vars([f"y{i}" for i in range(n)])
+    f = 1
+    for x, y in zip(xs, ys):
+        f = mgr.apply_and(f, mgr.apply_iff(mgr.var_node(x), mgr.var_node(y)))
+    bad_size = mgr.size(f)
+    order = greedy_sift_order(mgr, [f], max_passes=2)
+    fresh, (copy,) = reorder(mgr, order, [f])
+    assert fresh.size(copy) <= bad_size
+    assert fresh.size(copy) <= 3 * n  # interleaved order gives 3n-ish nodes
+
+
+@given(expressions())
+@settings(max_examples=50, deadline=None)
+def test_dump_load_roundtrip(expr) -> None:
+    mgr, node = build(expr)
+    blob = dump_function(mgr, node)
+    dst = BddManager()
+    dst.add_vars(DEFAULT_VARS)
+    copy = load_function(dst, blob)
+    for env in all_assignments(DEFAULT_VARS):
+        assert dst.eval(copy, env) == expr.evaluate(env)
+
+
+def test_dump_load_terminals() -> None:
+    mgr = BddManager()
+    assert load_function(mgr, dump_function(mgr, 1)) == 1
+    assert load_function(mgr, dump_function(mgr, 0)) == 0
+
+
+def test_to_dot_mentions_all_roots_and_edges() -> None:
+    mgr = BddManager()
+    a, b = mgr.add_vars(["a", "b"])
+    f = mgr.apply_and(mgr.var_node(a), mgr.var_node(b))
+    dot = to_dot(mgr, {"f": f})
+    assert "digraph" in dot
+    assert 'label="a"' in dot and 'label="b"' in dot
+    assert "root_f" in dot
+    assert "style=dashed" in dot and "style=solid" in dot

@@ -1,0 +1,156 @@
+"""Behavioural tests for the extended benchmark circuit generators."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.bench import circuits
+from repro.errors import NetworkError
+
+
+class TestGrayCounter:
+    def test_adjacent_states_differ_in_one_bit(self) -> None:
+        net = circuits.gray_counter(3)
+        state = net.initial_state()
+        seen = [tuple(state.values())]
+        for _ in range(8):
+            _, state = net.step(state, {"en": 1})
+            seen.append(tuple(state.values()))
+        for a, b in zip(seen, seen[1:]):
+            assert sum(x != y for x, y in zip(a, b)) == 1
+        # Full period: 2^n distinct codes then wrap.
+        assert len(set(seen[:-1])) == 8
+        assert seen[0] == seen[-1]
+
+    def test_hold_when_disabled(self) -> None:
+        net = circuits.gray_counter(3)
+        _, s1 = net.step(net.initial_state(), {"en": 1})
+        _, s2 = net.step(s1, {"en": 0})
+        assert s1 == s2
+
+    def test_too_small_rejected(self) -> None:
+        with pytest.raises(NetworkError):
+            circuits.gray_counter(1)
+
+
+class TestUpDownCounter:
+    def test_up_then_down_returns_to_zero(self) -> None:
+        net = circuits.updown_counter(3)
+        state = net.initial_state()
+        for _ in range(5):
+            _, state = net.step(state, {"en": 1, "up": 1})
+        for _ in range(5):
+            _, state = net.step(state, {"en": 1, "up": 0})
+        outs, _ = net.step(state, {"en": 0, "up": 0})
+        assert outs["zero"] == 1
+
+    def test_counts_match_arithmetic(self) -> None:
+        net = circuits.updown_counter(3)
+        state = net.initial_state()
+        value = 0
+        rng = random.Random(3)
+        for _ in range(40):
+            en, up = rng.randint(0, 1), rng.randint(0, 1)
+            _, state = net.step(state, {"en": en, "up": up})
+            if en:
+                value = (value + (1 if up else -1)) % 8
+            got = sum(state[f"b{k}"] << k for k in range(3))
+            assert got == value
+
+    def test_wraparound_down_from_zero(self) -> None:
+        net = circuits.updown_counter(2)
+        _, state = net.step(net.initial_state(), {"en": 1, "up": 0})
+        assert (state["b0"], state["b1"]) == (1, 1)  # 0 - 1 = 3 mod 4
+
+
+class TestFifoController:
+    def test_push_pop_occupancy(self) -> None:
+        net = circuits.fifo_controller(2)
+        state = net.initial_state()
+        outs, _ = net.step(state, {"push": 0, "pop": 0})
+        assert outs == {"full": 0, "empty": 1}
+        # Push to full (depth 4 with a 2-bit pointer).
+        for _ in range(4):
+            _, state = net.step(state, {"push": 1, "pop": 0})
+        outs, _ = net.step(state, {"push": 0, "pop": 0})
+        assert outs == {"full": 1, "empty": 0}
+        # Extra pushes are ignored.
+        _, state2 = net.step(state, {"push": 1, "pop": 0})
+        assert state2 == state
+        # Drain to empty.
+        for _ in range(4):
+            _, state = net.step(state, {"push": 0, "pop": 1})
+        outs, _ = net.step(state, {"push": 0, "pop": 0})
+        assert outs == {"full": 0, "empty": 1}
+
+    def test_simultaneous_push_pop_keeps_occupancy(self) -> None:
+        net = circuits.fifo_controller(2)
+        _, state = net.step(net.initial_state(), {"push": 1, "pop": 0})
+        _, state2 = net.step(state, {"push": 1, "pop": 1})
+        # Occupancy unchanged (1), pointers both advanced.
+        count = sum(state2[f"cnt{k}"] << k for k in range(3))
+        assert count == 1
+        assert state2["wp0"] != state["wp0"] or state2["wp1"] != state["wp1"]
+
+    def test_never_full_and_empty(self) -> None:
+        net = circuits.fifo_controller(2)
+        state = net.initial_state()
+        rng = random.Random(7)
+        for _ in range(60):
+            outs, state = net.step(
+                state, {"push": rng.randint(0, 1), "pop": rng.randint(0, 1)}
+            )
+            assert not (outs["full"] and outs["empty"])
+
+    def test_occupancy_bounded_by_depth(self) -> None:
+        net = circuits.fifo_controller(2)
+        state = net.initial_state()
+        rng = random.Random(8)
+        for _ in range(60):
+            _, state = net.step(
+                state, {"push": rng.randint(0, 1), "pop": rng.randint(0, 1)}
+            )
+            count = sum(state[f"cnt{k}"] << k for k in range(3))
+            assert 0 <= count <= 4
+
+
+class TestGeneratorsSplitCleanly:
+    @pytest.mark.parametrize(
+        "make,x",
+        [
+            (lambda: circuits.gray_counter(3), ["g1"]),
+            (lambda: circuits.updown_counter(3), ["b1"]),
+            (lambda: circuits.fifo_controller(1), ["cnt0", "wp0"]),
+        ],
+    )
+    def test_solver_handles_new_circuits(self, make, x) -> None:
+        from repro.automata import equivalent
+        from repro.eqn import build_latch_split_problem, solve_equation
+
+        prob = build_latch_split_problem(make(), x)
+        rp = solve_equation(prob, method="partitioned")
+        rm = solve_equation(prob, method="monolithic")
+        assert rp.csf_states == rm.csf_states
+        assert equivalent(rp.csf, rm.csf)
+
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: circuits.gray_counter(3),
+            lambda: circuits.updown_counter(3),
+            lambda: circuits.fifo_controller(2),
+        ],
+    )
+    def test_blif_roundtrip(self, make) -> None:
+        from repro.network import parse_blif, write_blif
+
+        net = make()
+        back = parse_blif(write_blif(net))
+        rng = random.Random(4)
+        stim = [
+            {n: rng.randint(0, 1) for n in net.inputs} for _ in range(20)
+        ]
+        assert back.simulate(stim) == net.simulate(stim)

@@ -1,0 +1,91 @@
+"""Tests for the Table 1 suite definition and harness plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.suite import TABLE1_CASES, case_by_name
+from repro.eqn.table1 import (
+    HEADERS,
+    PAPER_TABLE1,
+    Table1Row,
+    render_table1,
+    run_case,
+)
+
+
+class TestSuiteDefinition:
+    def test_has_at_least_six_rows_like_the_paper(self) -> None:
+        assert len(TABLE1_CASES) >= 6
+
+    def test_every_case_builds_and_splits(self) -> None:
+        for case in TABLE1_CASES:
+            net = case.network()
+            net.validate()
+            missing = set(case.x_latches) - set(net.latches)
+            assert not missing, f"{case.name}: unknown latches {missing}"
+            assert 0 < len(case.x_latches) < net.num_latches + 1
+
+    def test_case_names_unique(self) -> None:
+        names = [case.name for case in TABLE1_CASES]
+        assert len(names) == len(set(names))
+
+    def test_case_lookup(self) -> None:
+        assert case_by_name("s27").name == "s27"
+        with pytest.raises(KeyError):
+            case_by_name("nope")
+
+    def test_the_large_rows_expect_cnc(self) -> None:
+        # The paper's shape: the largest instances are CNC for monolithic.
+        cnc = [case.name for case in TABLE1_CASES if case.expect_mono_cnc]
+        assert len(cnc) >= 2
+
+    def test_describe_mentions_split(self) -> None:
+        text = case_by_name("s27").describe()
+        assert "s27" in text and "2/1" in text
+
+
+class TestHarness:
+    def test_run_case_smallest_row(self) -> None:
+        row = run_case(case_by_name("s27"))
+        assert row.states == 7
+        assert row.part_seconds is not None
+        assert row.mono_seconds is not None
+        assert row.ratio is not None and row.ratio > 0
+
+    def test_run_case_partitioned_only(self) -> None:
+        row = run_case(case_by_name("s27"), methods=("partitioned",))
+        assert row.mono_seconds is None
+        assert row.ratio is None
+        assert row.cells()[5] == "CNC"
+
+    def test_render_shapes_like_the_paper(self) -> None:
+        rows = [
+            Table1Row(
+                name="demo",
+                io_cs="1/1/2",
+                split="1/1",
+                states=54,
+                part_seconds=0.3,
+                mono_seconds=0.2,
+                paper_row="s510",
+            ),
+            Table1Row(
+                name="big",
+                io_cs="3/6/21",
+                split="5/16",
+                states=17730,
+                part_seconds=25.9,
+                mono_seconds=None,
+                paper_row="s444",
+            ),
+        ]
+        text = render_table1(rows)
+        assert text.splitlines()[0].split() == HEADERS
+        assert "CNC" in text
+        assert "0.7" in text  # ratio of the first row
+
+    def test_paper_reference_table_is_complete(self) -> None:
+        for name in ("s510", "s208", "s298", "s349", "s444", "s526"):
+            assert name in PAPER_TABLE1
+        assert PAPER_TABLE1.count("CNC") == 2

@@ -1,0 +1,127 @@
+"""Experiment E4 (Corollary 1) and general cross-flow validation.
+
+The partitioned flow never completes ``F`` or ``S`` (completions are
+deferred into the subset construction); the monolithic flow completes
+``S`` up front; the explicit flow completes both (Algorithm 1 line 05).
+Corollary 1 says all of these produce the same language — which is
+exactly what these tests check, circuit by circuit, split by split,
+together with the scheduling and trimming ablations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import circuits, s27
+from repro.automata import equivalent
+from repro.eqn import build_latch_split_problem, solve_equation, verify_solution
+
+CASES = [
+    (lambda: s27(), ["G5"]),
+    (lambda: s27(), ["G6"]),
+    (lambda: s27(), ["G7"]),
+    (lambda: s27(), ["G5", "G6"]),
+    (lambda: s27(), ["G5", "G6", "G7"]),
+    (lambda: circuits.counter(3), ["b0"]),
+    (lambda: circuits.counter(4), ["b1", "b2"]),
+    (lambda: circuits.johnson(4), ["j0", "j3"]),
+    (lambda: circuits.lfsr(4), ["r1", "r2"]),
+    (lambda: circuits.shift_register(4), ["s1", "s2"]),
+    (lambda: circuits.sequence_detector("1011"), ["h0", "h2"]),
+    (lambda: circuits.traffic_light(), ["p1"]),
+    (lambda: circuits.token_arbiter(3), ["t0", "t2"]),
+    (lambda: circuits.random_network(2, 5, 2, seed=21), ["l0", "l2"]),
+    (lambda: circuits.random_network(3, 6, 3, seed=22), ["l1", "l4"]),
+]
+
+
+@pytest.mark.parametrize("make,x", CASES)
+def test_partitioned_equals_monolithic(make, x) -> None:
+    prob = build_latch_split_problem(make(), x)
+    rp = solve_equation(prob, method="partitioned")
+    rm = solve_equation(prob, method="monolithic")
+    assert rp.csf_states == rm.csf_states
+    assert equivalent(rp.csf, rm.csf)
+
+
+@pytest.mark.parametrize("make,x", CASES[:10])
+def test_partitioned_equals_explicit(make, x) -> None:
+    prob = build_latch_split_problem(make(), x)
+    rp = solve_equation(prob, method="partitioned")
+    re = solve_equation(prob, method="explicit")
+    assert equivalent(rp.csf, re.csf)
+
+
+@pytest.mark.parametrize("make,x", CASES[:8])
+def test_scheduling_ablation_preserves_language(make, x) -> None:
+    prob = build_latch_split_problem(make(), x)
+    fast = solve_equation(prob, method="partitioned", schedule=True)
+    slow = solve_equation(prob, method="partitioned", schedule=False)
+    assert fast.csf_states == slow.csf_states
+    assert equivalent(fast.csf, slow.csf)
+
+
+@pytest.mark.parametrize("make,x", CASES[:8])
+def test_trimming_ablation_preserves_language(make, x) -> None:
+    prob = build_latch_split_problem(make(), x)
+    trimmed = solve_equation(prob, method="partitioned", trim=True)
+    untrimmed = solve_equation(prob, method="partitioned", trim=False)
+    assert equivalent(trimmed.csf, untrimmed.csf)
+    mono_untrimmed = solve_equation(prob, method="monolithic", trim=False)
+    assert equivalent(trimmed.csf, mono_untrimmed.csf)
+
+
+@pytest.mark.parametrize("make,x", CASES[:6])
+def test_solutions_verify(make, x) -> None:
+    prob = build_latch_split_problem(make(), x)
+    result = solve_equation(prob, method="partitioned")
+    report = verify_solution(result)
+    assert report.ok, report.summary()
+
+
+def test_trimming_explores_fewer_or_equal_subsets() -> None:
+    # Footnote 9: the DCN shortcut trims the subset construction.
+    prob = build_latch_split_problem(circuits.counter(4), ["b1", "b2"])
+    trimmed = solve_equation(prob, method="partitioned", trim=True)
+    untrimmed = solve_equation(prob, method="partitioned", trim=False)
+    assert trimmed.stats.subsets <= untrimmed.stats.subsets
+
+
+def test_most_general_solution_is_deterministic_and_prefix_closed() -> None:
+    prob = build_latch_split_problem(s27(), ["G6"])
+    result = solve_equation(prob, method="partitioned")
+    assert result.solution.is_deterministic()
+    # Trim mode: every state accepting (prefix-closed by construction).
+    assert result.solution.accepting == set(range(result.solution.num_states))
+
+
+def test_csf_is_input_progressive() -> None:
+    from repro.bdd.manager import FALSE
+
+    prob = build_latch_split_problem(s27(), ["G6"])
+    result = solve_equation(prob, method="partitioned")
+    csf = result.csf
+    mgr = csf.manager
+    other = [mgr.var_index(v) for v in csf.variables if v not in prob.u_names]
+    for sid in range(csf.num_states):
+        defined = FALSE
+        for label in csf.edges[sid].values():
+            defined = mgr.apply_or(defined, label)
+        assert mgr.exists(defined, other) == 1, f"state {sid} not u-progressive"
+
+
+def test_explicit_trace_records_algorithm1_steps() -> None:
+    prob = build_latch_split_problem(circuits.counter(3), ["b1"])
+    result = solve_equation(prob, method="explicit")
+    steps = [name for name, _ in result.explicit_trace.steps]
+    assert steps[:2] == ["S", "F"]
+    assert "Complement" in steps
+    assert steps[-1] == "Progressive(u)"
+
+
+def test_unknown_method_rejected() -> None:
+    from repro.errors import EquationError
+
+    prob = build_latch_split_problem(circuits.counter(3), ["b1"])
+    with pytest.raises(EquationError):
+        solve_equation(prob, method="quantum")

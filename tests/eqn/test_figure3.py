@@ -1,0 +1,113 @@
+"""Experiment E2: the paper's Figure 3 worked example, reproduced exactly.
+
+The paper shows a 1-input/1-output/2-latch circuit, its (incomplete)
+automaton with reachable states 00, 01, 10, and the completed automaton
+with the non-accepting DC state.  We check every state and arc, then
+solve the latch-split equation on the same circuit with all three flows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bdd.manager import TRUE
+from repro.bench import figure3_network
+from repro.automata import (
+    accepts,
+    complete,
+    equivalent,
+    network_to_automaton,
+)
+from repro.eqn import (
+    build_latch_split_problem,
+    solve_equation,
+    verify_solution,
+)
+
+
+@pytest.fixture()
+def aut():
+    return network_to_automaton(figure3_network())
+
+
+def ids_by_name(a):
+    return {name: sid for sid, name in enumerate(a.state_names)}
+
+
+class TestFigure3Automaton:
+    def test_reachable_states(self, aut) -> None:
+        assert sorted(aut.state_names) == ["00", "01", "10"]
+
+    def test_every_arc_of_the_figure(self, aut) -> None:
+        n = ids_by_name(aut)
+        arcs = {
+            # (src, i, o) -> dst   ; labels as in the figure (i o)
+            ("00", 0, 0): "01",
+            ("00", 1, 0): "00",
+            ("01", 0, 1): "01",
+            ("01", 1, 1): "10",
+            ("10", 0, 1): "01",
+            ("10", 1, 1): "01",
+        }
+        for (src, i, o), dst in arcs.items():
+            assert aut.successors(n[src], {"i": i, "o": o}) == [n[dst]], (src, i, o)
+
+    def test_undefined_transitions_match_figure(self, aut) -> None:
+        n = ids_by_name(aut)
+        # From (00): letters -1 (o=1) are undefined; from (01)/(10): -0.
+        for i in (0, 1):
+            assert aut.successors(n["00"], {"i": i, "o": 1}) == []
+            assert aut.successors(n["01"], {"i": i, "o": 0}) == []
+            assert aut.successors(n["10"], {"i": i, "o": 0}) == []
+
+    def test_completion_adds_shaded_dc_state(self, aut) -> None:
+        completed = complete(aut)
+        n = ids_by_name(completed)
+        dc = n["DC"]
+        assert dc not in completed.accepting
+        assert completed.edges[dc] == {dc: TRUE}
+        # The previously undefined letters now lead to DC.
+        assert completed.successors(n["00"], {"i": 1, "o": 1}) == [dc]
+        # The example transition labelled "-1" from (00) in the figure.
+        assert completed.successors(n["00"], {"i": 0, "o": 1}) == [dc]
+
+    def test_accepting_states_are_the_reachable_ones(self, aut) -> None:
+        assert aut.accepting == set(range(3))
+
+    def test_language_spot_checks(self, aut) -> None:
+        # The paper's narrative: from 00 under input 0 output is 0 -> 01.
+        assert accepts(aut, [{"i": 0, "o": 0}])
+        assert not accepts(aut, [{"i": 0, "o": 1}])
+        assert accepts(aut, [{"i": 0, "o": 0}, {"i": 1, "o": 1}])
+
+
+class TestFigure3Equation:
+    @pytest.mark.parametrize("x_latches", [["cs1"], ["cs2"], ["cs1", "cs2"]])
+    def test_three_flows_agree(self, x_latches) -> None:
+        prob = build_latch_split_problem(figure3_network(), x_latches)
+        results = {
+            method: solve_equation(prob, method=method)
+            for method in ("partitioned", "monolithic", "explicit")
+        }
+        assert equivalent(
+            results["partitioned"].csf, results["monolithic"].csf
+        )
+        assert equivalent(results["partitioned"].csf, results["explicit"].csf)
+
+    def test_solution_verifies(self) -> None:
+        prob = build_latch_split_problem(figure3_network(), ["cs1"])
+        result = solve_equation(prob, method="partitioned")
+        report = verify_solution(result)
+        assert report.ok, report.summary()
+
+    def test_solution_contains_more_than_particular(self) -> None:
+        # The CSF must offer strictly more behaviours than X_P alone
+        # (flexibility): X_P ⊆ X and not X ⊆ X_P.
+        from repro.automata import contained_in
+        from repro.eqn import particular_solution_automaton
+
+        prob = build_latch_split_problem(figure3_network(), ["cs1"])
+        result = solve_equation(prob, method="partitioned")
+        xp = particular_solution_automaton(prob)
+        assert contained_in(xp, result.csf).holds
+        assert not contained_in(result.csf, xp).holds

@@ -1,0 +1,77 @@
+"""Property-based cross-validation: random circuits, random splits.
+
+For seeded random sequential networks and random latch subsets, the
+partitioned and monolithic flows must agree exactly, the CSF must
+contain the particular solution, and composing with F must stay within
+the specification — the full set of paper invariants, fuzzed.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import circuits
+from repro.automata import contained_in, equivalent
+from repro.eqn import (
+    build_latch_split_problem,
+    compose_with_fixed,
+    particular_solution_automaton,
+    solve_equation,
+    specification_automaton,
+)
+
+
+@st.composite
+def split_instances(draw):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    n_inputs = draw(st.integers(min_value=1, max_value=3))
+    n_latches = draw(st.integers(min_value=2, max_value=5))
+    n_outputs = draw(st.integers(min_value=1, max_value=2))
+    net = circuits.random_network(n_inputs, n_latches, n_outputs, seed=seed)
+    latches = net.latch_names()
+    k = draw(st.integers(min_value=1, max_value=len(latches)))
+    x = draw(
+        st.lists(
+            st.sampled_from(latches), min_size=k, max_size=k, unique=True
+        )
+    )
+    return net, x
+
+
+@given(split_instances())
+@settings(max_examples=20, deadline=None)
+def test_flows_agree_on_random_instances(instance) -> None:
+    net, x = instance
+    prob = build_latch_split_problem(net, x)
+    rp = solve_equation(prob, method="partitioned")
+    rm = solve_equation(prob, method="monolithic")
+    assert rp.csf_states == rm.csf_states
+    assert equivalent(rp.csf, rm.csf)
+
+
+@given(split_instances())
+@settings(max_examples=12, deadline=None)
+def test_paper_invariants_on_random_instances(instance) -> None:
+    net, x = instance
+    prob = build_latch_split_problem(net, x)
+    result = solve_equation(prob, method="partitioned")
+    # X_P ⊆ X (check 1).
+    xp = particular_solution_automaton(prob)
+    assert contained_in(xp, result.csf).holds
+    # F ∘ X ⊆ S (check 3 / soundness of the flexibility).
+    s_aut = specification_automaton(prob)
+    closed = compose_with_fixed(prob, result.csf)
+    assert contained_in(closed, s_aut).holds
+
+
+@given(split_instances())
+@settings(max_examples=10, deadline=None)
+def test_ablations_agree_on_random_instances(instance) -> None:
+    net, x = instance
+    prob = build_latch_split_problem(net, x)
+    base = solve_equation(prob, method="partitioned")
+    no_schedule = solve_equation(prob, method="partitioned", schedule=False)
+    no_trim = solve_equation(prob, method="partitioned", trim=False)
+    assert equivalent(base.csf, no_schedule.csf)
+    assert equivalent(base.csf, no_trim.csf)

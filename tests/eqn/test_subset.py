@@ -1,0 +1,154 @@
+"""Unit tests for the subset-construction driver itself (mock oracles)."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bdd.manager import FALSE, TRUE
+from repro.errors import EquationError, TimeLimit
+from repro.bench import figure3_network
+from repro.eqn import build_latch_split_problem
+from repro.eqn.subset import SubsetEdge, subset_construct
+from repro.util.limits import ResourceLimit
+
+
+@pytest.fixture()
+def problem():
+    return build_latch_split_problem(figure3_network(), ["cs1"])
+
+
+class ChainOracle:
+    """A mock: ψ0 -> ψ1 -> DCA, one edge each, over the (u,v) letters."""
+
+    def __init__(self, problem):
+        self.problem = problem
+        mgr = problem.manager
+        self.mgr = mgr
+        cs = problem.all_cs_vars()
+        self.psi0 = mgr.cube({v: 0 for v in cs})
+        self.psi1 = mgr.cube({v: 1 for v in cs})
+        u0 = problem.uv_vars()[0]
+        self.letter = mgr.var_node(u0)
+
+    def initial(self):
+        return self.psi0
+
+    def is_accepting(self, psi):
+        return True
+
+    def expand(self, psi):
+        if psi == self.psi0:
+            return [SubsetEdge(cond=self.letter, successor=self.psi1)], FALSE
+        return [], self.mgr.apply_not(self.letter)
+
+
+class TestDriver:
+    def test_chain_exploration(self, problem) -> None:
+        aut, stats = subset_construct(ChainOracle(problem), problem)
+        # ψ0, ψ1 and DCA.
+        assert aut.num_states == 3
+        assert stats.subsets == 2
+        assert stats.edges == 1
+        assert stats.dca_edges == 1
+        # DCA has the universal self-loop and is accepting.
+        dca = aut.state_names.index("DCA")
+        assert aut.edges[dca] == {dca: TRUE}
+        assert dca in aut.accepting
+
+    def test_alphabet_is_uv(self, problem) -> None:
+        aut, _ = subset_construct(ChainOracle(problem), problem)
+        assert list(aut.variables) == problem.uv_names()
+
+    def test_no_dca_state_when_never_needed(self, problem) -> None:
+        class TotalOracle(ChainOracle):
+            def expand(self, psi):
+                return [SubsetEdge(cond=TRUE, successor=self.psi0)], FALSE
+
+        aut, stats = subset_construct(TotalOracle(problem), problem)
+        assert "DCA" not in aut.state_names
+        assert stats.dca_edges == 0
+
+    def test_duplicate_successors_are_merged(self, problem) -> None:
+        class DiamondOracle(ChainOracle):
+            def expand(self, psi):
+                if psi == self.psi0:
+                    return (
+                        [
+                            SubsetEdge(cond=self.letter, successor=self.psi1),
+                            SubsetEdge(
+                                cond=self.mgr.apply_not(self.letter),
+                                successor=self.psi1,
+                            ),
+                        ],
+                        FALSE,
+                    )
+                return [SubsetEdge(cond=TRUE, successor=self.psi1)], FALSE
+
+        aut, stats = subset_construct(DiamondOracle(problem), problem)
+        assert stats.subsets == 2  # ψ1 created once
+        src = 0
+        # Both edges merged into a single TRUE label.
+        assert list(aut.edges[src].values()) == [TRUE]
+
+    def test_empty_initial_rejected(self, problem) -> None:
+        class EmptyOracle(ChainOracle):
+            def initial(self):
+                return FALSE
+
+        with pytest.raises(EquationError):
+            subset_construct(EmptyOracle(problem), problem)
+
+    def test_time_limit_aborts(self, problem) -> None:
+        class SlowOracle(ChainOracle):
+            def expand(self, psi):
+                time.sleep(0.02)
+                # Endless fresh successors: ψ ∧ fresh var patterns.
+                return [SubsetEdge(cond=TRUE, successor=self.psi1)], FALSE
+
+        class EndlessOracle(ChainOracle):
+            def __init__(self, problem):
+                super().__init__(problem)
+                self.counter = 0
+
+            def expand(self, psi):
+                time.sleep(0.05)
+                mgr = self.mgr
+                cs = self.problem.all_cs_vars()
+                self.counter += 1
+                bits = self.counter
+                succ = mgr.cube(
+                    {v: (bits >> k) & 1 for k, v in enumerate(cs)}
+                )
+                return [SubsetEdge(cond=TRUE, successor=succ)], FALSE
+
+        with pytest.raises(TimeLimit):
+            subset_construct(
+                EndlessOracle(problem),
+                problem,
+                limit=ResourceLimit(max_seconds=0.1),
+            )
+
+    def test_nonaccepting_subsets_supported(self, problem) -> None:
+        class MixedOracle(ChainOracle):
+            def is_accepting(self, psi):
+                return psi == self.psi0
+
+            def expand(self, psi):
+                if psi == self.psi0:
+                    return (
+                        [
+                            SubsetEdge(
+                                cond=self.letter,
+                                successor=self.psi1,
+                                accepting=False,
+                            )
+                        ],
+                        FALSE,
+                    )
+                return [], FALSE
+
+        aut, _ = subset_construct(MixedOracle(problem), problem)
+        assert 0 in aut.accepting
+        assert 1 not in aut.accepting

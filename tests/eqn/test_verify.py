@@ -1,0 +1,113 @@
+"""Tests for the verification module itself (including failure detection)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bdd.manager import TRUE
+from repro.bench import circuits, figure3_network, s27
+from repro.automata import Automaton, accepts, contained_in
+from repro.eqn import (
+    build_latch_split_problem,
+    compose_with_fixed,
+    particular_solution_automaton,
+    solve_equation,
+    specification_automaton,
+    verify_solution,
+)
+
+
+class TestComponentAutomata:
+    def test_specification_matches_simulation(self) -> None:
+        net = figure3_network()
+        prob = build_latch_split_problem(net, ["cs1"])
+        s_aut = specification_automaton(prob)
+        # Words from simulation are accepted.
+        import random
+
+        rng = random.Random(4)
+        for _ in range(15):
+            inputs = [{"i": rng.randint(0, 1)} for _ in range(5)]
+            outs = net.simulate(inputs)
+            word = [{**i, **o} for i, o in zip(inputs, outs)]
+            assert accepts(s_aut, word)
+            bad = [dict(l) for l in word]
+            bad[-1]["o"] ^= 1
+            assert not accepts(s_aut, bad)
+
+    def test_specification_state_count_is_reachable_set(self) -> None:
+        from repro.automata import reachable_state_count
+
+        net = s27()
+        prob = build_latch_split_problem(net, ["G6"])
+        s_aut = specification_automaton(prob)
+        assert s_aut.num_states == reachable_state_count(net)
+
+    def test_particular_solution_tracks_moved_latches(self) -> None:
+        net = circuits.counter(4)
+        prob = build_latch_split_problem(net, ["b2"])
+        xp = particular_solution_automaton(prob)
+        # X_P over (u, v): 2 states (one moved latch).
+        assert xp.num_states == 2
+        assert xp.variables == tuple(prob.uv_names())
+
+    def test_composition_of_particular_equals_spec(self) -> None:
+        net = circuits.johnson(3)
+        prob = build_latch_split_problem(net, ["j1"])
+        xp = particular_solution_automaton(prob)
+        s_aut = specification_automaton(prob)
+        closed = compose_with_fixed(prob, xp)
+        assert contained_in(closed, s_aut).holds
+        assert contained_in(s_aut, closed).holds
+
+
+class TestVerifySolution:
+    def test_full_report_ok(self) -> None:
+        prob = build_latch_split_problem(s27(), ["G5"])
+        result = solve_equation(prob, method="partitioned")
+        report = verify_solution(result)
+        assert report.ok
+        assert "True" in report.summary()
+
+    def test_skip_composition_check(self) -> None:
+        prob = build_latch_split_problem(circuits.counter(3), ["b1"])
+        result = solve_equation(prob, method="partitioned")
+        report = verify_solution(result, check_composition=False)
+        assert report.ok
+
+    def test_detects_unsound_solution(self) -> None:
+        # Replace the CSF with the universal automaton over (u,v): it is
+        # NOT a valid flexibility, and the checks must catch it.
+        prob = build_latch_split_problem(figure3_network(), ["cs1"])
+        result = solve_equation(prob, method="partitioned")
+        universal = Automaton(prob.manager, tuple(prob.uv_names()))
+        sid = universal.add_state("top", accepting=True)
+        universal.add_edge(sid, sid, TRUE)
+        result.csf = universal
+        report = verify_solution(result, check_composition=False)
+        assert not report.solution_sound.holds
+        assert report.solution_sound.counterexample is not None
+        assert not report.ok
+
+    def test_detects_truncated_solution(self) -> None:
+        # An empty "solution" fails check 1 (X_P not contained).
+        from repro.automata import empty_automaton
+
+        prob = build_latch_split_problem(figure3_network(), ["cs1"])
+        result = solve_equation(prob, method="partitioned")
+        result.csf = empty_automaton(prob.manager, tuple(prob.uv_names()))
+        report = verify_solution(result, check_composition=False)
+        assert not report.xp_contained.holds
+        assert not report.ok
+
+    def test_counterexample_word_is_concrete(self) -> None:
+        prob = build_latch_split_problem(figure3_network(), ["cs1"])
+        result = solve_equation(prob, method="partitioned")
+        universal = Automaton(prob.manager, tuple(prob.uv_names()))
+        sid = universal.add_state("top", accepting=True)
+        universal.add_edge(sid, sid, TRUE)
+        result.csf = universal
+        report = verify_solution(result, check_composition=False)
+        word = report.solution_sound.counterexample
+        for letter in word:
+            assert set(letter) == set(prob.i_names) | set(prob.o_names)

@@ -1,0 +1,109 @@
+"""Tests for the Boolean expression parser and AST."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.bdd import BddManager
+from repro.expr import (
+    And,
+    Const,
+    ExprParseError,
+    Not,
+    Or,
+    Var,
+    Xor,
+    and_,
+    or_,
+    parse_expr,
+    var,
+    xor_,
+)
+from tests.strategies import DEFAULT_VARS, all_assignments, expressions
+
+
+class TestParser:
+    def test_single_variable(self) -> None:
+        assert parse_expr("x") == Var("x")
+
+    def test_constants(self) -> None:
+        assert parse_expr("0") == Const(False)
+        assert parse_expr("1") == Const(True)
+
+    def test_precedence_not_over_and_over_xor_over_or(self) -> None:
+        e = parse_expr("a | b ^ c & !d")
+        assert isinstance(e, Or)
+        rhs = e.args[1]
+        assert isinstance(rhs, Xor)
+        inner = rhs.args[1]
+        assert isinstance(inner, And)
+        assert isinstance(inner.args[1], Not)
+
+    def test_parentheses_override_precedence(self) -> None:
+        e1 = parse_expr("(a | b) & c")
+        e2 = parse_expr("a | b & c")
+        env = {"a": 1, "b": 0, "c": 0}
+        assert e1.evaluate(env) != e2.evaluate(env)
+
+    def test_alternative_operator_spellings(self) -> None:
+        assert parse_expr("a * b") == parse_expr("a & b")
+        assert parse_expr("a + b") == parse_expr("a | b")
+        assert parse_expr("~a") == parse_expr("!a")
+
+    def test_netlist_style_identifiers(self) -> None:
+        e = parse_expr("cs[3] & G17 | n_12.q")
+        assert e.variables() == {"cs[3]", "G17", "n_12.q"}
+
+    def test_double_negation_parses(self) -> None:
+        e = parse_expr("!!a")
+        assert e.evaluate({"a": 1}) is True
+
+    @pytest.mark.parametrize("bad", ["", "a &", "(a", "a b", "& a", "a | | b", "a @ b"])
+    def test_malformed_inputs_rejected(self, bad: str) -> None:
+        with pytest.raises(ExprParseError):
+            parse_expr(bad)
+
+
+class TestAst:
+    def test_operator_sugar(self) -> None:
+        e = (var("a") & ~var("b")) | var("c")
+        assert e.evaluate({"a": 1, "b": 0, "c": 0})
+        assert not e.evaluate({"a": 0, "b": 0, "c": 0})
+
+    def test_nary_constructors(self) -> None:
+        e = and_(var("a"), var("b"), var("c"))
+        assert e.evaluate({"a": 1, "b": 1, "c": 1})
+        assert not e.evaluate({"a": 1, "b": 0, "c": 1})
+        assert or_().evaluate({}) is False
+        assert and_().evaluate({}) is True
+        assert xor_(var("a"), var("b"), var("c")).evaluate({"a": 1, "b": 1, "c": 1})
+
+    def test_variables_collection(self) -> None:
+        e = parse_expr("a & (b | a) ^ c")
+        assert e.variables() == {"a", "b", "c"}
+
+    def test_str_roundtrip_preserves_semantics(self) -> None:
+        text = "a & !b | (c ^ d) & 1"
+        e = parse_expr(text)
+        e2 = parse_expr(str(e))
+        for env in all_assignments(["a", "b", "c", "d"]):
+            assert e.evaluate(env) == e2.evaluate(env)
+
+
+@given(expressions())
+@settings(max_examples=100, deadline=None)
+def test_str_parse_roundtrip_property(expr) -> None:
+    reparsed = parse_expr(str(expr))
+    for env in all_assignments(DEFAULT_VARS):
+        assert reparsed.evaluate(env) == expr.evaluate(env)
+
+
+@given(expressions())
+@settings(max_examples=50, deadline=None)
+def test_to_bdd_requires_declared_variables(expr) -> None:
+    mgr = BddManager()
+    mgr.add_vars(DEFAULT_VARS)
+    node = expr.to_bdd(mgr)
+    support_names = {mgr.var_name(v) for v in mgr.support(node)}
+    assert support_names <= expr.variables()

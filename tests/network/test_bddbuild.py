@@ -1,0 +1,109 @@
+"""Tests for partitioned BDD building: {T_k} and {O_j} vs simulation."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.bdd import BddManager
+from repro.bench import circuits, figure3_network, s27
+from repro.errors import NetworkError
+from repro.network import build_network_bdds, declare_network_vars
+
+
+def build(net):
+    mgr = BddManager()
+    input_vars, state_vars = declare_network_vars(mgr, net)
+    return build_network_bdds(net, mgr, input_vars, state_vars)
+
+
+@pytest.mark.parametrize(
+    "make",
+    [
+        figure3_network,
+        s27,
+        lambda: circuits.counter(4),
+        lambda: circuits.johnson(3),
+        lambda: circuits.lfsr(4),
+        lambda: circuits.sequence_detector("1101"),
+        lambda: circuits.traffic_light(),
+        lambda: circuits.token_arbiter(3),
+        lambda: circuits.random_network(3, 4, 2, seed=4),
+    ],
+)
+def test_bdd_functions_match_simulation(make) -> None:
+    net = make()
+    bdds = build(net)
+    mgr = bdds.manager
+    rng = random.Random(17)
+    for _ in range(32):
+        inputs = {n: rng.randint(0, 1) for n in net.inputs}
+        state = {n: rng.randint(0, 1) for n in net.latches}
+        outputs, next_state = net.step(state, inputs)
+        env = {**inputs, **state}
+        for name, node in bdds.outputs.items():
+            assert mgr.eval(node, env) == bool(outputs[name]), name
+        for name, node in bdds.next_state.items():
+            assert mgr.eval(node, env) == bool(next_state[name]), name
+
+
+def test_figure3_exact_functions() -> None:
+    net = figure3_network()
+    bdds = build(net)
+    mgr = bdds.manager
+    i = mgr.var_node(bdds.input_vars["i"])
+    cs1 = mgr.var_node(bdds.state_vars["cs1"])
+    cs2 = mgr.var_node(bdds.state_vars["cs2"])
+    assert bdds.next_state["cs1"] == mgr.apply_and(i, cs2)
+    assert bdds.next_state["cs2"] == mgr.apply_or(mgr.apply_not(i), cs1)
+    assert bdds.outputs["o"] == mgr.apply_xor(cs1, cs2)
+
+
+def test_init_cube_is_initial_state() -> None:
+    net = circuits.johnson(3)
+    bdds = build(net)
+    mgr = bdds.manager
+    env = {**{n: 0 for n in net.inputs}, **net.initial_state()}
+    assert mgr.eval(bdds.init_cube, env)
+    flipped = dict(env)
+    flipped["j0"] = 1 - flipped["j0"]
+    assert not mgr.eval(bdds.init_cube, flipped)
+
+
+def test_state_cube_builder() -> None:
+    net = figure3_network()
+    bdds = build(net)
+    cube = bdds.state_cube({"cs1": 1, "cs2": 0})
+    mgr = bdds.manager
+    assert mgr.eval(cube, {"i": 0, "cs1": 1, "cs2": 0})
+    assert not mgr.eval(cube, {"i": 0, "cs1": 1, "cs2": 1})
+
+
+def test_missing_vars_rejected() -> None:
+    net = figure3_network()
+    mgr = BddManager()
+    with pytest.raises(NetworkError):
+        build_network_bdds(net, mgr, {}, {})
+
+
+def test_var_lists_follow_network_order() -> None:
+    net = circuits.counter(3)
+    bdds = build(net)
+    assert len(bdds.all_input_vars()) == 1
+    assert len(bdds.all_state_vars()) == 3
+    names = [bdds.manager.var_name(v) for v in bdds.all_state_vars()]
+    assert names == ["b0", "b1", "b2"]
+
+
+def test_prefix_allows_two_networks_in_one_manager() -> None:
+    mgr = BddManager()
+    net1 = circuits.counter(2)
+    net2 = circuits.shift_register(2)
+    iv1, sv1 = declare_network_vars(mgr, net1, prefix="a_")
+    iv2, sv2 = declare_network_vars(mgr, net2, prefix="b_")
+    b1 = build_network_bdds(net1, mgr, iv1, sv1)
+    b2 = build_network_bdds(net2, mgr, iv2, sv2)
+    assert set(b1.next_state) == {"b0", "b1"}
+    assert set(b2.next_state) == {"s0", "s1"}

@@ -1,0 +1,154 @@
+"""Tests for the BLIF reader/writer."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.bench import S27_BLIF, circuits, s27
+from repro.errors import BlifError
+from repro.network import parse_blif, write_blif
+
+
+class TestParser:
+    def test_s27_shape(self) -> None:
+        net = s27()
+        assert net.name == "s27"
+        assert net.inputs == ["G0", "G1", "G2", "G3"]
+        assert net.outputs == ["G17"]
+        assert net.latch_names() == ["G5", "G6", "G7"]
+        assert all(l.init == 0 for l in net.latches.values())
+
+    def test_comments_and_continuations(self) -> None:
+        text = """
+        # a comment
+        .model demo
+        .inputs a \\
+                b
+        .outputs f
+        .names a b f  # trailing comment
+        11 1
+        .end
+        """
+        net = parse_blif(text)
+        assert net.inputs == ["a", "b"]
+        outs, _ = net.step({}, {"a": 1, "b": 1})
+        assert outs == {"f": 1}
+
+    def test_dont_care_cubes(self) -> None:
+        net = parse_blif(
+            ".model m\n.inputs a b c\n.outputs f\n.names a b c f\n1-- 1\n-11 1\n.end"
+        )
+        for a, b, c in itertools.product((0, 1), repeat=3):
+            outs, _ = net.step({}, {"a": a, "b": b, "c": c})
+            assert outs["f"] == int(a or (b and c))
+
+    def test_offset_cover(self) -> None:
+        # .names with value 0 rows defines the complement.
+        net = parse_blif(".model m\n.inputs a b\n.outputs f\n.names a b f\n11 0\n.end")
+        truth = {}
+        for a, b in itertools.product((0, 1), repeat=2):
+            outs, _ = net.step({}, {"a": a, "b": b})
+            truth[(a, b)] = outs["f"]
+        assert truth == {(0, 0): 1, (0, 1): 1, (1, 0): 1, (1, 1): 0}
+
+    def test_constant_nodes(self) -> None:
+        net = parse_blif(
+            ".model m\n.inputs a\n.outputs one zero\n.names one\n1\n.names zero\n.end"
+        )
+        outs, _ = net.step({}, {"a": 0})
+        assert outs == {"one": 1, "zero": 0}
+
+    def test_latch_init_variants(self) -> None:
+        net = parse_blif(
+            ".model m\n.inputs d\n.outputs q\n"
+            ".latch d q0 1\n.latch d q1 re clk 0\n.latch d q2\n"
+            ".names q0 q\n1 1\n.end"
+        )
+        assert net.latches["q0"].init == 1
+        assert net.latches["q1"].init == 0
+        assert net.latches["q2"].init == 0
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            ".model m\n.latch d\n.end",
+            ".model m\n.inputs a\n.names a f\n2 1\n.end",
+            ".model m\n.inputs a\n.names a f\n11 1\n.end",
+            ".model m\n.inputs a\n.names a f\n1 1\n0 0\n.end",
+            ".model m\n.inputs a\n.outputs f\n.names\n.end",
+            ".model m\n.unsupported\n.end",
+            ".model m\n.inputs a\n1 1\n.end",
+            ".model m\n.model m2\n.end",
+        ],
+    )
+    def test_malformed_blif_rejected(self, bad: str) -> None:
+        with pytest.raises(BlifError):
+            parse_blif(bad)
+
+
+class TestWriterRoundtrip:
+    def simulate_pair(self, net1, net2, input_names, cycles=16, seed=3) -> None:
+        import random
+
+        rng = random.Random(seed)
+        stimulus = [
+            {name: rng.randint(0, 1) for name in input_names} for _ in range(cycles)
+        ]
+        assert net1.simulate(stimulus) == net2.simulate(stimulus)
+
+    def test_s27_roundtrip(self) -> None:
+        net = s27()
+        back = parse_blif(write_blif(net))
+        assert back.stats() == net.stats()
+        self.simulate_pair(net, back, net.inputs)
+
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: circuits.counter(3),
+            lambda: circuits.johnson(3),
+            lambda: circuits.lfsr(4),
+            lambda: circuits.sequence_detector("1011"),
+            lambda: circuits.traffic_light(),
+            lambda: circuits.token_arbiter(3),
+            lambda: circuits.random_network(2, 3, 2, seed=11),
+        ],
+    )
+    def test_generator_roundtrips(self, make) -> None:
+        net = make()
+        back = parse_blif(write_blif(net))
+        assert back.stats() == net.stats()
+        self.simulate_pair(net, back, net.inputs)
+
+    def test_writer_emits_expected_sections(self) -> None:
+        text = write_blif(circuits.counter(2))
+        assert text.startswith(".model count2")
+        assert ".inputs en" in text
+        assert ".latch" in text
+        assert text.rstrip().endswith(".end")
+
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_inputs=st.integers(min_value=1, max_value=3),
+    n_latches=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=25, deadline=None)
+def test_blif_roundtrip_property(seed, n_inputs, n_latches) -> None:
+    """Any generated network survives a BLIF write/parse round trip."""
+    import random
+
+    net = circuits.random_network(n_inputs, n_latches, 2, seed=seed)
+    back = parse_blif(write_blif(net))
+    assert back.stats() == net.stats()
+    rng = random.Random(seed)
+    stim = [
+        {name: rng.randint(0, 1) for name in net.inputs} for _ in range(12)
+    ]
+    assert back.simulate(stim) == net.simulate(stim)

@@ -1,0 +1,124 @@
+"""Tests for latch splitting and recomposition (the Table 1 generator)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bench import circuits, figure3_network, s27
+from repro.errors import NetworkError
+from repro.network import latch_split, prune_dangling, recompose, u_wire, v_wire
+
+
+def random_stimulus(input_names, cycles=24, seed=5):
+    rng = random.Random(seed)
+    return [{n: rng.randint(0, 1) for n in input_names} for _ in range(cycles)]
+
+
+class TestLatchSplit:
+    def test_split_shapes(self) -> None:
+        net = s27()
+        split = latch_split(net, ["G6"])
+        assert split.fixed.num_latches == 2
+        assert split.unknown.num_latches == 1
+        assert split.describe() == "2/1"
+        # F gained the v input and the u outputs.
+        assert v_wire("G6") in split.fixed.inputs
+        assert u_wire("G0") in split.fixed.outputs
+        assert u_wire("G5") in split.fixed.outputs
+        # X_P sees only u wires.
+        assert split.unknown.inputs == [u_wire(s) for s in split.u_signals]
+        assert split.unknown.outputs == [v_wire("G6")]
+
+    def test_requires_nonempty_subset(self) -> None:
+        with pytest.raises(NetworkError):
+            latch_split(s27(), [])
+
+    def test_requires_existing_latches(self) -> None:
+        with pytest.raises(NetworkError):
+            latch_split(s27(), ["nope"])
+
+    def test_rejects_unexposed_dependency(self) -> None:
+        net = s27()
+        # G6's next state needs G5 and G9 logic; expose only one input.
+        with pytest.raises(NetworkError, match="unexposed"):
+            latch_split(net, ["G6"], u_signals=["G0"])
+
+    def test_duplicate_latches_deduped(self) -> None:
+        split = latch_split(s27(), ["G6", "G6"])
+        assert split.x_latches == ["G6"]
+
+    @pytest.mark.parametrize(
+        "make,x",
+        [
+            (lambda: s27(), ["G5"]),
+            (lambda: s27(), ["G6", "G7"]),
+            (lambda: figure3_network(), ["cs1"]),
+            (lambda: figure3_network(), ["cs2"]),
+            (lambda: circuits.counter(4), ["b1", "b3"]),
+            (lambda: circuits.johnson(4), ["j0"]),
+            (lambda: circuits.lfsr(5), ["r2", "r3"]),
+            (lambda: circuits.traffic_light(), ["p0"]),
+            (lambda: circuits.token_arbiter(3), ["t1"]),
+            (lambda: circuits.random_network(3, 5, 2, seed=2), ["l0", "l3"]),
+        ],
+    )
+    def test_recompose_equals_original(self, make, x) -> None:
+        net = make()
+        split = latch_split(net, x)
+        merged = recompose(split)
+        stimulus = random_stimulus(net.inputs)
+        assert _outputs_match(net, merged, split, stimulus)
+
+    def test_full_split_leaves_f_combinational(self) -> None:
+        net = figure3_network()
+        split = latch_split(net, ["cs1", "cs2"])
+        assert split.fixed.num_latches == 0
+        merged = recompose(split)
+        stimulus = random_stimulus(net.inputs)
+        assert _outputs_match(net, merged, split, stimulus)
+
+    def test_unknown_reproduces_moved_state(self) -> None:
+        # Drive X_P with the u values produced by simulating the original
+        # network; its state must track the original moved latches.
+        net = circuits.counter(4)
+        split = latch_split(net, ["b2"])
+        state = net.initial_state()
+        xp_state = split.unknown.initial_state()
+        rng = random.Random(9)
+        for _ in range(20):
+            inputs = {"en": rng.randint(0, 1)}
+            assert xp_state["b2"] == state["b2"]
+            u_values = {
+                u_wire(s): (inputs[s] if s in inputs else state[s])
+                for s in split.u_signals
+            }
+            _, xp_state = split.unknown.step(xp_state, u_values)
+            _, state = net.step(state, inputs)
+
+
+def _outputs_match(net, merged, split, stimulus) -> bool:
+    got = merged.simulate(stimulus)
+    want = net.simulate(stimulus)
+    for g, w in zip(got, want):
+        for name in net.outputs:
+            merged_name = v_wire(name) if name in split.x_latches else name
+            if g[merged_name] != w[name]:
+                return False
+    return True
+
+
+class TestPrune:
+    def test_prune_removes_dead_nodes(self) -> None:
+        net = circuits.counter(3)
+        net.add_node("dead", "b0 & b1")
+        pruned = prune_dangling(net)
+        assert "dead" not in pruned.nodes
+        assert pruned.outputs == net.outputs
+
+    def test_prune_keeps_latch_cones(self) -> None:
+        net = circuits.counter(3)
+        pruned = prune_dangling(net)
+        stimulus = random_stimulus(net.inputs)
+        assert pruned.simulate(stimulus) == net.simulate(stimulus)

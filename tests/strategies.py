@@ -1,0 +1,54 @@
+"""Shared hypothesis strategies for the test suite.
+
+The central strategy is :func:`expressions`, which generates random
+Boolean expression trees over a fixed variable list.  Tests evaluate both
+the expression (reference semantics) and its BDD to cross-check every
+engine operation against truth tables.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Sequence
+
+from hypothesis import strategies as st
+
+from repro.expr.ast import And, Const, Expr, Not, Or, Var, Xor
+
+DEFAULT_VARS = ("a", "b", "c", "d", "e")
+
+
+def expressions(
+    variables: Sequence[str] = DEFAULT_VARS,
+    *,
+    max_leaves: int = 12,
+) -> st.SearchStrategy[Expr]:
+    """Random Boolean expression trees over ``variables``."""
+    leaves = st.one_of(
+        st.sampled_from([Var(v) for v in variables]),
+        st.sampled_from([Const(False), Const(True)]),
+    )
+
+    def extend(children: st.SearchStrategy[Expr]) -> st.SearchStrategy[Expr]:
+        binary = st.tuples(children, children)
+        return st.one_of(
+            children.map(Not),
+            binary.map(lambda ab: And(ab)),
+            binary.map(lambda ab: Or(ab)),
+            binary.map(lambda ab: Xor(ab)),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=max_leaves)
+
+
+def assignments(variables: Sequence[str] = DEFAULT_VARS) -> st.SearchStrategy[dict]:
+    """A random full assignment for ``variables``."""
+    return st.tuples(*[st.booleans() for _ in variables]).map(
+        lambda bits: dict(zip(variables, bits))
+    )
+
+
+def all_assignments(variables: Sequence[str]):
+    """Deterministic generator of every assignment over ``variables``."""
+    for bits in itertools.product((0, 1), repeat=len(variables)):
+        yield dict(zip(variables, bits))

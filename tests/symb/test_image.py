@@ -1,0 +1,150 @@
+"""Tests for partitioned image computation and scheduling."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import BddManager
+from repro.symb import (
+    PartitionedRelation,
+    cluster_parts,
+    constrain_parts,
+    functions_to_relation,
+    image_monolithic,
+    image_partitioned,
+    schedule_parts,
+)
+from tests.strategies import DEFAULT_VARS, expressions
+
+
+def build_parts(exprs):
+    mgr = BddManager()
+    mgr.add_vars(DEFAULT_VARS)
+    return mgr, [e.to_bdd(mgr) for e in exprs]
+
+
+part_lists = st.lists(expressions(max_leaves=6), min_size=1, max_size=5)
+var_subsets = st.sets(st.sampled_from(DEFAULT_VARS), min_size=1, max_size=3)
+
+
+@given(part_lists, expressions(max_leaves=6), var_subsets)
+@settings(max_examples=60, deadline=None)
+def test_partitioned_image_equals_monolithic(exprs, constraint_expr, names) -> None:
+    mgr, parts = build_parts(exprs)
+    constraint = constraint_expr.to_bdd(mgr)
+    quantify = [mgr.var_index(n) for n in names]
+    mono_rel = PartitionedRelation(mgr, list(parts)).monolithic()
+    want = image_monolithic(mgr, mono_rel, constraint, quantify)
+    got_scheduled = image_partitioned(mgr, parts, constraint, quantify)
+    got_naive = image_partitioned(mgr, parts, constraint, quantify, schedule=False)
+    assert got_scheduled == want
+    assert got_naive == want
+
+
+@given(part_lists, var_subsets)
+@settings(max_examples=40, deadline=None)
+def test_schedule_retires_every_quantified_variable_once(exprs, names) -> None:
+    mgr, parts = build_parts(exprs)
+    quantify = {mgr.var_index(n) for n in names}
+    plan = schedule_parts(mgr, parts, quantify)
+    assert len(plan) == len(parts)
+    assert sorted(p for p, _ in plan) == sorted(parts)
+    retired: list[int] = []
+    for _, retire in plan:
+        retired.extend(retire)
+    # No variable retired twice.
+    assert len(retired) == len(set(retired))
+    # A retired variable must not appear in any later part.
+    for k, (_, retire) in enumerate(plan):
+        later_support = set()
+        for part, _ in plan[k + 1 :]:
+            later_support |= mgr.support(part)
+        assert not (set(retire) & later_support)
+
+
+def test_schedule_prefers_parts_that_retire_variables() -> None:
+    mgr = BddManager()
+    a, b, c, q = mgr.add_vars(["a", "b", "c", "q"])
+    # part0 mentions q, part1 does not; processing part1 first would keep
+    # q alive; the schedule must retire q right after the only q-part
+    # remains processed last or order parts so q dies early.
+    part_q = mgr.apply_and(mgr.var_node(q), mgr.var_node(a))
+    part_bc = mgr.apply_and(mgr.var_node(b), mgr.var_node(c))
+    plan = schedule_parts(mgr, [part_bc, part_q], [q])
+    # Wherever part_q lands, q must be retired immediately after it.
+    for part, retire in plan:
+        if part == part_q:
+            assert q in retire
+
+
+def test_image_empty_parts_just_quantifies() -> None:
+    mgr = BddManager()
+    a, b = mgr.add_vars(["a", "b"])
+    f = mgr.apply_and(mgr.var_node(a), mgr.var_node(b))
+    assert image_partitioned(mgr, [], f, [a]) == mgr.exists(f, [a])
+
+
+def test_image_false_constraint_short_circuits() -> None:
+    mgr = BddManager()
+    a, b = mgr.add_vars(["a", "b"])
+    assert image_partitioned(mgr, [mgr.var_node(b)], 0, [a]) == 0
+
+
+def test_transition_image_matches_explicit_successors() -> None:
+    # A 2-bit counter: check image of {00} under en=1 is {01}.
+    from repro.bench import circuits
+    from repro.network import build_network_bdds, declare_network_vars
+
+    net = circuits.counter(2)
+    mgr = BddManager()
+    iv, sv = declare_network_vars(mgr, net)
+    ns_vars = {name: mgr.add_var(f"{name}'") for name in net.latches}
+    bdds = build_network_bdds(net, mgr, iv, sv)
+    rel = functions_to_relation(
+        mgr, ((ns_vars[n], bdds.next_state[n]) for n in net.latches)
+    )
+    constraint = bdds.init_cube
+    img = image_partitioned(
+        mgr, list(rel), constraint, [iv["en"]] + list(sv.values())
+    )
+    # Successors of 00 under en in {0,1}: 00 (hold) and 01 (count).
+    models = set()
+    for b0, b1 in itertools.product((0, 1), repeat=2):
+        env = {"b0'": b0, "b1'": b1}
+        if mgr.eval(img, env):
+            models.add((b0, b1))
+    assert models == {(0, 0), (1, 0)}
+
+
+def test_cluster_parts_preserves_conjunction() -> None:
+    mgr = BddManager()
+    mgr.add_vars(DEFAULT_VARS)
+    parts = [
+        mgr.var_node(0),
+        mgr.apply_or(mgr.var_node(1), mgr.var_node(2)),
+        mgr.apply_xor(mgr.var_node(3), mgr.var_node(4)),
+    ]
+    for budget in (1, 10, 10_000):
+        clusters = cluster_parts(mgr, parts, max_nodes=budget)
+        assert PartitionedRelation(mgr, clusters).monolithic() == PartitionedRelation(
+            mgr, parts
+        ).monolithic()
+    assert len(cluster_parts(mgr, parts, max_nodes=10_000)) == 1
+    assert len(cluster_parts(mgr, parts, max_nodes=1)) == 3
+
+
+def test_constrain_parts_injects_into_smallest() -> None:
+    mgr = BddManager()
+    a, b, c = mgr.add_vars(["a", "b", "c"])
+    small = mgr.var_node(a)
+    big = mgr.apply_xor(mgr.var_node(b), mgr.var_node(c))
+    out = constrain_parts(mgr, [big, small], mgr.var_node(c))
+    assert out[0] == big
+    assert out[1] == mgr.apply_and(small, mgr.var_node(c))
+    # Empty part list: constraint becomes the only part.
+    assert constrain_parts(mgr, [], mgr.var_node(a)) == [mgr.var_node(a)]
+    assert constrain_parts(mgr, [], 1) == []

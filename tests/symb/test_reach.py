@@ -1,0 +1,84 @@
+"""Tests for symbolic reachability vs explicit BFS."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bdd import BddManager, sat_count
+from repro.bench import circuits, figure3_network, s27
+from repro.network import build_network_bdds, declare_network_vars
+from repro.symb import network_reachable_states
+from repro.automata import reachable_state_count
+
+
+def interleaved_manager(net):
+    """Manager with inputs first, then interleaved (cs, ns) pairs."""
+    mgr = BddManager()
+    iv = {name: mgr.add_var(name) for name in net.inputs}
+    sv, nv = {}, {}
+    for name in net.latches:
+        sv[name] = mgr.add_var(name)
+        nv[name] = mgr.add_var(f"{name}'")
+    return mgr, iv, sv, nv
+
+
+@pytest.mark.parametrize(
+    "make",
+    [
+        figure3_network,
+        s27,
+        lambda: circuits.counter(4),
+        lambda: circuits.johnson(4),
+        lambda: circuits.lfsr(4),
+        lambda: circuits.shift_register(3),
+        lambda: circuits.sequence_detector("1011"),
+        lambda: circuits.traffic_light(),
+        lambda: circuits.token_arbiter(3),
+        lambda: circuits.random_network(2, 4, 2, seed=13),
+    ],
+)
+@pytest.mark.parametrize("schedule", [True, False])
+def test_symbolic_reach_equals_explicit(make, schedule) -> None:
+    net = make()
+    mgr, iv, sv, nv = interleaved_manager(net)
+    bdds = build_network_bdds(net, mgr, iv, sv)
+    result = network_reachable_states(bdds, ns_vars=nv, schedule=schedule)
+    assert result.state_count == reachable_state_count(net)
+
+
+def test_reach_iterations_bounded_by_diameter() -> None:
+    net = circuits.counter(3)
+    mgr, iv, sv, nv = interleaved_manager(net)
+    bdds = build_network_bdds(net, mgr, iv, sv)
+    result = network_reachable_states(bdds, ns_vars=nv)
+    # 8 states on a counting path: fixed point within 9 iterations.
+    assert result.state_count == 8
+    assert result.iterations <= 9
+
+
+def test_reach_declares_ns_vars_on_demand() -> None:
+    net = circuits.counter(2)
+    mgr = BddManager()
+    iv, sv = declare_network_vars(mgr, net)
+    bdds = build_network_bdds(net, mgr, iv, sv)
+    result = network_reachable_states(bdds)
+    assert result.state_count == 4
+
+
+def test_reached_set_is_closed_under_image() -> None:
+    net = circuits.johnson(3)
+    mgr, iv, sv, nv = interleaved_manager(net)
+    bdds = build_network_bdds(net, mgr, iv, sv)
+    from repro.symb import functions_to_relation, image_partitioned
+
+    result = network_reachable_states(bdds, ns_vars=nv)
+    rel = functions_to_relation(
+        mgr, ((nv[n], bdds.next_state[n]) for n in net.latches)
+    )
+    quantify = list(iv.values()) + list(sv.values())
+    img = image_partitioned(mgr, list(rel), result.states, quantify)
+    img_cs = mgr.rename(img, {nv[n]: sv[n] for n in net.latches})
+    # image(reached) ⊆ reached
+    assert mgr.apply_diff(img_cs, result.states) == 0
+    # and the count matches sat_count over cs vars.
+    assert result.state_count == sat_count(mgr, result.states, list(sv.values()))

@@ -1,0 +1,173 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import S27_BLIF
+from repro.cli import main
+
+
+@pytest.fixture()
+def blif_file(tmp_path):
+    path = tmp_path / "s27.blif"
+    path.write_text(S27_BLIF)
+    return str(path)
+
+
+class TestInfo:
+    def test_info_prints_stats(self, blif_file, capsys) -> None:
+        assert main(["info", "--blif", blif_file]) == 0
+        out = capsys.readouterr().out
+        assert "s27" in out
+        assert "4/1/3" in out
+        assert "G5 G6 G7" in out
+
+
+class TestSolve:
+    def test_solve_with_verification(self, blif_file, capsys) -> None:
+        code = main(["solve", "--blif", blif_file, "--x-latches", "G6"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "csf_states=7" in out
+        assert "verification" in out and "True" in out
+
+    def test_solve_monolithic_no_verify(self, blif_file, capsys) -> None:
+        code = main(
+            [
+                "solve",
+                "--blif",
+                blif_file,
+                "--x-latches",
+                "G6",
+                "--method",
+                "monolithic",
+                "--no-verify",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "method=monolithic" in out
+        assert "verification" not in out
+
+    def test_solve_writes_kiss_and_dot(self, blif_file, tmp_path, capsys) -> None:
+        kiss = tmp_path / "csf.kiss"
+        dot = tmp_path / "csf.dot"
+        code = main(
+            [
+                "solve",
+                "--blif",
+                blif_file,
+                "--x-latches",
+                "G6",
+                "--no-verify",
+                "--kiss-out",
+                str(kiss),
+                "--dot-out",
+                str(dot),
+            ]
+        )
+        assert code == 0
+        assert kiss.read_text().startswith(".i ")
+        assert "digraph" in dot.read_text()
+        # And the KISS round-trips.
+        from repro.automata import parse_kiss
+
+        aut = parse_kiss(kiss.read_text())
+        assert aut.num_states == 7
+
+    def test_solve_multiple_latches(self, blif_file, capsys) -> None:
+        code = main(
+            ["solve", "--blif", blif_file, "--x-latches", "G5,G7", "--no-verify"]
+        )
+        assert code == 0
+
+    def test_version_flag(self, capsys) -> None:
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+
+class TestReach:
+    def test_reach_counts_states(self, blif_file, capsys) -> None:
+        assert main(["reach", "--blif", blif_file]) == 0
+        out = capsys.readouterr().out
+        assert "reachable states: 6 of 8" in out
+
+    def test_reach_without_scheduling(self, blif_file, capsys) -> None:
+        assert main(["reach", "--blif", blif_file, "--no-schedule"]) == 0
+        out = capsys.readouterr().out
+        assert "reachable states: 6 of 8" in out
+
+
+class TestStg:
+    def test_stg_summary(self, blif_file, capsys) -> None:
+        assert main(["stg", "--blif", blif_file]) == 0
+        out = capsys.readouterr().out
+        assert "states: 6" in out
+        assert "deterministic: True" in out
+
+    def test_stg_complete_and_export(self, blif_file, tmp_path, capsys) -> None:
+        kiss = tmp_path / "stg.kiss"
+        dot = tmp_path / "stg.dot"
+        code = main(
+            [
+                "stg",
+                "--blif",
+                blif_file,
+                "--complete",
+                "--kiss-out",
+                str(kiss),
+                "--dot-out",
+                str(dot),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "states: 7" in out  # 6 + DC
+        assert "complete: True" in out
+        from repro.automata import parse_kiss
+
+        assert parse_kiss(kiss.read_text()).num_states == 7
+        assert "digraph" in dot.read_text()
+
+
+class TestImplementOut:
+    def test_solve_writes_implementation(self, blif_file, tmp_path, capsys) -> None:
+        out_blif = tmp_path / "impl.blif"
+        code = main(
+            [
+                "solve",
+                "--blif",
+                blif_file,
+                "--x-latches",
+                "G6",
+                "--no-verify",
+                "--implement-out",
+                str(out_blif),
+            ]
+        )
+        assert code == 0
+        from repro.network import read_blif
+
+        impl = read_blif(str(out_blif))
+        impl.validate()
+        assert impl.name == "s27_impl"
+        assert impl.num_latches >= 1
+
+
+class TestTable1:
+    def test_single_row(self, capsys) -> None:
+        assert main(["table1", "--rows", "s27"]) == 0
+        out = capsys.readouterr().out
+        assert "States(X)" in out
+        assert "s27" in out
+
+    def test_row_with_paper_reference(self, capsys) -> None:
+        assert main(["table1", "--rows", "s27", "--paper"]) == 0
+        out = capsys.readouterr().out
+        assert "s510" in out  # the paper table is printed
+
+    def test_unknown_row_rejected(self) -> None:
+        with pytest.raises(KeyError):
+            main(["table1", "--rows", "sDoesNotExist"])

@@ -1,0 +1,32 @@
+"""Smoke tests: every example script must run cleanly end to end."""
+
+from __future__ import annotations
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    p for p in (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys, monkeypatch) -> None:
+    monkeypatch.setattr(sys, "argv", [str(path)])
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path.name} produced no output"
+
+
+def test_examples_exist() -> None:
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "figure3_worked_example",
+        "latch_split_resynthesis",
+        "pipeline_stage_synthesis",
+        "symbolic_engine_tour",
+    } <= names

@@ -1,0 +1,70 @@
+"""Tests for the small utility layer (timers, limits, tables)."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import TimeLimit
+from repro.util import ResourceLimit, Stopwatch, format_table
+
+
+class TestStopwatch:
+    def test_elapsed_monotone(self) -> None:
+        sw = Stopwatch()
+        t1 = sw.elapsed()
+        t2 = sw.elapsed()
+        assert 0 <= t1 <= t2
+
+    def test_restart_resets(self) -> None:
+        sw = Stopwatch()
+        time.sleep(0.01)
+        before = sw.elapsed()
+        sw.restart()
+        assert sw.elapsed() < before
+
+
+class TestResourceLimit:
+    def test_unlimited_never_fires(self) -> None:
+        limit = ResourceLimit.unlimited()
+        limit.check_time()  # no exception
+
+    def test_time_budget_fires(self) -> None:
+        limit = ResourceLimit(max_seconds=0.0)
+        time.sleep(0.005)
+        with pytest.raises(TimeLimit):
+            limit.check_time()
+
+    def test_restart_extends_budget(self) -> None:
+        limit = ResourceLimit(max_seconds=10.0)
+        limit.restart()
+        limit.check_time()
+
+    def test_reports_budget(self) -> None:
+        limit = ResourceLimit(max_seconds=0.0)
+        time.sleep(0.002)
+        with pytest.raises(TimeLimit) as excinfo:
+            limit.check_time()
+        assert excinfo.value.seconds == 0.0
+
+
+class TestFormatTable:
+    def test_alignment(self) -> None:
+        text = format_table(["Name", "n"], [["abc", 1], ["x", 1234]])
+        lines = text.splitlines()
+        assert lines[0].startswith("Name")
+        assert lines[1].startswith("----")
+        assert lines[2].startswith("abc")
+        # Numbers are right-aligned.
+        assert lines[3].endswith("1234")
+
+    def test_left_columns_configurable(self) -> None:
+        text = format_table(
+            ["a", "b"], [["x", "y"]], align_left=(0, 1)
+        )
+        assert "x" in text and "y" in text
+
+    def test_empty_rows(self) -> None:
+        text = format_table(["h1", "h2"], [])
+        assert len(text.splitlines()) == 2
