@@ -15,7 +15,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import ReproError
-from repro.bench.suite import TABLE1_CASES, case_by_name
+from repro.bench.suite import TABLE1_CASES
 from repro.eqn.problem import build_latch_split_problem
 from repro.eqn.solver import solve_equation
 from repro.util.limits import ResourceLimit

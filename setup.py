@@ -1,5 +1,11 @@
-"""Legacy setup shim: the offline environment lacks the `wheel` package,
-so `pip install -e .` falls back to this setup.py develop path."""
+"""Legacy setup shim for offline development environments.
+
+All package metadata lives in ``pyproject.toml`` (PEP 621); setuptools
+reads it from there.  This file exists only so environments without
+network access or the ``wheel`` package can still do a legacy editable
+install (``python setup.py develop``) — modern ``pip install .`` uses
+the pyproject build backend and ignores this path.
+"""
 
 from setuptools import setup
 

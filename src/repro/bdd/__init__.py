@@ -2,7 +2,9 @@
 
 Public surface:
 
-* :class:`BddManager` — shared nodes, unique/computed tables, Boolean
+* :class:`BddManager` — shared nodes with complement edges, a unified
+  operator-tagged computed table, reference-counted garbage collection
+  (``ref``/``deref``/``protect``/``collect_garbage``), Boolean
   connectives, quantification and the fused relational product
   ``and_exists`` that powers partitioned image computation.
 * :class:`Function` — operator-overloaded wrapper for user code.

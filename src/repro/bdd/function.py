@@ -151,6 +151,18 @@ class Function:
         self._check(care)
         return Function(self.manager, self.manager.constrain(self.node, care.node))
 
+    # -- garbage collection ------------------------------------------------ #
+
+    def ref(self) -> "Function":
+        """Pin this function across manager garbage collections."""
+        self.manager.ref(self.node)
+        return self
+
+    def deref(self) -> "Function":
+        """Release one pin taken with :meth:`ref`."""
+        self.manager.deref(self.node)
+        return self
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Function):
             return NotImplemented

@@ -2,6 +2,9 @@
 
 * :func:`to_dot` renders one or more functions as a Graphviz digraph
   (solid = then-edge, dashed = else-edge), handy for debugging and docs.
+  Complement edges are rendered expanded: both polarities of a shared
+  node appear as separate graph vertices, so the drawing always shows the
+  plain (complement-free) ROBDD of each root.
 * :func:`dump_function` / :func:`load_function` round-trip a function
   through a plain JSON-able structure, used by the test suite and by the
   CLI's ``--save`` option.

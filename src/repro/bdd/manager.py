@@ -1,51 +1,132 @@
-"""A shared, reduced, ordered BDD manager (pure Python).
+"""A shared, reduced, ordered BDD manager with complement edges (pure Python).
 
 This module replaces the CUDD package the paper relies on.  It implements
-the classic shared-ROBDD data structure:
+the classic shared-ROBDD data structure, upgraded with the three features
+that separate production kernels from toys:
 
-* a *unique table* mapping ``(var, lo, hi)`` triples to node ids, which
-  guarantees canonicity (two equivalent functions share one node id);
-* *computed tables* (operation caches) for the Boolean connectives,
-  quantification, the fused relational product ``and_exists`` (the
-  workhorse of image computation), composition and renaming;
-* variable *levels* separate from variable *indices*, so the order can be
-  changed (see :mod:`repro.bdd.reorder`).
+* **complement edges** — an *edge* is an integer ``(node_index << 1) | sign``
+  where the sign bit marks negation.  Then-edges are stored uncomplemented,
+  which keeps the representation canonical, makes :meth:`~BddManager.apply_not`
+  O(1) (``f ^ 1``) and lets AND/OR share computed-table entries through
+  De Morgan's law.  There is a single terminal node (index 0): edge ``0`` is
+  the constant FALSE and edge ``1`` its complement TRUE, so the classic
+  ``f < 2`` terminal test still works on edges;
+* a single *unique table* mapping ``(var, lo, hi)`` triples to regular
+  edges, which guarantees canonicity (two equivalent functions share one
+  edge);
+* a unified, operator-tagged *computed table* (operation cache) for all
+  Boolean connectives, quantification, the fused relational product
+  ``and_exists`` (the workhorse of image computation), composition and
+  renaming — with canonical argument ordering so commutative operations
+  share entries;
+* *reference-counted garbage collection* — callers pin the functions they
+  hold with :meth:`~BddManager.ref` / :meth:`~BddManager.deref` or the
+  ``with mgr.protect(...)`` context manager, and
+  :meth:`~BddManager.collect_garbage` reclaims everything unreachable,
+  sweeping dead entries out of the unique and computed tables.  Freed slots
+  are recycled through a free list, so long fixpoint computations (image,
+  reachability, subset construction) no longer grow without bound.
 
-Nodes are plain ``int`` ids; ``0`` is the constant FALSE and ``1`` the
-constant TRUE.  All manager methods consume and produce ints, which keeps
-the inner loops fast; :class:`repro.bdd.function.Function` offers an
+The node attribute arrays are **edge-indexed**: slot ``2n`` holds node
+``n``'s children as stored, slot ``2n+1`` holds them with the complement
+bit propagated.  Cofactor extraction in the recursive operators is then a
+bare list index — no shift/mask arithmetic on the hot path — at the cost
+of one extra (pointer-sized) slot per node.
+
+Variable *levels* are separate from variable *indices*, so the order can be
+changed (see :mod:`repro.bdd.reorder`).
+
+All manager methods consume and produce int edges, which keeps the inner
+loops fast; :class:`repro.bdd.function.Function` offers an
 operator-overloaded wrapper for user-facing code.
 
-The manager optionally enforces a node budget (``max_nodes``), raising
-:class:`~repro.errors.BddNodeLimit` when exceeded.  The Table 1 harness
-uses this to emulate the paper's "CNC" (could not complete) entries.
+The manager optionally enforces a node budget (``max_nodes``, counted over
+*live* nodes), raising :class:`~repro.errors.BddNodeLimit` when exceeded.
+The Table 1 harness uses this to emulate the paper's "CNC" (could not
+complete) entries.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left
-from collections.abc import Iterable, Mapping, Sequence
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from contextlib import contextmanager
 
 from repro.errors import BddError, BddNodeLimit, BddOrderError
 
-#: Node id of the constant FALSE function.
+#: Edge of the constant FALSE function (terminal node, positive polarity).
 FALSE = 0
-#: Node id of the constant TRUE function.
+#: Edge of the constant TRUE function (terminal node, complemented).
 TRUE = 1
 
-#: Sentinel level assigned to the two terminal nodes; compares above all
-#: real variable levels.
+#: Sentinel level assigned to the terminal node; compares above all real
+#: variable levels.
 _TERMINAL_LEVEL = 1 << 60
+
+#: ``_var`` sentinel marking a reclaimed node slot awaiting reuse.
+_FREE = -2
+
+# Operator tags for the unified computed table.  Every cache key is a tuple
+# whose LAST element is one of these tags (trailing, so the most-varying
+# field — the first edge — leads the tuple hash); commutative operators
+# store their edge arguments in sorted order so both orientations hit the
+# same entry, and complement-edge normalisation lets all four polarities of
+# XOR, both AND/OR orientations, etc. share entries.  Key layouts:
+#
+# ==========  =====================================================
+# AND, XOR    ``(f, g, op)``
+# CONSTRAIN   ``(f, c, op)``
+# ITE         ``(f, g, h, op)``
+# COMPOSE     ``(f, g, var, op)``
+# RESTRICT    ``(f, var, val, op)``
+# EXISTS      ``(f, suffix_id, op)``
+# ANDEX       ``(f, g, suffix_id, op)``
+# RENAME      ``(f, ((old, new), ...), op)``
+# ==========  =====================================================
+_OP_AND = 0
+_OP_XOR = 1
+_OP_ITE = 2
+_OP_EXISTS = 3
+_OP_ANDEX = 4
+_OP_COMPOSE = 5
+_OP_RENAME = 6
+_OP_RESTRICT = 7
+_OP_CONSTRAIN = 8
+
+#: Number of leading key positions that hold node-referencing edges, per
+#: operator tag.  The garbage collector uses this to sweep computed-table
+#: entries that mention a reclaimed node (stale entries must go before
+#: slots are reused, or a recycled index could produce false cache hits).
+_OP_EDGE_COUNT: dict[int, int] = {
+    _OP_AND: 2,
+    _OP_XOR: 2,
+    _OP_ITE: 3,
+    _OP_EXISTS: 1,
+    _OP_ANDEX: 2,
+    _OP_COMPOSE: 2,
+    _OP_RENAME: 1,
+    _OP_RESTRICT: 1,
+    _OP_CONSTRAIN: 2,
+}
+
+
+def _key_edges(key: tuple) -> tuple[int, ...]:
+    """Node-referencing edges mentioned by a computed-table key."""
+    return key[: _OP_EDGE_COUNT[key[-1]]]
 
 
 class BddManager:
-    """A shared ROBDD manager.
+    """A shared ROBDD manager with complement edges.
 
     Parameters
     ----------
     max_nodes:
-        Optional node budget.  When the number of live nodes would exceed
-        this, :class:`~repro.errors.BddNodeLimit` is raised.
+        Optional budget on *live* nodes.  When the number of live nodes
+        would exceed this, :class:`~repro.errors.BddNodeLimit` is raised.
+    gc_min_live:
+        Live-node floor below which :meth:`should_collect` never triggers.
+    gc_growth:
+        Growth factor over the live count after the previous collection
+        that arms :meth:`should_collect`.
 
     Examples
     --------
@@ -56,37 +137,90 @@ class BddManager:
     True
     """
 
-    def __init__(self, max_nodes: int | None = None) -> None:
-        self.max_nodes = max_nodes
-        # Node storage; index 0/1 are the terminals.  Terminal var = -1.
+    __slots__ = (
+        "apply_and",
+        "apply_xor",
+        "_counters",
+        "_computed",
+        "_extref",
+        "_free",
+        "_gc_baseline",
+        "_gc_reclaimed",
+        "_gc_runs",
+        "_hi",
+        "_level2var",
+        "_levels_intern",
+        "_live",
+        "_lo",
+        "_name_to_var",
+        "_node_budget",
+        "_peak_live",
+        "_suffix_cache",
+        "_unique",
+        "_var",
+        "_var2level",
+        "_var_names",
+        "gc_growth",
+        "gc_min_live",
+    )
+
+    #: Sentinel budget meaning "unlimited" (kept as an int so the hot
+    #: allocation path is a single compare).
+    _NO_BUDGET = 1 << 62
+
+    def __init__(
+        self,
+        max_nodes: int | None = None,
+        *,
+        gc_min_live: int = 100_000,
+        gc_growth: float = 2.0,
+    ) -> None:
+        self._node_budget = self._NO_BUDGET if max_nodes is None else max_nodes
+        self.gc_min_live = gc_min_live
+        self.gc_growth = gc_growth
+        # Edge-indexed node attribute arrays; slots 0/1 are the two
+        # polarities of the terminal (var sentinel -1).  Slot 2n holds the
+        # children of node n as stored (then-edge regular), slot 2n+1 holds
+        # them with the complement bit propagated.
         self._var: list[int] = [-1, -1]
         self._lo: list[int] = [0, 1]
         self._hi: list[int] = [0, 1]
-        # Unique table: (var, lo, hi) -> node id.
+        # Unique table: (var, lo_edge, hi_edge) -> regular (even) edge.
         self._unique: dict[tuple[int, int, int], int] = {}
+        # Reclaimed regular edges available for reuse.
+        self._free: list[int] = []
+        # External reference counts: regular (even) edge -> count.
+        self._extref: dict[int, int] = {}
+        self._live = 1  # the terminal
+        self._gc_baseline = 1
+        # Unified computed table: op-tagged tuple key -> result edge.
+        self._computed: dict[tuple, int] = {}
+        # Interning tables for quantification level-suffixes.
+        self._levels_intern: dict[tuple[int, ...], int] = {}
+        self._suffix_cache: dict[tuple[int, ...], list[int]] = {}
         # Variable bookkeeping.
         self._var_names: list[str] = []
         self._name_to_var: dict[str, int] = {}
         self._var2level: list[int] = []
         self._level2var: list[int] = []
-        # Computed tables.
-        self._not_cache: dict[int, int] = {}
-        self._and_cache: dict[tuple[int, int], int] = {}
-        self._or_cache: dict[tuple[int, int], int] = {}
-        self._xor_cache: dict[tuple[int, int], int] = {}
-        self._ite_cache: dict[tuple[int, int, int], int] = {}
-        self._exists_cache: dict[tuple[int, tuple[int, ...]], int] = {}
-        self._andex_cache: dict[tuple[int, int, tuple[int, ...]], int] = {}
-        self._compose_cache: dict[tuple[int, int, int], int] = {}
-        self._rename_cache: dict[tuple[int, tuple[tuple[int, int], ...]], int] = {}
-        self._restrict_cache: dict[tuple[int, int, int], int] = {}
-        self._constrain_cache: dict[tuple[int, int], int] = {}
-        # Statistics.
-        self.stats: dict[str, int] = {
-            "unique_hits": 0,
-            "cache_hits": 0,
-            "recursive_calls": 0,
-        }
+        # Statistics counters (exposed through the ``stats`` property).
+        # The hot closures count into ``_counters`` (a list is a cheap
+        # shared cell): [cache_hits, recursive_calls, unique_hits].
+        self._counters = [0, 0, 0]
+        self._gc_runs = 0
+        self._gc_reclaimed = 0
+        self._peak_live = 1
+        self._bind_hot_ops()
+
+    @property
+    def max_nodes(self) -> int | None:
+        """Live-node budget (``None`` = unlimited)."""
+        budget = self._node_budget
+        return None if budget == self._NO_BUDGET else budget
+
+    @max_nodes.setter
+    def max_nodes(self, value: int | None) -> None:
+        self._node_budget = self._NO_BUDGET if value is None else value
 
     # ------------------------------------------------------------------ #
     # Variables
@@ -95,7 +229,7 @@ class BddManager:
     def add_var(self, name: str) -> int:
         """Declare a new variable at the bottom of the order.
 
-        Returns the variable *index* (not a node).  Use :meth:`var_node`
+        Returns the variable *index* (not an edge).  Use :meth:`var_node`
         to obtain the BDD of the variable itself.
         """
         if name in self._name_to_var:
@@ -143,7 +277,7 @@ class BddManager:
         while the manager holds no internal nodes (use
         :func:`repro.bdd.reorder.reorder` afterwards).
         """
-        if len(self) > 2:
+        if self._live > 1:
             raise BddError("set_order requires an empty manager; use reorder()")
         if sorted(names) != sorted(self._var_names):
             raise BddError("set_order must mention every declared variable once")
@@ -152,23 +286,23 @@ class BddManager:
             self._var2level[var] = level
 
     def var_node(self, var: int) -> int:
-        """Node for the positive literal of variable index ``var``."""
+        """Edge for the positive literal of variable index ``var``."""
         return self._mk(var, FALSE, TRUE)
 
     def nvar_node(self, var: int) -> int:
-        """Node for the negative literal of variable index ``var``."""
+        """Edge for the negative literal of variable index ``var``."""
         return self._mk(var, TRUE, FALSE)
 
     def node_var(self, f: int) -> int:
-        """Top variable index of node ``f`` (undefined for terminals)."""
+        """Top variable index of edge ``f`` (undefined for terminals)."""
         return self._var[f]
 
     def node_lo(self, f: int) -> int:
-        """Low (else) child of node ``f``."""
+        """Low (else) child edge of ``f`` (complement bit propagated)."""
         return self._lo[f]
 
     def node_hi(self, f: int) -> int:
-        """High (then) child of node ``f``."""
+        """High (then) child edge of ``f`` (complement bit propagated)."""
         return self._hi[f]
 
     def level(self, f: int) -> int:
@@ -182,191 +316,326 @@ class BddManager:
     # ------------------------------------------------------------------ #
 
     def _mk(self, var: int, lo: int, hi: int) -> int:
-        """Find-or-create the node ``(var, lo, hi)`` (reduction applied)."""
+        """Find-or-create the edge for ``(var, lo, hi)`` (reduction applied).
+
+        Canonical form: the then-edge is stored uncomplemented; when ``hi``
+        carries the sign bit the node is stored with both children flipped
+        and the complement moves onto the returned edge.
+        """
         if lo == hi:
             return lo
-        key = (var, lo, hi)
-        unique = self._unique
-        node = unique.get(key)
-        if node is not None:
-            self.stats["unique_hits"] += 1
-            return node
-        if self.max_nodes is not None and len(self._var) >= self.max_nodes:
+        negate = hi & 1
+        if negate:
+            lo ^= 1
+            hi ^= 1
+        ukey = (var, lo, hi)
+        edge = self._unique.get(ukey)
+        if edge is not None:
+            self._counters[2] += 1
+            return edge | negate
+        return self._mk_new(ukey) | negate
+
+    def _mk_new(self, ukey: tuple[int, int, int]) -> int:
+        """Allocate the (canonical, not yet present) node; returns its
+        regular edge.
+
+        The live count only ever drops at collection points, so peak-live
+        tracking happens there (and in the ``stats`` property), keeping
+        this path to a bare budget compare.
+        """
+        live = self._live
+        if live >= self._node_budget:
             raise BddNodeLimit(self.max_nodes)
-        node = len(self._var)
-        self._var.append(var)
-        self._lo.append(lo)
-        self._hi.append(hi)
-        unique[key] = node
-        return node
+        var, lo, hi = ukey
+        free = self._free
+        if free:
+            edge = free.pop()
+            arr = self._var
+            arr[edge] = var
+            arr[edge + 1] = var
+            arr = self._lo
+            arr[edge] = lo
+            arr[edge + 1] = lo ^ 1
+            arr = self._hi
+            arr[edge] = hi
+            arr[edge + 1] = hi ^ 1
+        else:
+            arr = self._var
+            edge = len(arr)
+            arr.append(var)
+            arr.append(var)
+            arr = self._lo
+            arr.append(lo)
+            arr.append(lo ^ 1)
+            arr = self._hi
+            arr.append(hi)
+            arr.append(hi ^ 1)
+        self._unique[ukey] = edge
+        self._live = live + 1
+        return edge
 
     def __len__(self) -> int:
-        """Total number of nodes ever created (including terminals)."""
-        return len(self._var)
+        """Number of live nodes in the manager (including the terminal)."""
+        return self._live
 
     @property
     def num_nodes(self) -> int:
-        """Total number of nodes in the manager (including terminals)."""
-        return len(self._var)
+        """Number of live nodes in the manager (including the terminal)."""
+        return self._live
+
+    @property
+    def allocated_nodes(self) -> int:
+        """Number of node slots ever allocated (live + reusable free)."""
+        return len(self._var) // 2
 
     # ------------------------------------------------------------------ #
     # Core connectives
     # ------------------------------------------------------------------ #
 
     def apply_not(self, f: int) -> int:
-        """Negation, with a permanent memo table."""
-        if f == FALSE:
-            return TRUE
-        if f == TRUE:
-            return FALSE
-        cache = self._not_cache
-        r = cache.get(f)
-        if r is not None:
-            return r
-        r = self._mk(self._var[f], self.apply_not(self._lo[f]), self.apply_not(self._hi[f]))
-        cache[f] = r
-        cache[r] = f
-        return r
+        """Negation — O(1) with complement edges."""
+        return f ^ 1
 
-    def apply_and(self, f: int, g: int) -> int:
-        """Conjunction."""
-        if f == g:
-            return f
-        if f == FALSE or g == FALSE:
-            return FALSE
-        if f == TRUE:
-            return g
-        if g == TRUE:
-            return f
-        if f > g:
-            f, g = g, f
-        key = (f, g)
-        r = self._and_cache.get(key)
-        if r is not None:
-            self.stats["cache_hits"] += 1
+    def _bind_hot_ops(self) -> None:
+        """Bind ``apply_and`` / ``apply_xor`` as per-instance closures.
+
+        The two hottest recursions run tens of thousands of times per
+        image step; closing over the kernel state (node arrays, unique and
+        computed tables, counter cell) replaces every ``self._x`` attribute
+        load with a cell access and every method dispatch with a plain
+        call.  All captured containers are only ever mutated *in place*
+        (``clear_caches``, ``collect_garbage`` and ``compact`` update them
+        with ``clear``/``update``/indexed stores), so the closures can
+        never go stale.  The live count and node budget live on ``self``
+        and are read through it on the (cold) allocation path.
+        """
+        computed = self._computed
+        unique = self._unique
+        var_arr = self._var
+        lo_arr = self._lo
+        hi_arr = self._hi
+        var2level = self._var2level
+        free = self._free
+        counters = self._counters
+        mgr = self
+
+        def apply_and(f: int, g: int) -> int:
+            """Conjunction (per-instance closure; see ``_bind_hot_ops``)."""
+            if f == g:
+                return f
+            if f < 2 or g < 2:
+                if f == 0 or g == 0:
+                    return 0
+                return g if f == 1 else f
+            if f ^ g == 1:
+                return 0
+            if f > g:
+                f, g = g, f
+            key = (f, g, _OP_AND)
+            r = computed.get(key)
+            if r is not None:
+                counters[0] += 1
+                return r
+            counters[1] += 1
+            lf = var2level[var_arr[f]]
+            lg = var2level[var_arr[g]]
+            if lf <= lg:
+                var = var_arr[f]
+                f0, f1 = lo_arr[f], hi_arr[f]
+            else:
+                var = var_arr[g]
+                f0 = f1 = f
+            if lg <= lf:
+                g0, g1 = lo_arr[g], hi_arr[g]
+            else:
+                g0 = g1 = g
+            # Terminal cases are inlined at the call sites: about half of
+            # all recursive calls are leaves, and skipping their frames is
+            # the biggest constant-factor win available to a Python kernel.
+            if f0 == g0 or g0 == 1:
+                lo = f0
+            elif f0 == 1:
+                lo = g0
+            elif f0 == 0 or g0 == 0 or f0 ^ g0 == 1:
+                lo = 0
+            else:
+                lo = apply_and(f0, g0)
+            if f1 == g1 or g1 == 1:
+                hi = f1
+            elif f1 == 1:
+                hi = g1
+            elif f1 == 0 or g1 == 0 or f1 ^ g1 == 1:
+                hi = 0
+            else:
+                hi = apply_and(f1, g1)
+            # Inlined _mk (this is the hottest path in the kernel).
+            if lo == hi:
+                r = lo
+            else:
+                negate = hi & 1
+                if negate:
+                    lo ^= 1
+                    hi ^= 1
+                ukey = (var, lo, hi)
+                edge = unique.get(ukey)
+                if edge is not None:
+                    counters[2] += 1
+                    r = edge | negate
+                elif free:
+                    # Freed slots exist: take the full (recycling) path.
+                    r = mgr._mk_new(ukey) | negate
+                else:
+                    live = mgr._live
+                    if live >= mgr._node_budget:
+                        raise BddNodeLimit(mgr.max_nodes)
+                    edge = len(var_arr)
+                    var_arr.append(var)
+                    var_arr.append(var)
+                    lo_arr.append(lo)
+                    lo_arr.append(lo ^ 1)
+                    hi_arr.append(hi)
+                    hi_arr.append(hi ^ 1)
+                    unique[ukey] = edge
+                    mgr._live = live + 1
+                    r = edge | negate
+            computed[key] = r
             return r
-        self.stats["recursive_calls"] += 1
-        lf, lg = self.level(f), self.level(g)
-        if lf <= lg:
-            var = self._var[f]
-            f0, f1 = self._lo[f], self._hi[f]
-        else:
-            var = self._var[g]
-            f0 = f1 = f
-        if lg <= lf:
-            g0, g1 = self._lo[g], self._hi[g]
-        else:
-            g0 = g1 = g
-        r = self._mk(var, self.apply_and(f0, g0), self.apply_and(f1, g1))
-        self._and_cache[key] = r
-        return r
+
+        def apply_xor(f: int, g: int) -> int:
+            """Exclusive or (per-instance closure; see ``_bind_hot_ops``).
+
+            Complement bits are factored out of both arguments, so all
+            four polarities of a pair share one computed-table entry.
+            """
+            sign = (f ^ g) & 1
+            f &= -2
+            g &= -2
+            if f == g:
+                return sign
+            if f == 0:
+                return g ^ sign
+            if g == 0:
+                return f ^ sign
+            if f > g:
+                f, g = g, f
+            key = (f, g, _OP_XOR)
+            r = computed.get(key)
+            if r is not None:
+                counters[0] += 1
+                return r ^ sign
+            counters[1] += 1
+            lf = var2level[var_arr[f]]
+            lg = var2level[var_arr[g]]
+            if lf <= lg:
+                var = var_arr[f]
+                f0, f1 = lo_arr[f], hi_arr[f]
+            else:
+                var = var_arr[g]
+                f0 = f1 = f
+            if lg <= lf:
+                g0, g1 = lo_arr[g], hi_arr[g]
+            else:
+                g0 = g1 = g
+            # Inlined terminal cases (xor(a,a)=0, xor(a,¬a)=1, xor(a,c)).
+            if f0 == g0:
+                lo = 0
+            elif f0 ^ g0 == 1:
+                lo = 1
+            elif g0 < 2:
+                lo = f0 ^ g0
+            elif f0 < 2:
+                lo = g0 ^ f0
+            else:
+                lo = apply_xor(f0, g0)
+            if f1 == g1:
+                hi = 0
+            elif f1 ^ g1 == 1:
+                hi = 1
+            elif g1 < 2:
+                hi = f1 ^ g1
+            elif f1 < 2:
+                hi = g1 ^ f1
+            else:
+                hi = apply_xor(f1, g1)
+            r = mgr._mk(var, lo, hi)
+            computed[key] = r
+            return r ^ sign
+
+        self.apply_and = apply_and
+        self.apply_xor = apply_xor
 
     def apply_or(self, f: int, g: int) -> int:
-        """Disjunction."""
-        if f == g:
-            return f
-        if f == TRUE or g == TRUE:
-            return TRUE
-        if f == FALSE:
-            return g
-        if g == FALSE:
-            return f
-        if f > g:
-            f, g = g, f
-        key = (f, g)
-        r = self._or_cache.get(key)
-        if r is not None:
-            self.stats["cache_hits"] += 1
-            return r
-        self.stats["recursive_calls"] += 1
-        lf, lg = self.level(f), self.level(g)
-        if lf <= lg:
-            var = self._var[f]
-            f0, f1 = self._lo[f], self._hi[f]
-        else:
-            var = self._var[g]
-            f0 = f1 = f
-        if lg <= lf:
-            g0, g1 = self._lo[g], self._hi[g]
-        else:
-            g0 = g1 = g
-        r = self._mk(var, self.apply_or(f0, g0), self.apply_or(f1, g1))
-        self._or_cache[key] = r
-        return r
-
-    def apply_xor(self, f: int, g: int) -> int:
-        """Exclusive or."""
-        if f == g:
-            return FALSE
-        if f == FALSE:
-            return g
-        if g == FALSE:
-            return f
-        if f == TRUE:
-            return self.apply_not(g)
-        if g == TRUE:
-            return self.apply_not(f)
-        if f > g:
-            f, g = g, f
-        key = (f, g)
-        r = self._xor_cache.get(key)
-        if r is not None:
-            self.stats["cache_hits"] += 1
-            return r
-        self.stats["recursive_calls"] += 1
-        lf, lg = self.level(f), self.level(g)
-        if lf <= lg:
-            var = self._var[f]
-            f0, f1 = self._lo[f], self._hi[f]
-        else:
-            var = self._var[g]
-            f0 = f1 = f
-        if lg <= lf:
-            g0, g1 = self._lo[g], self._hi[g]
-        else:
-            g0 = g1 = g
-        r = self._mk(var, self.apply_xor(f0, g0), self.apply_xor(f1, g1))
-        self._xor_cache[key] = r
-        return r
+        """Disjunction — De Morgan over AND, sharing its cache entries."""
+        return self.apply_and(f ^ 1, g ^ 1) ^ 1
 
     def apply_iff(self, f: int, g: int) -> int:
         """Biconditional (XNOR) — used to form ``ns_k ≡ T_k`` partitions."""
-        return self.apply_not(self.apply_xor(f, g))
+        return self.apply_xor(f, g) ^ 1
 
     def apply_implies(self, f: int, g: int) -> int:
         """Implication ``f → g``."""
-        return self.apply_or(self.apply_not(f), g)
+        return self.apply_and(f, g ^ 1) ^ 1
 
     def apply_diff(self, f: int, g: int) -> int:
         """Difference ``f ∧ ¬g``."""
-        return self.apply_and(f, self.apply_not(g))
+        return self.apply_and(f, g ^ 1)
 
     def ite(self, f: int, g: int, h: int) -> int:
-        """If-then-else ``(f ∧ g) ∨ (¬f ∧ h)``."""
+        """If-then-else ``(f ∧ g) ∨ (¬f ∧ h)``.
+
+        Standard complement-edge normalisation: the condition and the
+        then-branch are made uncomplemented, and constant branches are
+        delegated to AND so they share its cache entries.
+        """
         if f == TRUE:
             return g
         if f == FALSE:
             return h
+        if g == f:
+            g = TRUE
+        elif g == f ^ 1:
+            g = FALSE
+        if h == f:
+            h = FALSE
+        elif h == f ^ 1:
+            h = TRUE
         if g == h:
             return g
-        if g == TRUE and h == FALSE:
-            return f
-        if g == FALSE and h == TRUE:
-            return self.apply_not(f)
-        key = (f, g, h)
-        r = self._ite_cache.get(key)
+        if g == TRUE:
+            if h == FALSE:
+                return f
+            return self.apply_and(f ^ 1, h ^ 1) ^ 1
+        if g == FALSE:
+            if h == TRUE:
+                return f ^ 1
+            return self.apply_and(f ^ 1, h)
+        if h == FALSE:
+            return self.apply_and(f, g)
+        if h == TRUE:
+            return self.apply_and(f, g ^ 1) ^ 1
+        sign = 0
+        if f & 1:
+            f ^= 1
+            g, h = h, g
+        if g & 1:
+            sign = 1
+            g ^= 1
+            h ^= 1
+        key = (f, g, h, _OP_ITE)
+        computed = self._computed
+        r = computed.get(key)
         if r is not None:
-            self.stats["cache_hits"] += 1
-            return r
-        self.stats["recursive_calls"] += 1
+            self._counters[0] += 1
+            return r ^ sign
+        self._counters[1] += 1
         top = min(self.level(f), self.level(g), self.level(h))
         var = self._level2var[top]
         f0, f1 = self._cofactors_at(f, top)
         g0, g1 = self._cofactors_at(g, top)
         h0, h1 = self._cofactors_at(h, top)
         r = self._mk(var, self.ite(f0, g0, h0), self.ite(f1, g1, h1))
-        self._ite_cache[key] = r
-        return r
+        computed[key] = r
+        return r ^ sign
 
     def _cofactors_at(self, f: int, level: int) -> tuple[int, int]:
         """Shannon cofactors of ``f`` with respect to the var at ``level``."""
@@ -382,44 +651,74 @@ class BddManager:
         """Canonical (sorted, deduplicated) level tuple for a var set."""
         return tuple(sorted({self._var2level[v] for v in variables}))
 
+    def _suffix_ids(self, levels: tuple[int, ...]) -> list[int]:
+        """Interned ids for every suffix of a quantification level tuple.
+
+        Quantification recursions walk suffixes of the level tuple;
+        interning them once per distinct set turns the computed-table keys
+        into small ints and removes all per-call tuple slicing.  Suffixes
+        are interned (not whole tuples), so ``exists(f, {a, b})`` still
+        shares its tail work with ``exists(f, {b})``.
+        """
+        ids = self._suffix_cache.get(levels)
+        if ids is None:
+            intern = self._levels_intern
+            ids = []
+            for i in range(len(levels)):
+                suffix = levels[i:]
+                sid = intern.get(suffix)
+                if sid is None:
+                    sid = len(intern)
+                    intern[suffix] = sid
+                ids.append(sid)
+            self._suffix_cache[levels] = ids
+        return ids
+
     def exists(self, f: int, variables: Iterable[int]) -> int:
         """Existential quantification of ``variables`` (indices) from ``f``."""
         levels = self._levels_key(variables)
         if not levels:
             return f
-        return self._exists_rec(f, levels)
+        return self._exists_rec(f, levels, self._suffix_ids(levels), 0)
 
     def forall(self, f: int, variables: Iterable[int]) -> int:
         """Universal quantification of ``variables`` (indices) from ``f``."""
-        return self.apply_not(self.exists(self.apply_not(f), variables))
+        return self.exists(f ^ 1, variables) ^ 1
 
-    def _exists_rec(self, f: int, levels: tuple[int, ...]) -> int:
+    def _exists_rec(
+        self, f: int, levels: tuple[int, ...], sids: list[int], li: int
+    ) -> int:
         if f < 2:
             return f
         top = self._var2level[self._var[f]]
         # Drop quantified levels strictly above the top of f.
-        i = bisect_left(levels, top)
-        if i:
-            levels = levels[i:]
-        if not levels:
+        n_levels = len(levels)
+        while li < n_levels and levels[li] < top:
+            li += 1
+        if li == n_levels:
             return f
-        key = (f, levels)
-        r = self._exists_cache.get(key)
+        key = (f, sids[li], _OP_EXISTS)
+        computed = self._computed
+        r = computed.get(key)
         if r is not None:
-            self.stats["cache_hits"] += 1
+            self._counters[0] += 1
             return r
-        self.stats["recursive_calls"] += 1
+        self._counters[1] += 1
         lo, hi = self._lo[f], self._hi[f]
-        if levels[0] == top:
-            rest = levels[1:]
-            r0 = self._exists_rec(lo, rest)
+        if levels[li] == top:
+            r0 = self._exists_rec(lo, levels, sids, li + 1)
             if r0 == TRUE:
                 r = TRUE
             else:
-                r = self.apply_or(r0, self._exists_rec(hi, rest))
+                r1 = self._exists_rec(hi, levels, sids, li + 1)
+                r = self.apply_and(r0 ^ 1, r1 ^ 1) ^ 1
         else:
-            r = self._mk(self._var[f], self._exists_rec(lo, levels), self._exists_rec(hi, levels))
-        self._exists_cache[key] = r
+            r = self._mk(
+                self._var[f],
+                self._exists_rec(lo, levels, sids, li),
+                self._exists_rec(hi, levels, sids, li),
+            )
+        computed[key] = r
         return r
 
     def and_exists(self, f: int, g: int, variables: Iterable[int]) -> int:
@@ -432,44 +731,61 @@ class BddManager:
         levels = self._levels_key(variables)
         if not levels:
             return self.apply_and(f, g)
-        return self._andex_rec(f, g, levels)
+        return self._andex_rec(f, g, levels, self._suffix_ids(levels), 0)
 
-    def _andex_rec(self, f: int, g: int, levels: tuple[int, ...]) -> int:
-        if f == FALSE or g == FALSE:
+    def _andex_rec(
+        self, f: int, g: int, levels: tuple[int, ...], sids: list[int], li: int
+    ) -> int:
+        if f == g:
+            return self._exists_rec(f, levels, sids, li)
+        if f < 2 or g < 2:
+            if f == FALSE or g == FALSE:
+                return FALSE
+            return self._exists_rec(g if f == TRUE else f, levels, sids, li)
+        if f ^ g == 1:
             return FALSE
-        if f == TRUE and g == TRUE:
-            return TRUE
-        if f == TRUE:
-            return self._exists_rec(g, levels)
-        if g == TRUE or f == g:
-            return self._exists_rec(f, levels)
-        top = min(self.level(f), self.level(g))
-        i = bisect_left(levels, top)
-        if i:
-            levels = levels[i:]
-        if not levels:
+        var2level = self._var2level
+        var_arr = self._var
+        lf = var2level[var_arr[f]]
+        lg = var2level[var_arr[g]]
+        top = lf if lf < lg else lg
+        n_levels = len(levels)
+        while li < n_levels and levels[li] < top:
+            li += 1
+        if li == n_levels:
             return self.apply_and(f, g)
         if f > g:
-            f, g = g, f
-        key = (f, g, levels)
-        r = self._andex_cache.get(key)
+            f, g, lf, lg = g, f, lg, lf
+        key = (f, g, sids[li], _OP_ANDEX)
+        computed = self._computed
+        r = computed.get(key)
         if r is not None:
-            self.stats["cache_hits"] += 1
+            self._counters[0] += 1
             return r
-        self.stats["recursive_calls"] += 1
-        f0, f1 = self._cofactors_at(f, top)
-        g0, g1 = self._cofactors_at(g, top)
-        if levels[0] == top:
-            rest = levels[1:]
-            r0 = self._andex_rec(f0, g0, rest)
+        self._counters[1] += 1
+        if lf <= lg:
+            f0, f1 = self._lo[f], self._hi[f]
+        else:
+            f0 = f1 = f
+        if lg <= lf:
+            g0, g1 = self._lo[g], self._hi[g]
+        else:
+            g0 = g1 = g
+        if levels[li] == top:
+            r0 = self._andex_rec(f0, g0, levels, sids, li + 1)
             if r0 == TRUE:
                 r = TRUE
             else:
-                r = self.apply_or(r0, self._andex_rec(f1, g1, rest))
+                r1 = self._andex_rec(f1, g1, levels, sids, li + 1)
+                r = self.apply_and(r0 ^ 1, r1 ^ 1) ^ 1
         else:
             var = self._level2var[top]
-            r = self._mk(var, self._andex_rec(f0, g0, levels), self._andex_rec(f1, g1, levels))
-        self._andex_cache[key] = r
+            r = self._mk(
+                var,
+                self._andex_rec(f0, g0, levels, sids, li),
+                self._andex_rec(f1, g1, levels, sids, li),
+            )
+        computed[key] = r
         return r
 
     # ------------------------------------------------------------------ #
@@ -485,19 +801,26 @@ class BddManager:
     def _restrict_rec(self, f: int, var: int, val: int, target: int) -> int:
         if f < 2 or self.level(f) > target:
             return f
+        # Cofactoring commutes with negation: recurse on the regular edge
+        # so both polarities share one cache entry.
+        sign = f & 1
+        f ^= sign
         if self._var[f] == var:
-            return self._hi[f] if val else self._lo[f]
-        key = (f, var, val)
-        r = self._restrict_cache.get(key)
+            return (self._hi[f] if val else self._lo[f]) ^ sign
+        key = (f, var, val, _OP_RESTRICT)
+        computed = self._computed
+        r = computed.get(key)
         if r is not None:
-            return r
+            self._counters[0] += 1
+            return r ^ sign
+        self._counters[1] += 1
         r = self._mk(
             self._var[f],
             self._restrict_rec(self._lo[f], var, val, target),
             self._restrict_rec(self._hi[f], var, val, target),
         )
-        self._restrict_cache[key] = r
-        return r
+        computed[key] = r
+        return r ^ sign
 
     def cofactor_cube(self, f: int, assignment: Mapping[int, bool | int]) -> int:
         """Cofactor with respect to several ``var -> value`` bindings."""
@@ -516,14 +839,23 @@ class BddManager:
         """
         if c == FALSE:
             raise BddError("constrain by the FALSE function")
-        if c == TRUE or f == FALSE or f == TRUE:
+        if c == TRUE or f < 2:
             return f
         if f == c:
             return TRUE
-        key = (f, c)
-        r = self._constrain_cache.get(key)
+        if f == c ^ 1:
+            return FALSE
+        # Constrain commutes with negation of f (it composes f with a
+        # mapping that depends only on c).
+        sign = f & 1
+        f ^= sign
+        key = (f, c, _OP_CONSTRAIN)
+        computed = self._computed
+        r = computed.get(key)
         if r is not None:
-            return r
+            self._counters[0] += 1
+            return r ^ sign
+        self._counters[1] += 1
         top = min(self.level(f), self.level(c))
         f0, f1 = self._cofactors_at(f, top)
         c0, c1 = self._cofactors_at(c, top)
@@ -534,8 +866,8 @@ class BddManager:
         else:
             var = self._level2var[top]
             r = self._mk(var, self.constrain(f0, c0), self.constrain(f1, c1))
-        self._constrain_cache[key] = r
-        return r
+        computed[key] = r
+        return r ^ sign
 
     def compose(self, f: int, var: int, g: int) -> int:
         """Substitute function ``g`` for variable ``var`` in ``f``."""
@@ -545,18 +877,23 @@ class BddManager:
     def _compose_rec(self, f: int, var: int, g: int, target: int) -> int:
         if f < 2 or self.level(f) > target:
             return f
-        key = (f, var, g)
-        r = self._compose_cache.get(key)
+        sign = f & 1
+        f ^= sign
+        key = (f, g, var, _OP_COMPOSE)
+        computed = self._computed
+        r = computed.get(key)
         if r is not None:
-            return r
+            self._counters[0] += 1
+            return r ^ sign
+        self._counters[1] += 1
         if self._var[f] == var:
             r = self.ite(g, self._hi[f], self._lo[f])
         else:
             c0 = self._compose_rec(self._lo[f], var, g, target)
             c1 = self._compose_rec(self._hi[f], var, g, target)
             r = self.ite(self.var_node(self._var[f]), c1, c0)
-        self._compose_cache[key] = r
-        return r
+        computed[key] = r
+        return r ^ sign
 
     def vector_compose(self, f: int, substitution: Mapping[int, int]) -> int:
         """Simultaneously substitute ``substitution[var]`` for each var.
@@ -569,7 +906,9 @@ class BddManager:
         sub_vars = set(substitution)
         for g in substitution.values():
             if self.support(g) & sub_vars:
-                raise BddError("vector_compose requires substitutions independent of substituted vars")
+                raise BddError(
+                    "vector_compose requires substitutions independent of substituted vars"
+                )
         for var in sorted(sub_vars, key=lambda v: self._var2level[v], reverse=True):
             f = self.compose(f, var, substitution[var])
         return f
@@ -583,12 +922,16 @@ class BddManager:
         support of ``f``).
         """
         relevant = {old: new for old, new in var_map.items() if old != new}
-        if not relevant:
+        if not relevant or f < 2:
             return f
-        key = (f, tuple(sorted(relevant.items())))
-        r = self._rename_cache.get(key)
+        sign = f & 1
+        f ^= sign
+        key = (f, tuple(sorted(relevant.items())), _OP_RENAME)
+        r = self._computed.get(key)
         if r is not None:
-            return r
+            self._counters[0] += 1
+            return r ^ sign
+        self._counters[1] += 1
         olds = sorted(relevant, key=lambda v: self._var2level[v])
         news = [relevant[v] for v in olds]
         new_levels = [self._var2level[v] for v in news]
@@ -600,8 +943,8 @@ class BddManager:
                 r = self._rename_general(f, relevant)
         else:
             r = self._rename_general(f, relevant)
-        self._rename_cache[key] = r
-        return r
+        self._computed[key] = r
+        return r ^ sign
 
     def _rename_rec(self, f: int, var_map: Mapping[int, int], memo: dict[int, int]) -> int:
         if f < 2:
@@ -633,6 +976,119 @@ class BddManager:
         return self.and_exists(f, eq, list(var_map))
 
     # ------------------------------------------------------------------ #
+    # Garbage collection
+    # ------------------------------------------------------------------ #
+
+    def ref(self, f: int) -> int:
+        """Pin ``f`` as an external root; returns ``f`` for chaining.
+
+        Referenced edges (and everything reachable from them) survive
+        :meth:`collect_garbage`.  Balance with :meth:`deref`, or use the
+        :meth:`protect` context manager.
+        """
+        n = f & -2
+        if n:
+            extref = self._extref
+            extref[n] = extref.get(n, 0) + 1
+        return f
+
+    def deref(self, f: int) -> None:
+        """Release one external reference to ``f`` (no-op below zero)."""
+        n = f & -2
+        if n:
+            count = self._extref.get(n, 0)
+            if count <= 1:
+                self._extref.pop(n, None)
+            else:
+                self._extref[n] = count - 1
+
+    @contextmanager
+    def protect(self, *roots: int) -> Iterator["BddManager"]:
+        """Context manager pinning ``roots`` for the duration of a block.
+
+        >>> m = BddManager()
+        >>> x = m.var_node(m.add_var("x"))
+        >>> with m.protect(x):
+        ...     _ = m.collect_garbage()
+        """
+        for f in roots:
+            self.ref(f)
+        try:
+            yield self
+        finally:
+            for f in roots:
+                self.deref(f)
+
+    def should_collect(self) -> bool:
+        """Cheap trigger: live nodes grew past the floor *and* the growth
+        factor since the last collection."""
+        live = self._live
+        return live >= self.gc_min_live and live >= self.gc_growth * self._gc_baseline
+
+    def collect_garbage(self, roots: Iterable[int] = ()) -> int:
+        """Reclaim every node unreachable from refs, ``roots`` or literals.
+
+        Returns the number of reclaimed nodes.  Edges of surviving nodes
+        are stable (freed slots are recycled by later ``_mk`` calls), so
+        held edges of *live* functions remain valid.  Unique-table entries
+        of dead nodes are dropped and computed-table entries mentioning a
+        dead node are swept before any slot can be reused — stale hits are
+        impossible.  Variable literal nodes are always kept, so literal
+        edges held by callers can never dangle.
+        """
+        if self._live > self._peak_live:
+            self._peak_live = self._live
+        var_arr, lo_arr, hi_arr = self._var, self._lo, self._hi
+        marked = bytearray(len(var_arr))
+        marked[0] = marked[1] = 1
+        stack = list(self._extref)
+        stack.extend(roots)
+        unique = self._unique
+        for v in range(len(self._var_names)):
+            lit = unique.get((v, TRUE, FALSE))
+            if lit is not None:
+                stack.append(lit)
+        while stack:
+            e = stack.pop()
+            if marked[e]:
+                continue
+            e &= -2
+            marked[e] = marked[e + 1] = 1
+            stack.append(lo_arr[e])
+            stack.append(hi_arr[e])
+        reclaimed = 0
+        free = self._free
+        for e in range(2, len(var_arr), 2):
+            v = var_arr[e]
+            if v == _FREE or marked[e]:
+                continue
+            del unique[(v, lo_arr[e], hi_arr[e])]
+            var_arr[e] = var_arr[e + 1] = _FREE
+            free.append(e)
+            reclaimed += 1
+        if reclaimed:
+            self._live -= reclaimed
+            computed = self._computed
+            dead_keys = [
+                key
+                for key, val in computed.items()
+                if not marked[val]
+                or any(not marked[edge] for edge in _key_edges(key))
+            ]
+            for key in dead_keys:
+                del computed[key]
+        self._gc_runs += 1
+        self._gc_reclaimed += reclaimed
+        self._gc_baseline = self._live
+        return reclaimed
+
+    def maybe_collect_garbage(self, roots: Iterable[int] = ()) -> int:
+        """Run :meth:`collect_garbage` iff :meth:`should_collect` is armed."""
+        if self.should_collect():
+            return self.collect_garbage(roots)
+        return 0
+
+    # ------------------------------------------------------------------ #
     # Inspection
     # ------------------------------------------------------------------ #
 
@@ -640,46 +1096,39 @@ class BddManager:
         """Set of variable indices ``f`` depends on."""
         seen: set[int] = set()
         result: set[int] = set()
-        stack = [f]
+        stack = [f & -2]
+        var_arr, lo_arr, hi_arr = self._var, self._lo, self._hi
         while stack:
-            node = stack.pop()
-            if node < 2 or node in seen:
+            n = stack.pop()
+            if n == 0 or n in seen:
                 continue
-            seen.add(node)
-            result.add(self._var[node])
-            stack.append(self._lo[node])
-            stack.append(self._hi[node])
+            seen.add(n)
+            result.add(var_arr[n])
+            stack.append(lo_arr[n] & -2)
+            stack.append(hi_arr[n] & -2)
         return result
 
     def size(self, f: int) -> int:
-        """Number of internal nodes in the DAG rooted at ``f``."""
-        seen: set[int] = set()
-        stack = [f]
-        count = 0
-        while stack:
-            node = stack.pop()
-            if node < 2 or node in seen:
-                continue
-            seen.add(node)
-            count += 1
-            stack.append(self._lo[node])
-            stack.append(self._hi[node])
-        return count
+        """Number of internal nodes in the DAG rooted at ``f``.
+
+        With complement edges, a function and its negation share all their
+        nodes, so ``size(f) == size(apply_not(f))``.
+        """
+        return self.size_many([f])
 
     def size_many(self, roots: Iterable[int]) -> int:
         """Number of distinct internal nodes among several roots."""
         seen: set[int] = set()
-        stack = list(roots)
-        count = 0
+        stack = [f & -2 for f in roots]
+        lo_arr, hi_arr = self._lo, self._hi
         while stack:
-            node = stack.pop()
-            if node < 2 or node in seen:
+            n = stack.pop()
+            if n == 0 or n in seen:
                 continue
-            seen.add(node)
-            count += 1
-            stack.append(self._lo[node])
-            stack.append(self._hi[node])
-        return count
+            seen.add(n)
+            stack.append(lo_arr[n] & -2)
+            stack.append(hi_arr[n] & -2)
+        return len(seen)
 
     def eval(self, f: int, assignment: Mapping[str, bool | int]) -> bool:
         """Evaluate ``f`` under a name -> value assignment."""
@@ -706,18 +1155,50 @@ class BddManager:
             f = self.apply_and(lit, f)
         return f
 
+    # ------------------------------------------------------------------ #
+    # Statistics and maintenance
+    # ------------------------------------------------------------------ #
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot: table hits/misses, recursion, GC activity."""
+        return {
+            "unique_hits": self._counters[2],
+            "cache_hits": self._counters[0],
+            # Every cache miss recurses exactly once, so the two coincide.
+            "cache_misses": self._counters[1],
+            "recursive_calls": self._counters[1],
+            "gc_runs": self._gc_runs,
+            "gc_reclaimed": self._gc_reclaimed,
+            # The live count only drops at collection points, where the
+            # peak is recorded; between them "now" may be the new peak.
+            "peak_live_nodes": max(self._peak_live, self._live),
+            "live_nodes": self._live,
+        }
+
+    def cache_hit_rate(self) -> float:
+        """Computed-table hit rate over all lookups so far (0.0 when idle)."""
+        hits, misses, _ = self._counters
+        lookups = hits + misses
+        if not lookups:
+            return 0.0
+        return hits / lookups
+
+    def reset_stats(self) -> None:
+        """Zero all counters (``peak_live_nodes`` restarts at the current
+        live count)."""
+        self._counters[:] = [0, 0, 0]
+        self._gc_runs = 0
+        self._gc_reclaimed = 0
+        self._peak_live = self._live
+
     def clear_caches(self) -> None:
-        """Drop all computed tables (the unique table is preserved)."""
-        self._and_cache.clear()
-        self._or_cache.clear()
-        self._xor_cache.clear()
-        self._ite_cache.clear()
-        self._exists_cache.clear()
-        self._andex_cache.clear()
-        self._compose_cache.clear()
-        self._rename_cache.clear()
-        self._restrict_cache.clear()
-        self._constrain_cache.clear()
+        """Drop the computed table (the unique table is preserved)."""
+        self._computed.clear()
+
+    def computed_table_size(self) -> int:
+        """Number of live computed-table entries."""
+        return len(self._computed)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<BddManager vars={self.num_vars} nodes={len(self)}>"
+        return f"<BddManager vars={self.num_vars} nodes={self._live}>"

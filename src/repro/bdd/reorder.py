@@ -22,46 +22,65 @@ from repro.errors import BddError
 def compact(mgr: BddManager, roots: Iterable[int]) -> dict[int, int]:
     """Garbage-collect ``mgr`` keeping only nodes reachable from ``roots``.
 
-    Node ids are renumbered; the returned dict maps every old live id
-    (including terminals) to its new id, and callers must remap any node
-    ids they hold.  All computed tables are cleared.
+    Unlike :meth:`~repro.bdd.manager.BddManager.collect_garbage` (which
+    keeps surviving ids stable and recycles freed slots), this rebuilds the
+    node arrays densely: edges are renumbered, the free list is dropped and
+    external reference counts are reset.  The returned dict maps every old
+    live edge (including the terminals and both polarities) to its new
+    edge; callers must remap any edges they hold.  The computed table is
+    cleared.
     """
-    reachable: set[int] = {FALSE, TRUE}
-    stack = list(roots)
+    # Collect reachable nodes (as regular/even edges), children before
+    # parents.
+    order: list[int] = []
+    seen: set[int] = set()
+    stack: list[tuple[int, bool]] = [(r & -2, False) for r in roots]
     while stack:
-        node = stack.pop()
-        if node < 2 or node in reachable:
+        n, emit = stack.pop()
+        if emit:
+            order.append(n)
             continue
-        reachable.add(node)
-        stack.append(mgr._lo[node])
-        stack.append(mgr._hi[node])
+        if n == 0 or n in seen:
+            continue
+        seen.add(n)
+        stack.append((n, True))
+        stack.append((mgr._lo[n] & -2, False))
+        stack.append((mgr._hi[n] & -2, False))
 
-    mapping: dict[int, int] = {FALSE: FALSE, TRUE: TRUE}
     new_var: list[int] = [-1, -1]
     new_lo: list[int] = [0, 1]
     new_hi: list[int] = [0, 1]
     new_unique: dict[tuple[int, int, int], int] = {}
-    # Children are always created before parents, so ascending id order is
-    # a valid topological order.
-    for node in range(2, len(mgr._var)):
-        if node not in reachable:
-            continue
-        var = mgr._var[node]
-        lo = mapping[mgr._lo[node]]
-        hi = mapping[mgr._hi[node]]
-        new_id = len(new_var)
-        new_var.append(var)
-        new_lo.append(lo)
-        new_hi.append(hi)
-        new_unique[(var, lo, hi)] = new_id
-        mapping[node] = new_id
+    edge_map: dict[int, int] = {0: 0}
+    for n in order:
+        var = mgr._var[n]
+        old_lo, old_hi = mgr._lo[n], mgr._hi[n]
+        lo = edge_map[old_lo & -2] | (old_lo & 1)
+        hi = edge_map[old_hi & -2] | (old_hi & 1)
+        new_edge = len(new_var)
+        new_var += (var, var)
+        new_lo += (lo, lo ^ 1)
+        new_hi += (hi, hi ^ 1)
+        new_unique[(var, lo, hi)] = new_edge
+        edge_map[n] = new_edge
 
-    mgr._var = new_var
-    mgr._lo = new_lo
-    mgr._hi = new_hi
-    mgr._unique = new_unique
+    mgr._peak_live = max(mgr._peak_live, mgr._live)
+    # In-place updates: the manager's hot closures capture these containers
+    # (see BddManager._bind_hot_ops), so they must never be rebound.
+    mgr._var[:] = new_var
+    mgr._lo[:] = new_lo
+    mgr._hi[:] = new_hi
+    mgr._unique.clear()
+    mgr._unique.update(new_unique)
+    mgr._free.clear()
+    mgr._extref.clear()
+    mgr._live = 1 + len(order)
+    mgr._gc_baseline = mgr._live
     mgr.clear_caches()
-    mgr._not_cache.clear()
+    mapping: dict[int, int] = {}
+    for old, new in edge_map.items():
+        mapping[old] = new
+        mapping[old | 1] = new | 1
     return mapping
 
 
@@ -112,7 +131,11 @@ def reorder(
     """
     if sorted(new_order) != sorted(mgr.var_order()):
         raise BddError("reorder must mention every declared variable once")
-    fresh = BddManager(max_nodes=mgr.max_nodes)
+    fresh = BddManager(
+        max_nodes=mgr.max_nodes,
+        gc_min_live=mgr.gc_min_live,
+        gc_growth=mgr.gc_growth,
+    )
     fresh.add_vars(new_order)
     new_roots = [transfer(f, mgr, fresh) for f in roots]
     return fresh, new_roots

@@ -18,7 +18,7 @@ deterministic and testable.
 from __future__ import annotations
 
 from collections.abc import Callable, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.bench import circuits
 from repro.bench.iscas import s27

@@ -57,7 +57,6 @@ class MonolithicOracle:
                 to_f,
                 mgr.apply_iff(mgr.var_node(problem.o_vars[name]), problem.f_o[name]),
             )
-        self.to_f = to_f
 
         # ---- monolithic TO^S ---- #
         to_s = TRUE
@@ -88,8 +87,6 @@ class MonolithicOracle:
                 mgr.apply_or(dc, undefined), mgr.apply_and(dc_next, dc_code)
             ),
         )
-        self.to_s_completed = to_s_completed
-
         # ---- product and hiding (the monolithic bottleneck) ---- #
         product = mgr.apply_and(to_f, to_s_completed)
         hide = [problem.i_vars[n] for n in problem.i_names] + [
@@ -107,6 +104,16 @@ class MonolithicOracle:
         )
 
     # ------------------------------------------------------------------ #
+
+    def live_roots(self) -> list[int]:
+        """Every BDD the oracle reuses across expansions (GC roots).
+
+        Only the hidden relation ``TS`` and the initial cube are read
+        after construction; the (large) intermediate ``TO^F`` and
+        completed ``TO^S`` are deliberately *not* kept, so the first
+        collection can reclaim them.
+        """
+        return [self.ts, self.init_cube]
 
     def initial(self) -> int:
         return self.init_cube

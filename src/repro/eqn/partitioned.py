@@ -107,6 +107,18 @@ class PartitionedOracle:
 
     # ------------------------------------------------------------------ #
 
+    def live_roots(self) -> list[int]:
+        """Every BDD the oracle reuses across expansions (GC roots)."""
+        roots = [*self.u_parts, *self.t_parts, *self.nonconf, self.init_cube]
+        if self.p_plan is not None:
+            plan, _ = self.p_plan
+            roots.extend(part for part, _ in plan)
+            for plan, _ in self.q_plans:
+                roots.extend(part for part, _ in plan)
+        if not self.trim:
+            roots.append(self.dc_part)
+        return roots
+
     def initial(self) -> int:
         return self.init_cube
 
@@ -123,7 +135,11 @@ class PartitionedOracle:
         q = FALSE
         if self.q_plans is not None:
             for plan, leftover in self.q_plans:
-                q = mgr.apply_or(q, image_with_plan(mgr, plan, leftover, psi))
+                # The accumulator must survive collections triggered
+                # inside the next image fold.
+                with mgr.protect(q):
+                    img = image_with_plan(mgr, plan, leftover, psi, gc=True)
+                q = mgr.apply_or(q, img)
             return q
         for nc in self.nonconf:
             q = mgr.apply_or(
@@ -142,7 +158,7 @@ class PartitionedOracle:
         """``P_ψ(u,v,ns)`` — the partitioned image of ψ."""
         if self.p_plan is not None:
             plan, leftover = self.p_plan
-            return image_with_plan(self.mgr, plan, leftover, psi)
+            return image_with_plan(self.mgr, plan, leftover, psi, gc=True)
         return image_partitioned(
             self.mgr,
             self.u_parts + self.t_parts,
@@ -153,9 +169,15 @@ class PartitionedOracle:
 
     def expand(self, psi: int) -> tuple[list[SubsetEdge], int]:
         mgr = self.mgr
-        p = self.successor_image(psi)
+        # ψ and the successor image must survive collections triggered
+        # inside the image folds (everything after the last fold runs
+        # GC-free, so plain locals are safe from there on).
+        with mgr.protect(psi):
+            p = self.successor_image(psi)
+            if self.trim:
+                with mgr.protect(p):
+                    q = self.non_conformance(psi)
         if self.trim:
-            q = self.non_conformance(psi)
             p_good = mgr.apply_diff(p, q)
             edges = [
                 SubsetEdge(cond=cond, successor=mgr.rename(leaf, self.rename))

@@ -96,6 +96,24 @@ class EquationProblem:
         """Variables hidden by the subset-construction image: i and cs."""
         return [self.i_vars[n] for n in self.i_names] + self.all_cs_vars()
 
+    def live_bdds(self) -> list[int]:
+        """Every BDD the problem owns for its whole lifetime.
+
+        These are pinned (``manager.ref``) by :func:`build_problem` so
+        solver-driven garbage collections can never reclaim them: a
+        problem is typically solved more than once (both flows, the
+        verifier, implementation extraction), and each pass must find the
+        function BDDs intact.
+        """
+        return (
+            list(self.f_next.values())
+            + list(self.f_u.values())
+            + list(self.f_o.values())
+            + list(self.s_next.values())
+            + list(self.s_o.values())
+            + [self.init_cube]
+        )
+
     def conformance_parts(self) -> list[tuple[str, int]]:
         """Per-output conformance conditions C_j = [O^F_j ≡ O^S_j].
 
@@ -193,6 +211,8 @@ def build_problem(
         {s_cs_vars[name]: latch.init for name, latch in original.latches.items()}
     )
     problem.init_cube = mgr.cube(bindings)
+    for bdd in problem.live_bdds():
+        mgr.ref(bdd)
     return problem
 
 

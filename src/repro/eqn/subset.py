@@ -54,6 +54,13 @@ class TransitionOracle(Protocol):
     def expand(self, psi: int) -> tuple[list[SubsetEdge], int]:
         """Outgoing edges of ψ plus the DCA completion condition."""
 
+    def live_roots(self) -> list[int]:
+        """BDDs the oracle needs alive across garbage collections.
+
+        Optional (checked with ``getattr``); oracles without it simply
+        disable opportunistic garbage collection in the driver.
+        """
+
 
 @dataclass
 class SubsetStats:
@@ -91,6 +98,18 @@ def subset_construct(
     ids: dict[int, int] = {}
     worklist: list[int] = []
 
+    # Everything that must survive a kernel garbage collection is pinned
+    # as it is created: the oracle's relation parts/plans, every subset ψ
+    # (the keys of ``ids``) and every edge-label BDD stored in the growing
+    # automaton.  With those roots held, the driver can let the manager
+    # reclaim the per-expansion intermediates (P_ψ, Q_ψ, cofactor churn)
+    # whenever its growth trigger arms — long runs stay bounded.
+    roots_fn = getattr(oracle, "live_roots", None)
+    gc_enabled = roots_fn is not None
+    if gc_enabled:
+        for root in roots_fn():
+            mgr.ref(root)
+
     def subset_id(psi: int, accepting: bool) -> int:
         sid = ids.get(psi)
         if sid is None:
@@ -98,6 +117,8 @@ def subset_construct(
             ids[psi] = sid
             worklist.append(psi)
             stats.subsets += 1
+            if gc_enabled:
+                mgr.ref(psi)
         return sid
 
     subset_id(psi0, oracle.is_accepting(psi0))
@@ -110,12 +131,20 @@ def subset_construct(
         for edge in edges:
             dst = subset_id(edge.successor, edge.accepting)
             aut.add_edge(src, dst, edge.cond)
+            if gc_enabled and edge.cond != FALSE:
+                # Pin the *stored* label: add_edge merges parallel edges
+                # with OR, so the bucket value is what must stay alive.
+                mgr.ref(aut.edges[src][dst])
             stats.edges += 1
         if dca_cond != FALSE:
             if dca_id is None:
                 dca_id = aut.add_state("DCA", accepting=True)
                 aut.add_edge(dca_id, dca_id, TRUE)
             aut.add_edge(src, dca_id, dca_cond)
+            if gc_enabled:
+                mgr.ref(aut.edges[src][dca_id])
             stats.dca_edges += 1
         stats.peak_nodes = max(stats.peak_nodes, len(mgr))
+        if gc_enabled:
+            mgr.maybe_collect_garbage()
     return aut, stats

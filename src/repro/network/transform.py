@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import NetworkError
 from repro.expr.ast import Var, substitute
-from repro.network.netlist import Latch, Network, Node, flatten_expr
+from repro.network.netlist import Network, flatten_expr
 
 
 def u_wire(signal: str) -> str:

@@ -39,15 +39,23 @@ def image_partitioned(
     quantify: Iterable[int],
     *,
     schedule: bool = True,
+    gc: bool = False,
 ) -> int:
     """``∃ quantify . (constraint ∧ Π parts)`` on the partitioned form.
 
     With ``schedule=False`` the parts are conjoined in the given order
     and all quantification happens at the end (the "no early
     quantification" strawman used by the E5 ablation).
+
+    With ``gc=True`` the manager may collect garbage between fold steps
+    (only when its growth trigger arms).  Callers must then hold their own
+    live functions through ``mgr.ref``/``mgr.protect`` — the fold protects
+    only its running ``result`` and the remaining parts.
     """
     qvars = list(quantify)
     if not parts:
+        if constraint == FALSE:
+            return FALSE
         return mgr.exists(constraint, qvars)
     if not schedule:
         result = constraint
@@ -65,13 +73,17 @@ def image_partitioned(
     )
     result = constraint
     quantified: set[int] = set()
-    for part, retire in plan:
+    for i, (part, retire) in enumerate(plan):
         result = mgr.and_exists(result, part, retire)
         quantified.update(retire)
         if result == FALSE:
             return FALSE
+        if gc and mgr.should_collect():
+            mgr.collect_garbage([result, *(p for p, _ in plan[i + 1 :])])
     leftover = [v for v in qvars if v not in quantified]
-    if leftover:
+    # result can only be FALSE here via the early return above, but guard
+    # the quantification anyway: ∃ x . FALSE is FALSE.
+    if leftover and result != FALSE:
         result = mgr.exists(result, leftover)
     return result
 
@@ -106,13 +118,23 @@ def image_with_plan(
     plan: Sequence[tuple[int, list[int]]],
     leftover: Sequence[int],
     constraint: int,
+    *,
+    gc: bool = False,
 ) -> int:
-    """Run a precomputed image plan against one constraint."""
+    """Run a precomputed image plan against one constraint.
+
+    ``gc=True`` allows opportunistic garbage collection between fold steps
+    (see :func:`image_partitioned` for the rooting contract).
+    """
     result = constraint
-    for part, retire in plan:
+    if result == FALSE:
+        return FALSE
+    for i, (part, retire) in enumerate(plan):
         result = mgr.and_exists(result, part, retire)
         if result == FALSE:
             return FALSE
+        if gc and mgr.should_collect():
+            mgr.collect_garbage([result, *(p for p, _ in plan[i + 1 :])])
     if leftover:
         result = mgr.exists(result, leftover)
     return result

@@ -43,17 +43,34 @@ def reachable_states(
     """
     rename = dict(zip(ns_vars, cs_vars))
     quantify = list(input_vars) + list(cs_vars)
+    parts = list(relation)
     reached = init
     frontier = init
     iterations = 0
-    while frontier != FALSE:
-        iterations += 1
-        img_ns = image_partitioned(
-            mgr, list(relation), frontier, quantify, schedule=schedule
-        )
-        img_cs = mgr.rename(img_ns, rename)
-        frontier = mgr.apply_diff(img_cs, reached)
-        reached = mgr.apply_or(reached, img_cs)
+    # Pin everything the fixpoint still needs, so the kernel may collect
+    # the intermediates of earlier iterations (image results, stale
+    # frontiers) whenever its growth trigger arms.
+    for part in parts:
+        mgr.ref(part)
+    mgr.ref(reached)
+    mgr.ref(frontier)
+    try:
+        while frontier != FALSE:
+            iterations += 1
+            img_ns = image_partitioned(
+                mgr, parts, frontier, quantify, schedule=schedule, gc=True
+            )
+            img_cs = mgr.rename(img_ns, rename)
+            mgr.deref(frontier)
+            frontier = mgr.ref(mgr.apply_diff(img_cs, reached))
+            mgr.deref(reached)
+            reached = mgr.ref(mgr.apply_or(reached, img_cs))
+            mgr.maybe_collect_garbage()
+    finally:
+        for part in parts:
+            mgr.deref(part)
+        mgr.deref(reached)
+        mgr.deref(frontier)
     count = sat_count(mgr, reached, list(cs_vars))
     return ReachabilityResult(states=reached, iterations=iterations, state_count=count)
 
@@ -84,12 +101,23 @@ def network_reachable_states(
         mgr, bdds.next_state, ns_vars, order=list(bdds.net.latches)
     )
     latch_order = list(bdds.net.latches)
-    return reachable_states(
-        mgr,
-        relation,
-        bdds.init_cube,
-        [bdds.state_vars[n] for n in latch_order],
-        [ns_vars[n] for n in latch_order],
-        bdds.all_input_vars(),
-        schedule=schedule,
-    )
+    # The network's function BDDs are not part of the relation parts; pin
+    # them so fixpoint garbage collections cannot reclaim what the caller
+    # may still use afterwards.
+    pinned = list(bdds.next_state.values()) + list(bdds.outputs.values())
+    pinned.append(bdds.init_cube)
+    for f in pinned:
+        mgr.ref(f)
+    try:
+        return reachable_states(
+            mgr,
+            relation,
+            bdds.init_cube,
+            [bdds.state_vars[n] for n in latch_order],
+            [ns_vars[n] for n in latch_order],
+            bdds.all_input_vars(),
+            schedule=schedule,
+        )
+    finally:
+        for f in pinned:
+            mgr.deref(f)

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bdd.manager import TRUE
 from repro.bdd.reorder import transfer
 from repro.errors import AutomatonError
 from repro.automata import (

@@ -47,7 +47,8 @@ def test_compact_reduces_to_live_nodes(expr) -> None:
         mgr.apply_xor(node, mgr.var_node(mgr.var_index(name)))
     live = mgr.size(node)
     compact(mgr, [node])
-    assert len(mgr) == live + 2  # live internal nodes + 2 terminals
+    # live internal nodes + the single shared terminal (complement edges)
+    assert len(mgr) == live + 1
 
 
 @given(expressions(), st.permutations(list(DEFAULT_VARS)))

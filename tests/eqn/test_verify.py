@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.bdd.manager import TRUE
 from repro.bench import circuits, figure3_network, s27
 from repro.automata import Automaton, accepts, contained_in

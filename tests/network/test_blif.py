@@ -6,7 +6,7 @@ import itertools
 
 import pytest
 
-from repro.bench import S27_BLIF, circuits, s27
+from repro.bench import circuits, s27
 from repro.errors import BlifError
 from repro.network import parse_blif, write_blif
 

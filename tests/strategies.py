@@ -52,3 +52,29 @@ def all_assignments(variables: Sequence[str]):
     """Deterministic generator of every assignment over ``variables``."""
     for bits in itertools.product((0, 1), repeat=len(variables)):
         yield dict(zip(variables, bits))
+
+
+def reference_minterms(expr, variables: Sequence[str]) -> frozenset[tuple[int, ...]]:
+    """Truth table of ``expr`` by brute-force evaluation.
+
+    This is the kernel-independent reference semantics: the seed kernel
+    (plain edges, per-op caches) and the current kernel (complement
+    edges, unified computed table, GC) must both realise exactly this set
+    of satisfying assignments.  Used by the GC/complement-edge Hypothesis
+    tests to compare kernel results on random expressions.
+    """
+    return frozenset(
+        tuple(env[v] for v in variables)
+        for env in all_assignments(variables)
+        if expr.evaluate(env)
+    )
+
+
+def bdd_minterms(mgr, node: int, variables: Sequence[str]) -> frozenset[tuple[int, ...]]:
+    """Truth table of a BDD by brute-force evaluation (same shape as
+    :func:`reference_minterms`)."""
+    return frozenset(
+        tuple(env[v] for v in variables)
+        for env in all_assignments(variables)
+        if mgr.eval(node, env)
+    )
