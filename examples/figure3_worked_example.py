@@ -11,6 +11,14 @@ it, and finally solves the latch-split language equation on it.
 Run:  python examples/figure3_worked_example.py
 """
 
+import sys
+from pathlib import Path
+
+try:  # src layout: let `python examples/<name>.py` run without installing
+    import repro  # noqa: F401
+except ImportError:
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
 from repro.bdd import iter_cubes
 from repro.bench import figure3_network
 from repro.automata import automaton_to_dot, complete, network_to_automaton

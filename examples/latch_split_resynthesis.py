@@ -14,6 +14,14 @@ much freedom the CSF offers beyond the existing implementation.
 Run:  python examples/latch_split_resynthesis.py
 """
 
+import sys
+from pathlib import Path
+
+try:  # src layout: let `python examples/<name>.py` run without installing
+    import repro  # noqa: F401
+except ImportError:
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
 from repro.bdd import sat_count
 from repro.bench import s27
 from repro.automata import contained_in, write_kiss

@@ -18,6 +18,14 @@ around it.
 Run:  python examples/pipeline_stage_synthesis.py
 """
 
+import sys
+from pathlib import Path
+
+try:  # src layout: let `python examples/<name>.py` run without installing
+    import repro  # noqa: F401
+except ImportError:
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
 from repro.bench import circuits
 from repro.network import latch_split
 from repro.automata import accepts, contained_in

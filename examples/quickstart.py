@@ -8,6 +8,14 @@ partitioned algorithm, and formally verifies the result.
 Run:  python examples/quickstart.py
 """
 
+import sys
+from pathlib import Path
+
+try:  # src layout: let `python examples/<name>.py` run without installing
+    import repro  # noqa: F401
+except ImportError:
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
 from repro.bench import circuits
 from repro.eqn import solve_latch_split, verify_solution
 

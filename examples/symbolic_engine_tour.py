@@ -10,6 +10,14 @@ layer by hand on a small circuit.
 Run:  python examples/symbolic_engine_tour.py
 """
 
+import sys
+from pathlib import Path
+
+try:  # src layout: let `python examples/<name>.py` run without installing
+    import repro  # noqa: F401
+except ImportError:
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
 from repro.bdd import BddManager, Function, sat_count
 from repro.bench import circuits
 from repro.network import build_network_bdds

@@ -8,9 +8,13 @@ Public surface:
   connectives, quantification and the fused relational product
   ``and_exists`` that powers partitioned image computation.
 * :class:`Function` — operator-overloaded wrapper for user code.
+* :class:`GcPolicy` / :class:`ReorderPolicy` — the adaptive runtime:
+  reclaim-ratio-driven garbage-collection tuning and GC-triggered
+  in-place dynamic variable reordering (:mod:`repro.bdd.policy`).
 * :mod:`repro.bdd.cube` — counting / enumeration / picking of cubes.
-* :mod:`repro.bdd.reorder` — garbage collection and rebuild-based
-  variable reordering.
+* :mod:`repro.bdd.reorder` — in-place sifting (:func:`sift`,
+  :func:`swap_levels`), plus rebuild-based transfer/reordering and
+  mark-and-sweep compaction.
 * :mod:`repro.bdd.io` — dot export and JSON (de)serialisation.
 """
 
@@ -24,13 +28,25 @@ from repro.bdd.cube import (
 from repro.bdd.function import Function
 from repro.bdd.io import dump_function, load_function, to_dot
 from repro.bdd.manager import FALSE, TRUE, BddManager
-from repro.bdd.reorder import compact, greedy_sift_order, reorder, transfer
+from repro.bdd.policy import GcPolicy, ReorderPolicy
+from repro.bdd.reorder import (
+    SiftResult,
+    compact,
+    greedy_sift_order,
+    reorder,
+    sift,
+    swap_levels,
+    transfer,
+)
 
 __all__ = [
     "FALSE",
     "TRUE",
     "BddManager",
     "Function",
+    "GcPolicy",
+    "ReorderPolicy",
+    "SiftResult",
     "compact",
     "dump_function",
     "greedy_sift_order",
@@ -41,6 +57,8 @@ __all__ = [
     "pick_minterm",
     "reorder",
     "sat_count",
+    "sift",
+    "swap_levels",
     "to_dot",
     "transfer",
 ]

@@ -51,6 +51,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Iterator, Mapping, Sequence
 from contextlib import contextmanager
 
+from repro.bdd.policy import GcPolicy, ReorderPolicy
 from repro.errors import BddError, BddNodeLimit, BddOrderError
 
 #: Edge of the constant FALSE function (terminal node, positive polarity).
@@ -123,10 +124,21 @@ class BddManager:
         Optional budget on *live* nodes.  When the number of live nodes
         would exceed this, :class:`~repro.errors.BddNodeLimit` is raised.
     gc_min_live:
-        Live-node floor below which :meth:`should_collect` never triggers.
+        Live-node floor below which :meth:`should_collect` never triggers
+        (shorthand for a static :class:`~repro.bdd.policy.GcPolicy`).
     gc_growth:
         Growth factor over the live count after the previous collection
         that arms :meth:`should_collect`.
+    gc_policy:
+        Full :class:`~repro.bdd.policy.GcPolicy`; overrides the two
+        shorthand knobs.  An ``"adaptive"`` policy tracks per-sweep
+        reclaim ratios and backs the collection floor off when sweeps
+        stop paying.
+    reorder_policy:
+        :class:`~repro.bdd.policy.ReorderPolicy` deciding when
+        :meth:`collect_garbage` should follow an unprofitable sweep with
+        an in-place sift (:func:`repro.bdd.reorder.sift`).  Defaults to
+        ``"off"``.
 
     Examples
     --------
@@ -145,6 +157,7 @@ class BddManager:
         "_extref",
         "_free",
         "_gc_baseline",
+        "_gc_ratio_sum",
         "_gc_reclaimed",
         "_gc_runs",
         "_hi",
@@ -155,13 +168,16 @@ class BddManager:
         "_name_to_var",
         "_node_budget",
         "_peak_live",
+        "_reorder_boundaries",
+        "_reorder_runs",
+        "_reorder_swaps",
         "_suffix_cache",
         "_unique",
         "_var",
         "_var2level",
         "_var_names",
-        "gc_growth",
-        "gc_min_live",
+        "gc_policy",
+        "reorder_policy",
     )
 
     #: Sentinel budget meaning "unlimited" (kept as an int so the hot
@@ -174,10 +190,18 @@ class BddManager:
         *,
         gc_min_live: int = 100_000,
         gc_growth: float = 2.0,
+        gc_policy: GcPolicy | None = None,
+        reorder_policy: ReorderPolicy | None = None,
     ) -> None:
         self._node_budget = self._NO_BUDGET if max_nodes is None else max_nodes
-        self.gc_min_live = gc_min_live
-        self.gc_growth = gc_growth
+        self.gc_policy = (
+            gc_policy
+            if gc_policy is not None
+            else GcPolicy(min_live=gc_min_live, growth=gc_growth)
+        )
+        self.reorder_policy = (
+            reorder_policy if reorder_policy is not None else ReorderPolicy()
+        )
         # Edge-indexed node attribute arrays; slots 0/1 are the two
         # polarities of the terminal (var sentinel -1).  Slot 2n holds the
         # children of node n as stored (then-edge regular), slot 2n+1 holds
@@ -209,8 +233,35 @@ class BddManager:
         self._counters = [0, 0, 0]
         self._gc_runs = 0
         self._gc_reclaimed = 0
+        self._gc_ratio_sum = 0.0
         self._peak_live = 1
+        # Levels that start a new reorder block (sifting never swaps a
+        # variable across a block boundary).
+        self._reorder_boundaries: set[int] = set()
+        self._reorder_runs = 0
+        self._reorder_swaps = 0
         self._bind_hot_ops()
+
+    # -- back-compat shorthands for the static GC knobs ----------------- #
+
+    @property
+    def gc_min_live(self) -> int:
+        """Current live-node collection floor (see :class:`GcPolicy`)."""
+        return self.gc_policy.floor
+
+    @gc_min_live.setter
+    def gc_min_live(self, value: int) -> None:
+        self.gc_policy.min_live = value
+        self.gc_policy.floor = value
+
+    @property
+    def gc_growth(self) -> float:
+        """Growth factor arming :meth:`should_collect`."""
+        return self.gc_policy.growth
+
+    @gc_growth.setter
+    def gc_growth(self, value: float) -> None:
+        self.gc_policy.growth = value
 
     @property
     def max_nodes(self) -> int | None:
@@ -284,6 +335,24 @@ class BddManager:
         self._level2var = [self._name_to_var[n] for n in names]
         for level, var in enumerate(self._level2var):
             self._var2level[var] = level
+
+    def set_reorder_boundaries(self, levels: Iterable[int]) -> None:
+        """Freeze reorder-block boundaries at the given levels.
+
+        Each level in ``levels`` starts a new *block*: dynamic reordering
+        (:func:`repro.bdd.reorder.sift`) only ever swaps adjacent levels
+        inside one block, so variables never migrate across a boundary.
+        The solver flows use this to keep the letter variables above all
+        state variables — a hard requirement of the cofactor-splitting
+        step (:func:`repro.bdd.cube.split_by_vars`) — while still letting
+        the state block reorder freely mid-run.
+        """
+        self._reorder_boundaries = {int(lv) for lv in levels if lv > 0}
+
+    @property
+    def reorder_boundaries(self) -> set[int]:
+        """Levels starting a new reorder block (empty = one big block)."""
+        return set(self._reorder_boundaries)
 
     def var_node(self, var: int) -> int:
         """Edge for the positive literal of variable index ``var``."""
@@ -1020,10 +1089,14 @@ class BddManager:
                 self.deref(f)
 
     def should_collect(self) -> bool:
-        """Cheap trigger: live nodes grew past the floor *and* the growth
-        factor since the last collection."""
-        live = self._live
-        return live >= self.gc_min_live and live >= self.gc_growth * self._gc_baseline
+        """Cheap trigger delegating to :attr:`gc_policy`.
+
+        Static policy: live nodes grew past the floor *and* the growth
+        factor since the last collection.  Adaptive policy: same test,
+        but the floor backs off after consecutive unprofitable sweeps
+        (see :class:`~repro.bdd.policy.GcPolicy`).
+        """
+        return self.gc_policy.should_collect(self._live, self._gc_baseline)
 
     def collect_garbage(self, roots: Iterable[int] = ()) -> int:
         """Reclaim every node unreachable from refs, ``roots`` or literals.
@@ -1035,7 +1108,17 @@ class BddManager:
         dead node are swept before any slot can be reused — stale hits are
         impossible.  Variable literal nodes are always kept, so literal
         edges held by callers can never dangle.
+
+        Every sweep reports its reclaim ratio to :attr:`gc_policy` (which
+        may back off the collection floor) and asks :attr:`reorder_policy`
+        whether the live structure should be sifted — an unprofitable
+        sweep means the *live* BDDs are what is big, and only a better
+        variable order shrinks those.  A triggered sift runs in place
+        (:func:`repro.bdd.reorder.sift`), so every edge held by a caller
+        — including ``roots`` and all pinned references — remains valid.
         """
+        roots = list(roots)
+        live_before = self._live
         if self._live > self._peak_live:
             self._peak_live = self._live
         var_arr, lo_arr, hi_arr = self._var, self._lo, self._hi
@@ -1080,6 +1163,22 @@ class BddManager:
         self._gc_runs += 1
         self._gc_reclaimed += reclaimed
         self._gc_baseline = self._live
+        ratio = self.gc_policy.record(live_before, reclaimed)
+        self._gc_ratio_sum += ratio
+        if self.reorder_policy.should_reorder(self._live, ratio):
+            from repro.bdd.reorder import sift
+
+            policy = self.reorder_policy
+            result = sift(
+                self,
+                roots,
+                max_growth=policy.max_growth,
+                max_vars=policy.max_vars,
+            )
+            self._reorder_runs += 1
+            self._reorder_swaps += result.swaps
+            policy.record_reorder(self._live)
+            self._gc_baseline = self._live
         return reclaimed
 
     def maybe_collect_garbage(self, roots: Iterable[int] = ()) -> int:
@@ -1160,16 +1259,28 @@ class BddManager:
     # ------------------------------------------------------------------ #
 
     @property
-    def stats(self) -> dict[str, int]:
-        """Counter snapshot: table hits/misses, recursion, GC activity."""
+    def stats(self) -> dict[str, int | float]:
+        """Counter snapshot: table hits/misses, recursion, GC and
+        reordering activity.
+
+        ``reclaim_ratio_avg`` is the mean reclaim ratio over all sweeps
+        so far (1.0 when no sweep has run); ``reorder_runs`` /
+        ``reorder_swaps`` count completed sifts and the adjacent-level
+        swaps they performed.
+        """
+        gc_runs = self._gc_runs
+        avg_ratio = self._gc_ratio_sum / gc_runs if gc_runs else 1.0
         return {
             "unique_hits": self._counters[2],
             "cache_hits": self._counters[0],
             # Every cache miss recurses exactly once, so the two coincide.
             "cache_misses": self._counters[1],
             "recursive_calls": self._counters[1],
-            "gc_runs": self._gc_runs,
+            "gc_runs": gc_runs,
             "gc_reclaimed": self._gc_reclaimed,
+            "reclaim_ratio_avg": avg_ratio,
+            "reorder_runs": self._reorder_runs,
+            "reorder_swaps": self._reorder_swaps,
             # The live count only drops at collection points, where the
             # peak is recorded; between them "now" may be the new peak.
             "peak_live_nodes": max(self._peak_live, self._live),
@@ -1190,6 +1301,9 @@ class BddManager:
         self._counters[:] = [0, 0, 0]
         self._gc_runs = 0
         self._gc_reclaimed = 0
+        self._gc_ratio_sum = 0.0
+        self._reorder_runs = 0
+        self._reorder_swaps = 0
         self._peak_live = self._live
 
     def clear_caches(self) -> None:
@@ -1199,6 +1313,48 @@ class BddManager:
     def computed_table_size(self) -> int:
         """Number of live computed-table entries."""
         return len(self._computed)
+
+    def check(self) -> None:
+        """Assert the kernel's structural invariants (slow; for tests).
+
+        Verifies, over every live node:
+
+        * canonical form — the stored then-edge is regular (complement
+          bits only ever appear on else-edges and external edges);
+        * ordering — both children sit at strictly lower levels;
+        * reduction — no node has identical children;
+        * table consistency — the unique table maps exactly the live
+          ``(var, lo, hi)`` triples to their edges, and the mirrored odd
+          slots hold the complement-propagated children;
+        * the live count equals the number of unique-table entries + 1.
+
+        Raises :class:`~repro.errors.BddError` on the first violation.
+        """
+        var_arr, lo_arr, hi_arr = self._var, self._lo, self._hi
+        live = 0
+        for e in range(2, len(var_arr), 2):
+            v = var_arr[e]
+            if v == _FREE:
+                continue
+            live += 1
+            lo, hi = lo_arr[e], hi_arr[e]
+            if hi & 1:
+                raise BddError(f"node {e}: stored then-edge {hi} is complemented")
+            if lo == hi:
+                raise BddError(f"node {e}: unreduced (lo == hi == {lo})")
+            here = self._var2level[v]
+            for child in (lo, hi):
+                if child >= 2 and self._var2level[var_arr[child & -2]] <= here:
+                    raise BddError(f"node {e}: child {child} not below level {here}")
+            if self._unique.get((v, lo, hi)) != e:
+                raise BddError(f"node {e}: unique table missing/mismatched")
+            if var_arr[e + 1] != v or lo_arr[e + 1] != lo ^ 1 or hi_arr[e + 1] != hi ^ 1:
+                raise BddError(f"node {e}: odd-slot mirror out of sync")
+        if live + 1 != self._live or len(self._unique) != live:
+            raise BddError(
+                f"live-count mismatch: scanned {live + 1}, tracked {self._live}, "
+                f"unique table {len(self._unique)}"
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<BddManager vars={self.num_vars} nodes={self._live}>"

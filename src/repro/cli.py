@@ -48,6 +48,18 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     solve.add_argument("--max-seconds", type=float, default=None)
     solve.add_argument("--max-nodes", type=int, default=None)
+    solve.add_argument(
+        "--reorder",
+        default="off",
+        choices=("off", "auto", "sift"),
+        help="GC-triggered in-place dynamic variable reordering",
+    )
+    solve.add_argument(
+        "--gc",
+        default="static",
+        choices=("static", "adaptive"),
+        help="garbage-collection tuning (adaptive backs off unprofitable sweeps)",
+    )
     solve.add_argument("--no-verify", action="store_true", help="skip formal checks")
     solve.add_argument("--kiss-out", help="write the CSF as KISS2 to this file")
     solve.add_argument("--dot-out", help="write the CSF as Graphviz dot")
@@ -72,6 +84,18 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable early-quantification scheduling",
     )
+    reach.add_argument(
+        "--reorder",
+        default="off",
+        choices=("off", "auto", "sift"),
+        help="GC-triggered in-place dynamic variable reordering",
+    )
+    reach.add_argument(
+        "--gc",
+        default="static",
+        choices=("static", "adaptive"),
+        help="garbage-collection tuning (adaptive backs off unprofitable sweeps)",
+    )
 
     stg = sub.add_parser("stg", help="extract the state transition graph")
     stg.add_argument("--blif", required=True)
@@ -94,12 +118,27 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     limit = None
     if args.max_seconds is not None or args.max_nodes is not None:
         limit = ResourceLimit(max_seconds=args.max_seconds, max_nodes=args.max_nodes)
-    result = solve_latch_split(net, x_latches, method=args.method, limit=limit)
+    result = solve_latch_split(
+        net,
+        x_latches,
+        method=args.method,
+        limit=limit,
+        reorder=args.reorder,
+        gc=args.gc,
+    )
     print(result.summary())
     if result.stats is not None:
         print(
             f"  subsets={result.stats.subsets} edges={result.stats.edges} "
             f"peak_nodes={result.stats.peak_nodes}"
+        )
+    mgr_stats = result.problem.manager.stats
+    if mgr_stats["gc_runs"] or mgr_stats["reorder_runs"]:
+        print(
+            f"  kernel: gc_runs={mgr_stats['gc_runs']} "
+            f"reclaim_ratio_avg={mgr_stats['reclaim_ratio_avg']:.2f} "
+            f"reorders={mgr_stats['reorder_runs']} "
+            f"swaps={mgr_stats['reorder_swaps']}"
         )
     if not args.no_verify:
         report = verify_solution(result)
@@ -168,12 +207,16 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 def _cmd_reach(args: argparse.Namespace) -> int:
     from repro.bdd.manager import BddManager
+    from repro.bdd.policy import GcPolicy, ReorderPolicy
     from repro.network.bddbuild import build_network_bdds
     from repro.network.blif import read_blif
     from repro.symb.reach import network_reachable_states
 
     net = read_blif(args.blif)
-    mgr = BddManager()
+    mgr = BddManager(
+        gc_policy=GcPolicy(mode=args.gc),
+        reorder_policy=ReorderPolicy(mode=args.reorder),
+    )
     input_vars = {name: mgr.add_var(name) for name in net.inputs}
     cs, ns = {}, {}
     for name in net.latches:
@@ -183,10 +226,17 @@ def _cmd_reach(args: argparse.Namespace) -> int:
     result = network_reachable_states(
         bdds, ns_vars=ns, schedule=not args.no_schedule
     )
+    stats = mgr.stats
     print(f"model:            {net.name} ({net.stats()})")
     print(f"reachable states: {result.state_count} of {2 ** net.num_latches}")
     print(f"iterations:       {result.iterations}")
-    print(f"BDD nodes:        {len(mgr)}")
+    print(f"BDD nodes:        {len(mgr)} (peak {stats['peak_live_nodes']})")
+    if stats["gc_runs"] or stats["reorder_runs"]:
+        print(
+            f"kernel:           gc_runs={stats['gc_runs']} "
+            f"reclaim_ratio_avg={stats['reclaim_ratio_avg']:.2f} "
+            f"reorders={stats['reorder_runs']} swaps={stats['reorder_swaps']}"
+        )
     return 0
 
 

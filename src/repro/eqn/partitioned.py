@@ -108,7 +108,13 @@ class PartitionedOracle:
     # ------------------------------------------------------------------ #
 
     def live_roots(self) -> list[int]:
-        """Every BDD the oracle reuses across expansions (GC roots)."""
+        """Every BDD the oracle reuses across expansions (GC roots).
+
+        The subset driver pins these, which also makes them safe across
+        GC-triggered in-place reordering: sifting preserves all pinned
+        edges, and the reusable image plans stay valid because their
+        retire sets are variable indices, not levels.
+        """
         roots = [*self.u_parts, *self.t_parts, *self.nonconf, self.init_cube]
         if self.p_plan is not None:
             plan, _ = self.p_plan

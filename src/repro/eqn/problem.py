@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.bdd.manager import BddManager
+from repro.bdd.policy import GcPolicy, ReorderPolicy
 from repro.errors import EquationError
 from repro.network.bddbuild import build_network_bdds
 from repro.network.transform import LatchSplit, latch_split
@@ -132,11 +133,27 @@ def build_problem(
     split: LatchSplit,
     *,
     max_nodes: int | None = None,
+    reorder: str = "off",
+    gc: str = "static",
 ) -> EquationProblem:
-    """Build an :class:`EquationProblem` from a latch split."""
+    """Build an :class:`EquationProblem` from a latch split.
+
+    ``reorder`` (``"off"`` / ``"auto"`` / ``"sift"``) and ``gc``
+    (``"static"`` / ``"adaptive"``) configure the manager's adaptive
+    runtime (:mod:`repro.bdd.policy`): with reordering enabled, garbage
+    collections whose reclaim ratio stays low trigger an in-place sift
+    mid-solve.  A reorder block boundary is frozen between the letter
+    variables and the state variables, so sifting can never violate the
+    letters-above-states requirement of the subset construction's
+    cofactor splitting (state variables still reorder freely).
+    """
     original = split.original
     fixed = split.fixed
-    mgr = BddManager(max_nodes=max_nodes)
+    mgr = BddManager(
+        max_nodes=max_nodes,
+        gc_policy=GcPolicy(mode=gc),
+        reorder_policy=ReorderPolicy(mode=reorder),
+    )
 
     # ---- declare letter variables (top of the order) ---- #
     i_names = list(original.inputs)
@@ -152,6 +169,9 @@ def build_problem(
     o_vars = {n: mgr.add_var(n) for n in o_names}
     u_vars = {n: mgr.add_var(n) for n in u_names}
     v_vars = {n: mgr.add_var(n) for n in v_names}
+    # Letter variables must stay above all state variables (required by
+    # split_by_vars); dynamic reordering may not cross this boundary.
+    mgr.set_reorder_boundaries([mgr.num_vars])
 
     # ---- state variables, interleaved cs/ns ---- #
     f_cs_vars: dict[str, int] = {}
@@ -222,7 +242,9 @@ def build_latch_split_problem(
     *,
     u_signals=None,
     max_nodes: int | None = None,
+    reorder: str = "off",
+    gc: str = "static",
 ) -> EquationProblem:
     """Latch-split ``net`` and build the equation problem in one call."""
     split = latch_split(net, x_latches, u_signals=u_signals)
-    return build_problem(split, max_nodes=max_nodes)
+    return build_problem(split, max_nodes=max_nodes, reorder=reorder, gc=gc)

@@ -127,6 +127,8 @@ def solve_latch_split(
     limit: ResourceLimit | None = None,
     schedule: bool = True,
     trim: bool = True,
+    reorder: str = "off",
+    gc: str = "static",
 ) -> SolveResult:
     """Split ``net``, then solve for the CSF of the moved latches.
 
@@ -134,10 +136,16 @@ def solve_latch_split(
     original network is the specification ``S``, the part keeping the
     latches *not* in ``x_latches`` is ``F``, and the computed ``X`` is
     the complete sequential flexibility of the moved part.
+
+    ``reorder`` / ``gc`` select the manager's adaptive runtime (see
+    :func:`repro.eqn.problem.build_problem`): with ``reorder="auto"``
+    long subset constructions sift their state variables in place when
+    garbage collections stop reclaiming, without invalidating any of the
+    pinned subset/edge BDDs.
     """
     split = latch_split(net, x_latches, u_signals=u_signals)
     max_nodes = limit.max_nodes if limit is not None else None
-    problem = build_problem(split, max_nodes=max_nodes)
+    problem = build_problem(split, max_nodes=max_nodes, reorder=reorder, gc=gc)
     return solve_equation(
         problem, method=method, limit=limit, schedule=schedule, trim=trim
     )

@@ -103,7 +103,13 @@ def subset_construct(
     # (the keys of ``ids``) and every edge-label BDD stored in the growing
     # automaton.  With those roots held, the driver can let the manager
     # reclaim the per-expansion intermediates (P_ψ, Q_ψ, cofactor churn)
-    # whenever its growth trigger arms — long runs stay bounded.
+    # whenever its growth trigger arms — long runs stay bounded.  The
+    # pins also license GC-triggered dynamic reordering (``--reorder
+    # auto``): a sift fired after an unprofitable sweep rewrites the
+    # state-variable levels in place, so ψ keys, edge labels and plans
+    # all keep their edges; the letter block is fenced off by the
+    # problem's reorder boundary, preserving the split_by_vars order
+    # requirement mid-run.
     roots_fn = getattr(oracle, "live_roots", None)
     gc_enabled = roots_fn is not None
     if gc_enabled:

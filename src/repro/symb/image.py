@@ -50,7 +50,12 @@ def image_partitioned(
     With ``gc=True`` the manager may collect garbage between fold steps
     (only when its growth trigger arms).  Callers must then hold their own
     live functions through ``mgr.ref``/``mgr.protect`` — the fold protects
-    only its running ``result`` and the remaining parts.
+    only its running ``result`` and the remaining parts.  When the
+    manager runs a :class:`~repro.bdd.policy.ReorderPolicy`, an
+    unprofitable collection may be followed by an in-place sift; the
+    protected roots and all pinned functions survive with their edges
+    intact (the plan's retire sets are variable *indices*, which
+    reordering never renumbers).
     """
     qvars = list(quantify)
     if not parts:

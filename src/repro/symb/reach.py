@@ -49,7 +49,10 @@ def reachable_states(
     iterations = 0
     # Pin everything the fixpoint still needs, so the kernel may collect
     # the intermediates of earlier iterations (image results, stale
-    # frontiers) whenever its growth trigger arms.
+    # frontiers) whenever its growth trigger arms.  The same pins make
+    # GC-triggered reordering safe: a sift fired from inside
+    # collect_garbage rewrites levels in place and can never reap a
+    # referenced root, so the loop's edges stay valid across reorders.
     for part in parts:
         mgr.ref(part)
     mgr.ref(reached)

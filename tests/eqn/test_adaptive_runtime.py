@@ -1,0 +1,72 @@
+"""Adaptive kernel runtime threaded through the solver flows.
+
+Forces garbage collections (low floor) and GC-triggered in-place
+reordering during real subset constructions, and checks that both flows
+still compute the exact CSF, pass formal verification, and keep the
+letter-above-state order requirement intact (the problem's reorder
+boundary).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.circuits import counter
+from repro.eqn.problem import build_latch_split_problem
+from repro.eqn.solver import solve_equation, verify_solution
+
+
+def _force_adaptive(problem):
+    """Lower the policy floors so GC + reordering fire on tiny cases."""
+    mgr = problem.manager
+    mgr.gc_policy.min_live = 200
+    mgr.gc_policy.floor = 200
+    mgr.gc_policy.growth = 1.1
+    mgr.reorder_policy.min_live = 0
+    mgr.reorder_policy.reclaim_threshold = 0.8
+    return mgr
+
+
+@pytest.mark.parametrize("method", ["partitioned", "monolithic"])
+def test_solve_with_midrun_reordering_matches_baseline(method) -> None:
+    net = counter(6)
+    x = ["b3", "b4", "b5"]
+    base = solve_equation(build_latch_split_problem(net, x), method=method)
+
+    problem = build_latch_split_problem(net, x, reorder="sift", gc="adaptive")
+    mgr = _force_adaptive(problem)
+    result = solve_equation(problem, method=method)
+    stats = mgr.stats
+
+    assert stats["reorder_runs"] > 0, "reordering never fired"
+    assert stats["reorder_swaps"] > 0
+    assert result.csf_states == base.csf_states
+    assert verify_solution(result).ok
+    mgr.check()
+
+
+def test_boundary_keeps_letters_above_state_vars() -> None:
+    problem = build_latch_split_problem(
+        counter(6), ["b3", "b4", "b5"], reorder="sift", gc="adaptive"
+    )
+    mgr = _force_adaptive(problem)
+    n_letters = len(problem.uv_vars()) + len(problem.i_vars) + len(problem.o_vars)
+    assert mgr.reorder_boundaries == {n_letters}
+    solve_equation(problem, method="partitioned")
+    for var in problem.uv_vars():
+        assert mgr.var_level(var) < n_letters
+    for var in problem.all_cs_vars() + problem.all_ns_vars():
+        assert mgr.var_level(var) >= n_letters
+
+
+def test_adaptive_gc_backs_off_during_solve() -> None:
+    """With everything pinned and a tiny floor, the adaptive policy must
+    raise its floor rather than sweep uselessly forever."""
+    problem = build_latch_split_problem(counter(5), ["b3", "b4"], gc="adaptive")
+    mgr = problem.manager
+    mgr.gc_policy.min_live = 50
+    mgr.gc_policy.floor = 50
+    mgr.gc_policy.growth = 1.0
+    solve_equation(problem, method="partitioned")
+    assert mgr.gc_policy.backoffs > 0
+    assert mgr.gc_policy.floor > 50

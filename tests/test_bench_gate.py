@@ -1,0 +1,78 @@
+"""The benchmark regression gate: median-normalised slowdown checks."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "bench_run_all", REPO / "benchmarks" / "run_all.py"
+)
+run_all = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(run_all)
+
+BASELINE = REPO / "benchmarks" / "baselines" / "BENCH_kernel_smoke.json"
+
+
+def _baseline_results():
+    return json.loads(BASELINE.read_text())["results"]
+
+
+def _write_baseline(tmp_path, results):
+    p = tmp_path / "base.json"
+    p.write_text(json.dumps({"results": results}))
+    return p
+
+
+def test_smoke_baseline_is_committed_and_wellformed() -> None:
+    results = _baseline_results()
+    names = {r["name"] for r in results}
+    assert {"misordered_product", "misordered_product_reorder"} <= names
+    assert all({"name", "size", "wall_s", "peak_live_nodes"} <= r.keys() for r in results)
+
+
+def test_identical_run_passes(tmp_path) -> None:
+    results = _baseline_results()
+    base = _write_baseline(tmp_path, results)
+    assert run_all.check_regression(results, base, 1.5) == []
+
+
+def test_uniformly_slower_machine_passes(tmp_path) -> None:
+    """A 3x-slower CI runner scales every workload alike: no failures."""
+    results = _baseline_results()
+    base = _write_baseline(tmp_path, results)
+    slow = [dict(r, wall_s=r["wall_s"] * 3) for r in results]
+    assert run_all.check_regression(slow, base, 1.5) == []
+
+
+def test_single_workload_regression_fails(tmp_path) -> None:
+    results = _baseline_results()
+    base = _write_baseline(tmp_path, results)
+    mixed = [
+        dict(r, wall_s=r["wall_s"] * (4 if r["name"] == "gc_reachability" else 1))
+        for r in results
+    ]
+    failures = run_all.check_regression(mixed, base, 2.5)
+    assert len(failures) == 1
+    assert failures[0].startswith("gc_reachability:")
+
+
+def test_sub_millisecond_noise_ignored(tmp_path) -> None:
+    results = _baseline_results()
+    base = _write_baseline(tmp_path, results)
+    noisy = [
+        dict(r, wall_s=r["wall_s"] * (10 if r["wall_s"] < 0.001 else 1))
+        for r in results
+    ]
+    assert run_all.check_regression(noisy, base, 2.5) == []
+
+
+def test_size_mismatch_skipped(tmp_path) -> None:
+    """Workloads whose size changed are not comparable."""
+    results = _baseline_results()
+    base = _write_baseline(tmp_path, results)
+    resized = [dict(r, size=r["size"] + 1, wall_s=r["wall_s"] * 100) for r in results]
+    assert run_all.check_regression(resized, base, 1.5) == []

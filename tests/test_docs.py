@@ -1,0 +1,77 @@
+"""Documentation-site sanity: the nav and the docs tree stay in sync.
+
+CI builds the site with ``mkdocs build --strict`` (which fails on broken
+nav entries and dead internal links); these tests keep the config and
+sources consistent in environments without mkdocs installed, and run the
+real build when it is available.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+DOCS = REPO / "docs"
+MKDOCS_YML = REPO / "mkdocs.yml"
+
+
+def nav_pages() -> list[str]:
+    """Page paths referenced by mkdocs.yml's nav (cheap YAML-less parse)."""
+    pages = []
+    in_nav = False
+    for line in MKDOCS_YML.read_text().splitlines():
+        if line.startswith("nav:"):
+            in_nav = True
+            continue
+        if in_nav:
+            if line and not line.startswith(" "):
+                break
+            m = re.search(r":\s*(\S+\.md)\s*$", line)
+            if m:
+                pages.append(m.group(1))
+    return pages
+
+
+def test_mkdocs_config_exists() -> None:
+    assert MKDOCS_YML.is_file()
+    assert "docs_dir: docs" in MKDOCS_YML.read_text()
+
+
+def test_nav_entries_exist_on_disk() -> None:
+    pages = nav_pages()
+    assert "index.md" in pages
+    assert len(pages) >= 5
+    for page in pages:
+        assert (DOCS / page).is_file(), f"nav references missing page {page}"
+
+
+def test_docs_pages_are_all_in_nav() -> None:
+    on_disk = {p.name for p in DOCS.glob("*.md")}
+    assert on_disk == set(nav_pages())
+
+
+def test_internal_links_resolve() -> None:
+    """Relative .md links between docs pages must point at real files."""
+    pages = {p.name for p in DOCS.glob("*.md")}
+    for page in DOCS.glob("*.md"):
+        for target in re.findall(r"\]\((\w[\w-]*\.md)\)", page.read_text()):
+            assert target in pages, f"{page.name} links to missing {target}"
+
+
+def test_docs_mention_the_tuning_flags() -> None:
+    tuning = (DOCS / "tuning.md").read_text()
+    for token in ("--reorder", "--gc", "adaptive", "sift", "reclaim"):
+        assert token in tuning
+
+
+def test_mkdocs_build_when_available(tmp_path) -> None:
+    mkdocs = pytest.importorskip("mkdocs")  # noqa: F841  (CI installs it)
+    from mkdocs.commands.build import build as mkdocs_build
+    from mkdocs.config import load_config
+
+    config = load_config(str(MKDOCS_YML), site_dir=str(tmp_path / "site"))
+    mkdocs_build(config)
+    assert (tmp_path / "site" / "index.html").is_file()

@@ -29,4 +29,12 @@ def test_examples_exist() -> None:
         "latch_split_resynthesis",
         "pipeline_stage_synthesis",
         "symbolic_engine_tour",
+        "adaptive_runtime_tour",
     } <= names
+
+
+def test_examples_bootstrap_src_layout() -> None:
+    """Every example must run bare (`python examples/<name>.py`) from a
+    clean checkout: each carries the src-layout sys.path bootstrap."""
+    for path in EXAMPLES:
+        assert "src layout" in path.read_text(), f"{path.name} lacks bootstrap"
