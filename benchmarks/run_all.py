@@ -1,34 +1,15 @@
 #!/usr/bin/env python
-"""Machine-readable benchmark driver: the repo's recorded perf trajectory.
+"""Thin repo-root shim for the benchmark driver.
 
-Runs the BDD-kernel microbenchmarks and the Table 1 solver benchmarks and
-writes two JSON artifacts (wall time, peak live node count, computed-table
-hit rate, GC activity per workload)::
-
-    python benchmarks/run_all.py --smoke          # fast CI variant
-    python benchmarks/run_all.py                  # full run
-    python benchmarks/run_all.py --baseline BENCH_kernel.json --tolerance 1.4
-
-Outputs (written to ``--out-dir``, default: the repository root):
-
-* ``BENCH_kernel.json``  — kernel workloads (apply/quantify/rename/GC)
-* ``BENCH_table1.json``  — end-to-end solver runs over the Table 1 cases
-
-With ``--baseline`` the kernel results are compared against a previous
-``BENCH_kernel.json``; any workload slower than ``tolerance ×`` its
-baseline wall time fails the run (exit code 1) — the benchmark-regression
-gate used by CI.
+The implementation lives in :mod:`repro.bench.driver` (so the installed
+``repro bench`` console subcommand can run it too); this file keeps the
+historical ``python benchmarks/run_all.py`` invocation — and the symbols
+the bench-gate tests import — working from a source checkout.
 """
 
 from __future__ import annotations
 
-import argparse
-import gc
-import json
-import platform
-import subprocess
 import sys
-import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -36,491 +17,32 @@ SRC = REPO_ROOT / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
-from repro._version import __version__  # noqa: E402
-from repro.bdd.manager import BddManager  # noqa: E402
-from repro.bdd.policy import GcPolicy, ReorderPolicy  # noqa: E402
-from repro.bench import circuits  # noqa: E402
-from repro.network.bddbuild import build_network_bdds  # noqa: E402
-from repro.symb.reach import network_reachable_states  # noqa: E402
+from repro.bench.driver import (  # noqa: E402
+    KERNEL_WORKLOADS,
+    SCHEMA_KERNEL,
+    SCHEMA_TABLE1,
+    check_regression,
+    compare_to_baseline,
+    format_markdown_diff,
+    main,
+    meta,
+    run_kernel,
+    run_table1_bench,
+)
 
-SCHEMA_KERNEL = "repro-bench-kernel/2"
-SCHEMA_TABLE1 = "repro-bench-table1/2"
-
-
-# --------------------------------------------------------------------- #
-# Kernel workloads
-# --------------------------------------------------------------------- #
-
-
-def wl_and_or_chain(n: int) -> BddManager:
-    """Monotone conjunction chain (the classic apply benchmark)."""
-    mgr = BddManager()
-    xs = mgr.add_vars([f"x{i}" for i in range(n)])
-    ys = mgr.add_vars([f"y{i}" for i in range(n)])
-    f = 1
-    for x, y in zip(xs, ys):
-        f = mgr.apply_and(f, mgr.apply_or(mgr.var_node(x), mgr.var_node(y)))
-    return mgr
-
-
-def wl_xor_parity(n: int) -> BddManager:
-    """Parity chain — linear with complement edges."""
-    mgr = BddManager()
-    vs = mgr.add_vars([f"x{i}" for i in range(2 * n)])
-    f = 0
-    for v in vs:
-        f = mgr.apply_xor(f, mgr.var_node(v))
-    return mgr
-
-
-def wl_equality_and_exists(n: int) -> BddManager:
-    """∃x . (x ≡ y) ∧ g(x): the shape of every image step."""
-    mgr = BddManager()
-    xs = mgr.add_vars([f"x{i}" for i in range(n)])
-    ys = mgr.add_vars([f"y{i}" for i in range(n)])
-    eq = 1
-    for x, y in zip(xs, ys):
-        eq = mgr.apply_and(eq, mgr.apply_iff(mgr.var_node(x), mgr.var_node(y)))
-    g = 1
-    for x in xs[::2]:
-        g = mgr.apply_and(g, mgr.var_node(x))
-    mgr.and_exists(eq, g, xs)
-    return mgr
-
-
-def wl_iff_conformance_rebuild(n: int) -> BddManager:
-    """Conformance-part shape: iff chains + negation, rebuilt cold.
-
-    Mirrors how the solvers form ``ns_k ≡ T_k`` partitions and ``¬C_j``
-    conformance complements; cold caches per round make the negation cost
-    visible (O(1) with complement edges).
-    """
-    mgr = BddManager()
-    xs = mgr.add_vars([f"x{i}" for i in range(n)])
-    ys = mgr.add_vars([f"y{i}" for i in range(n)])
-    out = 0
-    for _ in range(6):
-        mgr.clear_caches()
-        eq = 1
-        for x, y in zip(xs, ys):
-            eq = mgr.apply_and(eq, mgr.apply_iff(mgr.var_node(x), mgr.var_node(y)))
-        out = mgr.apply_not(eq)
-    assert out != 0
-    return mgr
-
-
-def wl_frontier_diff_loop(n: int) -> BddManager:
-    """Reached/frontier churn: or + diff, the reachability inner loop."""
-    mgr = BddManager()
-    xs = mgr.add_vars([f"x{i}" for i in range(2 * n)])
-    reached = mgr.var_node(xs[0])
-    for step in range(10 * n):
-        nxt = reached
-        lit = mgr.var_node(xs[1 + step % (2 * n - 1)])
-        nxt = mgr.apply_or(nxt, mgr.apply_and(lit, mgr.apply_not(reached)))
-        frontier = mgr.apply_diff(nxt, reached)
-        reached = mgr.apply_or(reached, frontier)
-    return mgr
-
-
-def wl_rename(n: int) -> BddManager:
-    """Order-preserving ns -> cs rename (fast structural path)."""
-    mgr = BddManager()
-    pairs = []
-    for i in range(n):
-        cs = mgr.add_var(f"cs{i}")
-        ns = mgr.add_var(f"ns{i}")
-        pairs.append((cs, ns))
-    f = 1
-    for cs, ns in pairs[: n // 2]:
-        f = mgr.apply_and(f, mgr.apply_or(mgr.var_node(ns), 0))
-    rename = {ns: cs for cs, ns in pairs}
-    for _ in range(50):
-        mgr.clear_caches()
-        mgr.rename(f, rename)
-    return mgr
-
-
-def wl_gc_reachability(n: int) -> BddManager:
-    """Symbolic reachability with GC wired into the fixpoint.
-
-    The manager is configured with a low collection floor so the garbage
-    collector actually runs; the recorded ``gc_runs``/``gc_reclaimed``
-    stats prove node reclamation keeps the fixpoint bounded.
-    """
-    net = circuits.counter(n)
-    mgr = BddManager(gc_min_live=1_000, gc_growth=1.5)
-    input_vars = {name: mgr.add_var(name) for name in net.inputs}
-    cs, ns = {}, {}
-    for name in net.latches:
-        cs[name] = mgr.add_var(name)
-        ns[name] = mgr.add_var(f"{name}'")
-    bdds = build_network_bdds(net, mgr, input_vars, cs)
-    result = network_reachable_states(bdds, ns_vars=ns)
-    assert result.state_count == 2**n
-    return mgr
-
-
-def _misordered_product(n: int, reorder_mode: str) -> BddManager:
-    """Σ x_i·y_i built under the worst (blocked) order.
-
-    With all ``x`` above all ``y`` this function needs ~2^n nodes; the
-    interleaved order needs ~3n.  The manager runs adaptive GC with a
-    low floor, so collections fire during construction, reclaim almost
-    nothing (the partial result is pinned and owns nearly every node),
-    and — with ``reorder_mode != "off"`` — the reorder policy answers the
-    unprofitable sweeps with an in-place sift that discovers the
-    interleaving mid-build.  Comparing the recorded ``peak_live_nodes``
-    of the ``off`` and ``auto`` variants is the headline number for
-    GC-triggered dynamic reordering.
-    """
-    mgr = BddManager(
-        gc_policy=GcPolicy(mode="adaptive", min_live=50, growth=1.05),
-        reorder_policy=ReorderPolicy(
-            mode=reorder_mode,
-            min_live=0,
-            window=1,
-            cooldown_growth=1.3,
-            reclaim_threshold=0.3,
-        ),
-    )
-    xs = mgr.add_vars([f"x{i}" for i in range(n)])
-    ys = mgr.add_vars([f"y{i}" for i in range(n)])
-    f = 0
-    for x, y in zip(xs, ys):
-        new = mgr.apply_or(f, mgr.apply_and(mgr.var_node(x), mgr.var_node(y)))
-        mgr.ref(new)
-        mgr.deref(f)
-        f = new
-        mgr.maybe_collect_garbage()
-    return mgr
-
-
-def wl_misordered_product(n: int) -> BddManager:
-    return _misordered_product(n, "off")
-
-
-def wl_misordered_product_reorder(n: int) -> BddManager:
-    return _misordered_product(n, "auto")
-
-
-def _reach_blocked(n: int, reorder_mode: str) -> BddManager:
-    """Gray-counter reachability under a blocked (cs…, ns…) order.
-
-    The deliberately bad order — all current-state variables above all
-    next-state variables instead of interleaved — inflates every image
-    step.  The ``_reorder`` variant lets unprofitable collections
-    trigger in-place sifting mid-fixpoint (pinned relation parts,
-    reached set and frontier all keep their edges across the reorder).
-    """
-    net = circuits.gray_counter(n)
-    mgr = BddManager(
-        gc_policy=GcPolicy(mode="adaptive", min_live=200, growth=1.2),
-        reorder_policy=ReorderPolicy(
-            mode=reorder_mode, min_live=0, window=1, reclaim_threshold=0.5
-        ),
-    )
-    input_vars = {name: mgr.add_var(name) for name in net.inputs}
-    cs = {name: mgr.add_var(name) for name in net.latches}
-    ns = {name: mgr.add_var(f"{name}'") for name in net.latches}
-    bdds = build_network_bdds(net, mgr, input_vars, cs)
-    result = network_reachable_states(bdds, ns_vars=ns)
-    assert result.state_count == 2**n
-    return mgr
-
-
-def wl_reach_blocked(n: int) -> BddManager:
-    return _reach_blocked(n, "off")
-
-
-def wl_reach_blocked_reorder(n: int) -> BddManager:
-    return _reach_blocked(n, "auto")
-
-
-KERNEL_WORKLOADS = [
-    # (name, fn, full_size, smoke_size)
-    ("and_or_chain", wl_and_or_chain, 14, 8),
-    ("xor_parity", wl_xor_parity, 14, 8),
-    ("equality_and_exists", wl_equality_and_exists, 14, 8),
-    ("iff_conformance_rebuild", wl_iff_conformance_rebuild, 12, 7),
-    ("frontier_diff_loop", wl_frontier_diff_loop, 10, 5),
-    ("rename", wl_rename, 12, 8),
-    ("gc_reachability", wl_gc_reachability, 10, 5),
-    ("misordered_product", wl_misordered_product, 12, 7),
-    ("misordered_product_reorder", wl_misordered_product_reorder, 12, 7),
-    ("reach_blocked_order", wl_reach_blocked, 9, 8),
-    ("reach_blocked_order_reorder", wl_reach_blocked_reorder, 9, 8),
+#: Re-exported driver surface (tests load this shim by path).
+__all__ = [
+    "KERNEL_WORKLOADS",
+    "SCHEMA_KERNEL",
+    "SCHEMA_TABLE1",
+    "check_regression",
+    "compare_to_baseline",
+    "format_markdown_diff",
+    "main",
+    "meta",
+    "run_kernel",
+    "run_table1_bench",
 ]
-
-
-def run_kernel(smoke: bool, repeats: int) -> list[dict]:
-    results = []
-    for name, fn, full_n, smoke_n in KERNEL_WORKLOADS:
-        n = smoke_n if smoke else full_n
-        best = None
-        stats: dict[str, int] = {}
-        hit_rate = 0.0
-        for _ in range(repeats):
-            gc.collect()
-            t0 = time.perf_counter()
-            mgr = fn(n)
-            elapsed = time.perf_counter() - t0
-            if best is None or elapsed < best:
-                best = elapsed
-                stats = mgr.stats
-                hit_rate = mgr.cache_hit_rate()
-        results.append(
-            {
-                "name": name,
-                "size": n,
-                "wall_s": round(best, 6),
-                "peak_live_nodes": stats.get("peak_live_nodes", 0),
-                "live_nodes": stats.get("live_nodes", 0),
-                "cache_hit_rate": round(hit_rate, 4),
-                "cache_hits": stats.get("cache_hits", 0),
-                "cache_misses": stats.get("cache_misses", 0),
-                "gc_runs": stats.get("gc_runs", 0),
-                "gc_reclaimed": stats.get("gc_reclaimed", 0),
-                "reclaim_ratio_avg": round(stats.get("reclaim_ratio_avg", 1.0), 4),
-                "reorder_runs": stats.get("reorder_runs", 0),
-                "reorder_swaps": stats.get("reorder_swaps", 0),
-            }
-        )
-        print(
-            f"  kernel/{name:28s} n={n:3d} {best * 1e3:9.2f} ms  "
-            f"peak={stats.get('peak_live_nodes', 0):8d}  "
-            f"hit_rate={hit_rate:.2f}  gc_runs={stats.get('gc_runs', 0)}  "
-            f"reorders={stats.get('reorder_runs', 0)} "
-            f"swaps={stats.get('reorder_swaps', 0)}",
-            flush=True,
-        )
-    return results
-
-
-# --------------------------------------------------------------------- #
-# Table 1 (solver) benchmarks
-# --------------------------------------------------------------------- #
-
-
-def run_table1_bench(smoke: bool, *, reorder: str = "off", gc_mode: str = "static") -> list[dict]:
-    from repro.bench.suite import TABLE1_CASES
-    from repro.eqn.problem import build_latch_split_problem
-    from repro.eqn.solver import solve_equation
-    from repro.errors import ReproError
-    from repro.util.limits import ResourceLimit
-
-    cases = [c for c in TABLE1_CASES if not c.expect_mono_cnc] if smoke else TABLE1_CASES
-    if smoke:
-        cases = cases[:3]
-    rows = []
-    for case in cases:
-        net = case.network()
-        row: dict = {
-            "name": case.name,
-            "io_cs": net.stats(),
-            "paper_row": case.paper_row,
-            "methods": {},
-        }
-        for method in ("partitioned", "monolithic"):
-            limit = ResourceLimit(
-                max_seconds=case.max_seconds, max_nodes=case.max_nodes
-            )
-            gc.collect()
-            t0 = time.perf_counter()
-            try:
-                problem = build_latch_split_problem(
-                    net,
-                    list(case.x_latches),
-                    max_nodes=case.max_nodes,
-                    reorder=reorder,
-                    gc=gc_mode,
-                )
-                result = solve_equation(problem, method=method, limit=limit)
-            except ReproError:
-                row["methods"][method] = {"cnc": True}
-                print(f"  table1/{case.name:10s} {method:12s} CNC", flush=True)
-                continue
-            elapsed = time.perf_counter() - t0
-            mgr_stats = problem.manager.stats
-            row["methods"][method] = {
-                "cnc": False,
-                "wall_s": round(elapsed, 4),
-                "csf_states": result.csf_states,
-                "subsets": result.stats.subsets if result.stats else None,
-                "peak_live_nodes": mgr_stats["peak_live_nodes"],
-                "cache_hit_rate": round(problem.manager.cache_hit_rate(), 4),
-                "gc_runs": mgr_stats["gc_runs"],
-                "reclaim_ratio_avg": round(mgr_stats["reclaim_ratio_avg"], 4),
-                "reorder_runs": mgr_stats["reorder_runs"],
-                "reorder_swaps": mgr_stats["reorder_swaps"],
-            }
-            print(
-                f"  table1/{case.name:10s} {method:12s} {elapsed * 1e3:9.1f} ms  "
-                f"states={result.csf_states}  "
-                f"peak={mgr_stats['peak_live_nodes']}",
-                flush=True,
-            )
-        part = row["methods"].get("partitioned", {})
-        mono = row["methods"].get("monolithic", {})
-        if not part.get("cnc", True) and not mono.get("cnc", True):
-            row["ratio_mono_over_part"] = round(
-                mono["wall_s"] / part["wall_s"], 2
-            )
-        rows.append(row)
-    return rows
-
-
-# --------------------------------------------------------------------- #
-# Driver
-# --------------------------------------------------------------------- #
-
-
-def git_rev() -> str | None:
-    try:
-        out = subprocess.run(
-            ["git", "rev-parse", "--short", "HEAD"],
-            cwd=REPO_ROOT,
-            capture_output=True,
-            text=True,
-            timeout=10,
-        )
-        return out.stdout.strip() or None
-    except Exception:
-        return None
-
-
-def meta(smoke: bool, **extra) -> dict:
-    """Run provenance.  ``extra`` records suite-specific knobs only —
-    the ``--reorder``/``--gc`` flags go into the table1 meta alone,
-    since kernel workloads hard-code their per-workload policies."""
-    return {
-        "version": __version__,
-        "python": platform.python_version(),
-        "platform": platform.platform(),
-        "git_rev": git_rev(),
-        "smoke": smoke,
-        **extra,
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
-    }
-
-
-def check_regression(
-    results: list[dict], baseline_path: Path, tolerance: float
-) -> list[str]:
-    """Compare kernel wall times against a baseline file.
-
-    Per-workload slowdowns are **normalised by the median slowdown**
-    across all comparable workloads: the baseline may have been recorded
-    on different hardware (the committed smoke baseline comes from a dev
-    box; CI runners are slower and noisy), and a uniformly slower
-    machine scales every workload alike.  Only a workload slower than
-    ``tolerance ×`` the *median* ratio is a real, workload-specific
-    regression.  Sub-millisecond baseline entries are excluded — at that
-    scale a single scheduling hiccup dominates the measurement.
-    """
-    baseline = json.loads(baseline_path.read_text())
-    old = {r["name"]: r for r in baseline.get("results", [])}
-    ratios: dict[str, float] = {}
-    for r in results:
-        base = old.get(r["name"])
-        if base is None or base.get("size") != r["size"]:
-            continue
-        if base["wall_s"] < 0.001:
-            continue  # noise floor
-        ratios[r["name"]] = r["wall_s"] / base["wall_s"]
-    if not ratios:
-        return []
-    ordered = sorted(ratios.values())
-    median = ordered[len(ordered) // 2]
-    scale = max(median, 1.0)  # a faster machine earns no slack
-    failures = []
-    for name, ratio in ratios.items():
-        if ratio > tolerance * scale:
-            failures.append(
-                f"{name}: {ratio:.2f}x vs baseline "
-                f"(> {tolerance:.2f}x the median slowdown {median:.2f}x)"
-            )
-    return failures
-
-
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--smoke", action="store_true", help="small sizes / fewer repeats (CI)"
-    )
-    parser.add_argument(
-        "--repeats", type=int, default=None, help="kernel repeats (default 5, smoke 2)"
-    )
-    parser.add_argument(
-        "--out-dir", type=Path, default=REPO_ROOT, help="where to write BENCH_*.json"
-    )
-    parser.add_argument(
-        "--only",
-        choices=("kernel", "table1"),
-        default=None,
-        help="run a single suite",
-    )
-    parser.add_argument(
-        "--baseline",
-        type=Path,
-        default=None,
-        help="previous BENCH_kernel.json to gate regressions against",
-    )
-    parser.add_argument(
-        "--tolerance",
-        type=float,
-        default=1.5,
-        help="max allowed slowdown factor vs the baseline (default 1.5)",
-    )
-    parser.add_argument(
-        "--reorder",
-        default="off",
-        choices=("off", "auto", "sift"),
-        help="dynamic-reordering mode for the table1 solver runs",
-    )
-    parser.add_argument(
-        "--gc",
-        default="static",
-        choices=("static", "adaptive"),
-        help="GC tuning mode for the table1 solver runs",
-    )
-    args = parser.parse_args(argv)
-    args.out_dir.mkdir(parents=True, exist_ok=True)
-    repeats = args.repeats if args.repeats is not None else (2 if args.smoke else 5)
-
-    rc = 0
-    if args.only in (None, "kernel"):
-        print("== kernel benchmarks ==", flush=True)
-        kernel_results = run_kernel(args.smoke, repeats)
-        payload = {
-            "schema": SCHEMA_KERNEL,
-            "meta": meta(args.smoke),
-            "results": kernel_results,
-        }
-        out = args.out_dir / "BENCH_kernel.json"
-        out.write_text(json.dumps(payload, indent=2) + "\n")
-        print(f"wrote {out}")
-        if args.baseline is not None:
-            failures = check_regression(kernel_results, args.baseline, args.tolerance)
-            for failure in failures:
-                print(f"REGRESSION: {failure}", file=sys.stderr)
-            if failures:
-                rc = 1
-
-    if args.only in (None, "table1"):
-        print("== table1 benchmarks ==", flush=True)
-        table1_rows = run_table1_bench(args.smoke, reorder=args.reorder, gc_mode=args.gc)
-        payload = {
-            "schema": SCHEMA_TABLE1,
-            "meta": meta(args.smoke, reorder=args.reorder, gc=args.gc),
-            "results": table1_rows,
-        }
-        out = args.out_dir / "BENCH_table1.json"
-        out.write_text(json.dumps(payload, indent=2) + "\n")
-        print(f"wrote {out}")
-
-    return rc
-
 
 if __name__ == "__main__":
     sys.exit(main())

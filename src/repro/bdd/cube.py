@@ -35,24 +35,25 @@ def sat_count(mgr: BddManager, f: int, variables: Sequence[int]) -> int:
             return n
         return position[mgr.level(node)]
 
-    memo: dict[int, int] = {}
-
-    def rec(node: int) -> int:
-        """Count over the counted variables strictly below pos(node)-1."""
-        if node == FALSE:
-            return 0
-        if node == TRUE:
-            return 1
-        cached = memo.get(node)
-        if cached is not None:
-            return cached
-        lo, hi = mgr.node_lo(node), mgr.node_hi(node)
-        p = pos(node)
-        result = rec(lo) * (1 << (pos(lo) - p - 1)) + rec(hi) * (1 << (pos(hi) - p - 1))
-        memo[node] = result
-        return result
-
-    return rec(f) * (1 << pos(f))
+    # Iterative postorder (explicit stack): counting stays safe on BDDs
+    # deeper than the Python recursion limit.
+    memo: dict[int, int] = {FALSE: 0, TRUE: 1}
+    stack: list[tuple[int, int]] = [(0, f)]
+    while stack:
+        tag, node = stack.pop()
+        if tag == 0:
+            if node in memo:
+                continue
+            stack.append((1, node))
+            stack.append((0, mgr.node_hi(node)))
+            stack.append((0, mgr.node_lo(node)))
+        else:
+            lo, hi = mgr.node_lo(node), mgr.node_hi(node)
+            p = pos(node)
+            memo[node] = memo[lo] * (1 << (pos(lo) - p - 1)) + memo[hi] * (
+                1 << (pos(hi) - p - 1)
+            )
+    return memo[f] * (1 << pos(f))
 
 
 def iter_cubes(mgr: BddManager, f: int) -> Iterator[dict[int, int]]:

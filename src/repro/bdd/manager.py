@@ -1,8 +1,8 @@
 """A shared, reduced, ordered BDD manager with complement edges (pure Python).
 
 This module replaces the CUDD package the paper relies on.  It implements
-the classic shared-ROBDD data structure, upgraded with the three features
-that separate production kernels from toys:
+the classic shared-ROBDD data structure, upgraded with the features that
+separate production kernels from toys:
 
 * **complement edges** — an *edge* is an integer ``(node_index << 1) | sign``
   where the sign bit marks negation.  Then-edges are stored uncomplemented,
@@ -11,30 +11,51 @@ that separate production kernels from toys:
   De Morgan's law.  There is a single terminal node (index 0): edge ``0`` is
   the constant FALSE and edge ``1`` its complement TRUE, so the classic
   ``f < 2`` terminal test still works on edges;
-* a single *unique table* mapping ``(var, lo, hi)`` triples to regular
-  edges, which guarantees canonicity (two equivalent functions share one
-  edge);
+* **per-level subtables** — the unique table is a list of per-variable
+  dicts (``_subtables[var]: packed(lo, hi) -> regular edge``), CUDD-style.
+  Reordering gets its per-level candidate buckets for free, garbage
+  collection sweeps level-locally (live entries only, never dead slots),
+  and ``stats``/``check()`` report per-level occupancy.  Keys are
+  **packed machine integers** (``lo << 38 | hi``) rather than tuples —
+  int keys hash and compare several times faster than tuple keys, which
+  is the single biggest constant-factor lever available to a pure-Python
+  kernel;
 * a unified, operator-tagged *computed table* (operation cache) for all
   Boolean connectives, quantification, the fused relational product
   ``and_exists`` (the workhorse of image computation), composition and
-  renaming — with canonical argument ordering so commutative operations
-  share entries;
+  renaming.  Keys are packed integers with the operator tag in the low
+  4 bits and edge/operand fields in 38-bit lanes above it; commutative
+  operators order their arguments so both orientations share one entry;
+* a **dual execution core**.  Every hot operator exists in two forms:
+  closure-bound *recursive fast paths* (the quickest way to run shallow
+  managers — recursion depth is bounded by the number of levels, never
+  by BDD size) and an *iterative explicit-frame core* (manual stack,
+  op-tagged frames, computed-table probes hoisted to push time) that
+  runs BDDs of any depth without touching the Python recursion limit.
+  The manager auto-selects per :meth:`set_apply_core`: ``"auto"``
+  switches to the iterative core once ``3 × num_vars`` approaches
+  ``sys.getrecursionlimit()``.  The recursive family is retained both as
+  the shallow-manager fast path and as the reference implementation the
+  iterative core is property-tested against;
 * *reference-counted garbage collection* — callers pin the functions they
   hold with :meth:`~BddManager.ref` / :meth:`~BddManager.deref` or the
   ``with mgr.protect(...)`` context manager, and
   :meth:`~BddManager.collect_garbage` reclaims everything unreachable,
-  sweeping dead entries out of the unique and computed tables.  Freed slots
-  are recycled through a free list, so long fixpoint computations (image,
-  reachability, subset construction) no longer grow without bound.
+  sweeping dead entries out of the subtables and computed table.  Freed
+  slots are recycled through a free list, so long fixpoint computations
+  (image, reachability, subset construction) no longer grow without bound.
 
 The node attribute arrays are **edge-indexed**: slot ``2n`` holds node
 ``n``'s children as stored, slot ``2n+1`` holds them with the complement
-bit propagated.  Cofactor extraction in the recursive operators is then a
-bare list index — no shift/mask arithmetic on the hot path — at the cost
-of one extra (pointer-sized) slot per node.
+bit propagated.  Cofactor extraction in the hot operators is then a bare
+list index — no shift/mask arithmetic on the hot path — at the cost of
+one extra (pointer-sized) slot per node.
 
-Variable *levels* are separate from variable *indices*, so the order can be
-changed (see :mod:`repro.bdd.reorder`).
+Variable *levels* are separate from variable *indices*, so the order can
+be changed (see :mod:`repro.bdd.reorder`).  Repeated quantifications over
+the same variable set should go through :meth:`~BddManager.quant_set`,
+which interns the level tuple once and revalidates it lazily when the
+order changes (``_order_epoch``).
 
 All manager methods consume and produce int edges, which keeps the inner
 loops fast; :class:`repro.bdd.function.Function` offers an
@@ -48,6 +69,7 @@ complete) entries.
 
 from __future__ import annotations
 
+import sys
 from collections.abc import Iterable, Iterator, Mapping, Sequence
 from contextlib import contextmanager
 
@@ -66,23 +88,30 @@ _TERMINAL_LEVEL = 1 << 60
 #: ``_var`` sentinel marking a reclaimed node slot awaiting reuse.
 _FREE = -2
 
-# Operator tags for the unified computed table.  Every cache key is a tuple
-# whose LAST element is one of these tags (trailing, so the most-varying
-# field — the first edge — leads the tuple hash); commutative operators
-# store their edge arguments in sorted order so both orientations hit the
-# same entry, and complement-edge normalisation lets all four polarities of
-# XOR, both AND/OR orientations, etc. share entries.  Key layouts:
+#: Width of one packed key lane.  Edges, variable indices and interned
+#: quantification-suffix ids must stay below ``2**38`` — that is ~137
+#: billion edges, far beyond anything a pure-Python kernel can hold.
+_EDGE_SHIFT = 38
+_EDGE_MASK = (1 << _EDGE_SHIFT) - 1
+
+# Operator tags for the unified computed table.  Every cache key is a
+# packed integer whose LOW 4 bits are one of these tags; operand fields
+# sit in 38-bit lanes above the tag, first operand highest.  Commutative
+# operators store their edge arguments in sorted order so both
+# orientations hit the same entry, and complement-edge normalisation lets
+# all four polarities of XOR, both AND/OR orientations, etc. share
+# entries.  Key layouts (``S`` = 38):
 #
-# ==========  =====================================================
-# AND, XOR    ``(f, g, op)``
-# CONSTRAIN   ``(f, c, op)``
-# ITE         ``(f, g, h, op)``
-# COMPOSE     ``(f, g, var, op)``
-# RESTRICT    ``(f, var, val, op)``
-# EXISTS      ``(f, suffix_id, op)``
-# ANDEX       ``(f, g, suffix_id, op)``
-# RENAME      ``(f, ((old, new), ...), op)``
-# ==========  =====================================================
+# =========  ====================================================
+# AND, XOR   ``((f << S | g) << 4) | tag``            (f < g)
+# ITE        ``(((f << S | g) << S | h) << 4) | tag``
+# EXISTS     ``((f << S | sid) << 4) | tag``
+# ANDEX      ``(((f << S | g) << S | sid) << 4) | tag``  (f < g)
+# COMPOSE    ``(((f << S | g) << S | var) << 4) | tag``
+# RENAME     ``((f << S | map_id) << 4) | tag``
+# RESTRICT   ``(((f << S | var) << 1 | val) << 4) | tag``
+# CONSTRAIN  ``((f << S | c) << 4) | tag``
+# =========  ====================================================
 _OP_AND = 0
 _OP_XOR = 1
 _OP_ITE = 2
@@ -93,26 +122,74 @@ _OP_RENAME = 6
 _OP_RESTRICT = 7
 _OP_CONSTRAIN = 8
 
-#: Number of leading key positions that hold node-referencing edges, per
-#: operator tag.  The garbage collector uses this to sweep computed-table
-#: entries that mention a reclaimed node (stale entries must go before
-#: slots are reused, or a recycled index could produce false cache hits).
-_OP_EDGE_COUNT: dict[int, int] = {
-    _OP_AND: 2,
-    _OP_XOR: 2,
-    _OP_ITE: 3,
-    _OP_EXISTS: 1,
-    _OP_ANDEX: 2,
-    _OP_COMPOSE: 2,
-    _OP_RENAME: 1,
-    _OP_RESTRICT: 1,
-    _OP_CONSTRAIN: 2,
-}
+
+def _key_mentions_dead(key: int, marked: bytearray) -> bool:
+    """Whether a computed-table key references a reclaimed node.
+
+    The garbage collector uses this to sweep entries that mention a dead
+    edge (stale entries must go before slots are reused, or a recycled
+    index could produce false cache hits).  Non-edge fields (suffix ids,
+    variable indices, rename-map ids, restrict values) are skipped.
+    """
+    op = key & 15
+    key >>= 4
+    if op <= _OP_XOR or op == _OP_CONSTRAIN:  # AND, XOR, CONSTRAIN: (f, g)
+        return not marked[key >> _EDGE_SHIFT] or not marked[key & _EDGE_MASK]
+    if op == _OP_ITE:
+        if not marked[key & _EDGE_MASK]:
+            return True
+        key >>= _EDGE_SHIFT
+        return not marked[key >> _EDGE_SHIFT] or not marked[key & _EDGE_MASK]
+    if op == _OP_EXISTS or op == _OP_RENAME:  # (f, non-edge)
+        return not marked[key >> _EDGE_SHIFT]
+    if op == _OP_ANDEX or op == _OP_COMPOSE:  # (f, g, non-edge)
+        key >>= _EDGE_SHIFT
+        return not marked[key >> _EDGE_SHIFT] or not marked[key & _EDGE_MASK]
+    # RESTRICT: (f, var, val) with val in an extra low bit.
+    return not marked[key >> (_EDGE_SHIFT + 1)]
 
 
-def _key_edges(key: tuple) -> tuple[int, ...]:
-    """Node-referencing edges mentioned by a computed-table key."""
-    return key[: _OP_EDGE_COUNT[key[-1]]]
+class QuantSet:
+    """A pre-interned quantification variable set.
+
+    Repeated quantifications over the same variables (every image step of
+    a fixpoint, every fold step of a reusable image plan) pay a
+    sort/dedup/intern pass per call when handed a plain variable list.
+    A ``QuantSet`` performs that pass once and caches the level tuple and
+    suffix ids; the cache revalidates itself lazily against the
+    manager's ``_order_epoch``, so it stays correct across in-place
+    reordering (levels move; the variable *indices* held here do not).
+
+    Obtain instances through :meth:`BddManager.quant_set`; pass them
+    anywhere :meth:`~BddManager.exists`, :meth:`~BddManager.forall` or
+    :meth:`~BddManager.and_exists` accepts a variable collection.
+    """
+
+    __slots__ = ("_epoch", "_levels", "_mgr", "_sids", "vars")
+
+    def __init__(self, mgr: "BddManager", variables: Iterable[int]) -> None:
+        self._mgr = mgr
+        self.vars = tuple(dict.fromkeys(int(v) for v in variables))
+        self._epoch = -1
+        self._levels: tuple[int, ...] = ()
+        self._sids: list[int] = []
+
+    def _resolve(self) -> tuple[tuple[int, ...], list[int]]:
+        mgr = self._mgr
+        if self._epoch != mgr._order_epoch:
+            self._levels = mgr._levels_key(self.vars)
+            self._sids = mgr._suffix_ids(self._levels) if self._levels else []
+            self._epoch = mgr._order_epoch
+        return self._levels, self._sids
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.vars)
+
+    def __len__(self) -> int:
+        return len(self.vars)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<QuantSet vars={self.vars}>"
 
 
 class BddManager:
@@ -139,6 +216,13 @@ class BddManager:
         :meth:`collect_garbage` should follow an unprofitable sweep with
         an in-place sift (:func:`repro.bdd.reorder.sift`).  Defaults to
         ``"off"``.
+    apply_core:
+        ``"auto"`` (default), ``"recursive"`` or ``"iterative"`` — which
+        execution core runs the hot operators.  ``"auto"`` uses the
+        closure-bound recursive fast paths while ``3 × num_vars`` stays
+        clear of ``sys.getrecursionlimit()`` and switches to the
+        explicit-frame iterative core beyond that, so deep managers
+        never raise ``RecursionError``.  See :meth:`set_apply_core`.
 
     Examples
     --------
@@ -152,8 +236,14 @@ class BddManager:
     __slots__ = (
         "apply_and",
         "apply_xor",
+        "ite",
+        "_active_core",
+        "_andex_core",
+        "_apply_core",
+        "_cores",
         "_counters",
         "_computed",
+        "_exists_core",
         "_extref",
         "_free",
         "_gc_baseline",
@@ -163,16 +253,17 @@ class BddManager:
         "_hi",
         "_level2var",
         "_levels_intern",
-        "_live",
         "_lo",
         "_name_to_var",
-        "_node_budget",
+        "_nb",
+        "_order_epoch",
         "_peak_live",
+        "_rename_intern",
         "_reorder_boundaries",
         "_reorder_runs",
         "_reorder_swaps",
+        "_subtables",
         "_suffix_cache",
-        "_unique",
         "_var",
         "_var2level",
         "_var_names",
@@ -184,6 +275,10 @@ class BddManager:
     #: allocation path is a single compare).
     _NO_BUDGET = 1 << 62
 
+    #: Recursion-frame margin reserved for the caller's own stack when
+    #: the ``"auto"`` core decides between recursive and iterative.
+    _DEEP_MARGIN = 250
+
     def __init__(
         self,
         max_nodes: int | None = None,
@@ -192,8 +287,13 @@ class BddManager:
         gc_growth: float = 2.0,
         gc_policy: GcPolicy | None = None,
         reorder_policy: ReorderPolicy | None = None,
+        apply_core: str = "auto",
     ) -> None:
-        self._node_budget = self._NO_BUDGET if max_nodes is None else max_nodes
+        if apply_core not in ("auto", "recursive", "iterative"):
+            raise BddError(
+                f"unknown apply core {apply_core!r}; "
+                "choose from 'auto', 'recursive', 'iterative'"
+            )
         self.gc_policy = (
             gc_policy
             if gc_policy is not None
@@ -209,27 +309,44 @@ class BddManager:
         self._var: list[int] = [-1, -1]
         self._lo: list[int] = [0, 1]
         self._hi: list[int] = [0, 1]
-        # Unique table: (var, lo_edge, hi_edge) -> regular (even) edge.
-        self._unique: dict[tuple[int, int, int], int] = {}
+        # Per-variable subtables: _subtables[var] maps the packed child
+        # pair ``lo << 38 | hi`` to the node's regular (even) edge.  The
+        # level view is reached through _level2var.
+        self._subtables: list[dict[int, int]] = []
         # Reclaimed regular edges available for reuse.
         self._free: list[int] = []
         # External reference counts: regular (even) edge -> count.
         self._extref: dict[int, int] = {}
-        self._live = 1  # the terminal
+        # Shared allocation cell [live_count, node_budget]: the hot
+        # closures bump/compare through this list so the allocation path
+        # never touches an attribute.
+        self._nb: list[int] = [
+            1,
+            self._NO_BUDGET if max_nodes is None else max_nodes,
+        ]
         self._gc_baseline = 1
-        # Unified computed table: op-tagged tuple key -> result edge.
-        self._computed: dict[tuple, int] = {}
-        # Interning tables for quantification level-suffixes.
+        # Unified computed table: packed op-tagged int key -> result edge.
+        self._computed: dict[int, int] = {}
+        # Interning tables for quantification level-suffixes and rename
+        # maps (packed computed keys need small-int operands).
         self._levels_intern: dict[tuple[int, ...], int] = {}
         self._suffix_cache: dict[tuple[int, ...], list[int]] = {}
+        self._rename_intern: dict[tuple[tuple[int, int], ...], int] = {}
         # Variable bookkeeping.
         self._var_names: list[str] = []
         self._name_to_var: dict[str, int] = {}
         self._var2level: list[int] = []
         self._level2var: list[int] = []
+        # Bumped on every order change; QuantSet caches revalidate on it.
+        self._order_epoch = 0
         # Statistics counters (exposed through the ``stats`` property).
         # The hot closures count into ``_counters`` (a list is a cheap
-        # shared cell): [cache_hits, recursive_calls, unique_hits].
+        # shared cell): [cache_hits, miss_compensation, unique_hits].
+        # Cache misses are *derived* — every miss stores exactly one
+        # computed-table entry, so ``misses = compensation +
+        # len(_computed)`` with the compensation cell absorbing sweeps,
+        # flushes and stat resets.  That keeps one list-increment off the
+        # hot miss path.
         self._counters = [0, 0, 0]
         self._gc_runs = 0
         self._gc_reclaimed = 0
@@ -240,7 +357,10 @@ class BddManager:
         self._reorder_boundaries: set[int] = set()
         self._reorder_runs = 0
         self._reorder_swaps = 0
+        self._apply_core = apply_core
+        self._active_core: str | None = None
         self._bind_hot_ops()
+        self._select_core()
 
     # -- back-compat shorthands for the static GC knobs ----------------- #
 
@@ -266,12 +386,25 @@ class BddManager:
     @property
     def max_nodes(self) -> int | None:
         """Live-node budget (``None`` = unlimited)."""
-        budget = self._node_budget
+        budget = self._nb[1]
         return None if budget == self._NO_BUDGET else budget
 
     @max_nodes.setter
     def max_nodes(self, value: int | None) -> None:
-        self._node_budget = self._NO_BUDGET if value is None else value
+        self._nb[1] = self._NO_BUDGET if value is None else value
+
+    @property
+    def _live(self) -> int:
+        """Live node count (cold-path view of the allocation cell)."""
+        return self._nb[0]
+
+    @_live.setter
+    def _live(self, value: int) -> None:
+        self._nb[0] = value
+
+    @property
+    def _node_budget(self) -> int:
+        return self._nb[1]
 
     # ------------------------------------------------------------------ #
     # Variables
@@ -290,6 +423,9 @@ class BddManager:
         self._name_to_var[name] = var
         self._var2level.append(len(self._level2var))
         self._level2var.append(var)
+        self._subtables.append({})
+        if self._apply_core == "auto":
+            self._select_core()
         return var
 
     def add_vars(self, names: Iterable[str]) -> list[int]:
@@ -328,13 +464,14 @@ class BddManager:
         while the manager holds no internal nodes (use
         :func:`repro.bdd.reorder.reorder` afterwards).
         """
-        if self._live > 1:
+        if self._nb[0] > 1:
             raise BddError("set_order requires an empty manager; use reorder()")
         if sorted(names) != sorted(self._var_names):
             raise BddError("set_order must mention every declared variable once")
         self._level2var = [self._name_to_var[n] for n in names]
         for level, var in enumerate(self._level2var):
             self._var2level[var] = level
+        self._order_epoch += 1
 
     def set_reorder_boundaries(self, levels: Iterable[int]) -> None:
         """Freeze reorder-block boundaries at the given levels.
@@ -397,14 +534,17 @@ class BddManager:
         if negate:
             lo ^= 1
             hi ^= 1
-        ukey = (var, lo, hi)
-        edge = self._unique.get(ukey)
+        sub = self._subtables[var]
+        ukey = lo << _EDGE_SHIFT | hi
+        edge = sub.get(ukey)
         if edge is not None:
             self._counters[2] += 1
             return edge | negate
-        return self._mk_new(ukey) | negate
+        return self._mk_new(var, sub, ukey, lo, hi) | negate
 
-    def _mk_new(self, ukey: tuple[int, int, int]) -> int:
+    def _mk_new(
+        self, var: int, sub: dict[int, int], ukey: int, lo: int, hi: int
+    ) -> int:
         """Allocate the (canonical, not yet present) node; returns its
         regular edge.
 
@@ -412,10 +552,10 @@ class BddManager:
         tracking happens there (and in the ``stats`` property), keeping
         this path to a bare budget compare.
         """
-        live = self._live
-        if live >= self._node_budget:
+        nb = self._nb
+        live = nb[0]
+        if live >= nb[1]:
             raise BddNodeLimit(self.max_nodes)
-        var, lo, hi = ukey
         free = self._free
         if free:
             edge = free.pop()
@@ -439,18 +579,18 @@ class BddManager:
             arr = self._hi
             arr.append(hi)
             arr.append(hi ^ 1)
-        self._unique[ukey] = edge
-        self._live = live + 1
+        sub[ukey] = edge
+        nb[0] = live + 1
         return edge
 
     def __len__(self) -> int:
         """Number of live nodes in the manager (including the terminal)."""
-        return self._live
+        return self._nb[0]
 
     @property
     def num_nodes(self) -> int:
         """Number of live nodes in the manager (including the terminal)."""
-        return self._live
+        return self._nb[0]
 
     @property
     def allocated_nodes(self) -> int:
@@ -458,180 +598,53 @@ class BddManager:
         return len(self._var) // 2
 
     # ------------------------------------------------------------------ #
-    # Core connectives
+    # The execution cores
     # ------------------------------------------------------------------ #
 
     def apply_not(self, f: int) -> int:
         """Negation — O(1) with complement edges."""
         return f ^ 1
 
-    def _bind_hot_ops(self) -> None:
-        """Bind ``apply_and`` / ``apply_xor`` as per-instance closures.
+    def set_apply_core(self, mode: str) -> None:
+        """Select the execution core for the hot operators.
 
-        The two hottest recursions run tens of thousands of times per
-        image step; closing over the kernel state (node arrays, unique and
-        computed tables, counter cell) replaces every ``self._x`` attribute
-        load with a cell access and every method dispatch with a plain
-        call.  All captured containers are only ever mutated *in place*
-        (``clear_caches``, ``collect_garbage`` and ``compact`` update them
-        with ``clear``/``update``/indexed stores), so the closures can
-        never go stale.  The live count and node budget live on ``self``
-        and are read through it on the (cold) allocation path.
+        ``"recursive"`` binds the closure-bound recursive fast paths
+        (fastest; recursion depth is bounded by ``3 × num_vars``, so it
+        is safe whenever that stays below ``sys.getrecursionlimit()``).
+        ``"iterative"`` binds the explicit-frame core (safe at any depth,
+        a few percent slower on shallow managers).  ``"auto"`` re-decides
+        after every :meth:`add_var` against the current recursion limit.
         """
-        computed = self._computed
-        unique = self._unique
-        var_arr = self._var
-        lo_arr = self._lo
-        hi_arr = self._hi
-        var2level = self._var2level
-        free = self._free
-        counters = self._counters
-        mgr = self
+        if mode not in ("auto", "recursive", "iterative"):
+            raise BddError(
+                f"unknown apply core {mode!r}; "
+                "choose from 'auto', 'recursive', 'iterative'"
+            )
+        self._apply_core = mode
+        self._active_core = None
+        self._select_core()
 
-        def apply_and(f: int, g: int) -> int:
-            """Conjunction (per-instance closure; see ``_bind_hot_ops``)."""
-            if f == g:
-                return f
-            if f < 2 or g < 2:
-                if f == 0 or g == 0:
-                    return 0
-                return g if f == 1 else f
-            if f ^ g == 1:
-                return 0
-            if f > g:
-                f, g = g, f
-            key = (f, g, _OP_AND)
-            r = computed.get(key)
-            if r is not None:
-                counters[0] += 1
-                return r
-            counters[1] += 1
-            lf = var2level[var_arr[f]]
-            lg = var2level[var_arr[g]]
-            if lf <= lg:
-                var = var_arr[f]
-                f0, f1 = lo_arr[f], hi_arr[f]
-            else:
-                var = var_arr[g]
-                f0 = f1 = f
-            if lg <= lf:
-                g0, g1 = lo_arr[g], hi_arr[g]
-            else:
-                g0 = g1 = g
-            # Terminal cases are inlined at the call sites: about half of
-            # all recursive calls are leaves, and skipping their frames is
-            # the biggest constant-factor win available to a Python kernel.
-            if f0 == g0 or g0 == 1:
-                lo = f0
-            elif f0 == 1:
-                lo = g0
-            elif f0 == 0 or g0 == 0 or f0 ^ g0 == 1:
-                lo = 0
-            else:
-                lo = apply_and(f0, g0)
-            if f1 == g1 or g1 == 1:
-                hi = f1
-            elif f1 == 1:
-                hi = g1
-            elif f1 == 0 or g1 == 0 or f1 ^ g1 == 1:
-                hi = 0
-            else:
-                hi = apply_and(f1, g1)
-            # Inlined _mk (this is the hottest path in the kernel).
-            if lo == hi:
-                r = lo
-            else:
-                negate = hi & 1
-                if negate:
-                    lo ^= 1
-                    hi ^= 1
-                ukey = (var, lo, hi)
-                edge = unique.get(ukey)
-                if edge is not None:
-                    counters[2] += 1
-                    r = edge | negate
-                elif free:
-                    # Freed slots exist: take the full (recycling) path.
-                    r = mgr._mk_new(ukey) | negate
-                else:
-                    live = mgr._live
-                    if live >= mgr._node_budget:
-                        raise BddNodeLimit(mgr.max_nodes)
-                    edge = len(var_arr)
-                    var_arr.append(var)
-                    var_arr.append(var)
-                    lo_arr.append(lo)
-                    lo_arr.append(lo ^ 1)
-                    hi_arr.append(hi)
-                    hi_arr.append(hi ^ 1)
-                    unique[ukey] = edge
-                    mgr._live = live + 1
-                    r = edge | negate
-            computed[key] = r
-            return r
+    @property
+    def apply_core(self) -> str:
+        """The currently bound execution core (``recursive``/``iterative``)."""
+        return self._active_core or "recursive"
 
-        def apply_xor(f: int, g: int) -> int:
-            """Exclusive or (per-instance closure; see ``_bind_hot_ops``).
-
-            Complement bits are factored out of both arguments, so all
-            four polarities of a pair share one computed-table entry.
-            """
-            sign = (f ^ g) & 1
-            f &= -2
-            g &= -2
-            if f == g:
-                return sign
-            if f == 0:
-                return g ^ sign
-            if g == 0:
-                return f ^ sign
-            if f > g:
-                f, g = g, f
-            key = (f, g, _OP_XOR)
-            r = computed.get(key)
-            if r is not None:
-                counters[0] += 1
-                return r ^ sign
-            counters[1] += 1
-            lf = var2level[var_arr[f]]
-            lg = var2level[var_arr[g]]
-            if lf <= lg:
-                var = var_arr[f]
-                f0, f1 = lo_arr[f], hi_arr[f]
-            else:
-                var = var_arr[g]
-                f0 = f1 = f
-            if lg <= lf:
-                g0, g1 = lo_arr[g], hi_arr[g]
-            else:
-                g0 = g1 = g
-            # Inlined terminal cases (xor(a,a)=0, xor(a,¬a)=1, xor(a,c)).
-            if f0 == g0:
-                lo = 0
-            elif f0 ^ g0 == 1:
-                lo = 1
-            elif g0 < 2:
-                lo = f0 ^ g0
-            elif f0 < 2:
-                lo = g0 ^ f0
-            else:
-                lo = apply_xor(f0, g0)
-            if f1 == g1:
-                hi = 0
-            elif f1 ^ g1 == 1:
-                hi = 1
-            elif g1 < 2:
-                hi = f1 ^ g1
-            elif f1 < 2:
-                hi = g1 ^ f1
-            else:
-                hi = apply_xor(f1, g1)
-            r = mgr._mk(var, lo, hi)
-            computed[key] = r
-            return r ^ sign
-
-        self.apply_and = apply_and
-        self.apply_xor = apply_xor
+    def _select_core(self) -> None:
+        mode = self._apply_core
+        if mode == "auto":
+            deep = (
+                3 * len(self._var_names) + self._DEEP_MARGIN
+                >= sys.getrecursionlimit()
+            )
+            mode = "iterative" if deep else "recursive"
+        if mode == self._active_core:
+            return
+        ops = self._cores[mode]
+        self.apply_and = ops[0]
+        self.apply_xor = ops[1]
+        self._exists_core = ops[2]
+        self._andex_core = ops[3]
+        self._active_core = mode
 
     def apply_or(self, f: int, g: int) -> int:
         """Disjunction — De Morgan over AND, sharing its cache entries."""
@@ -649,72 +662,845 @@ class BddManager:
         """Difference ``f ∧ ¬g``."""
         return self.apply_and(f, g ^ 1)
 
-    def ite(self, f: int, g: int, h: int) -> int:
-        """If-then-else ``(f ∧ g) ∨ (¬f ∧ h)``.
+    def _bind_hot_ops(self) -> None:
+        """Build both op families as per-instance closures.
 
-        Standard complement-edge normalisation: the condition and the
-        then-branch are made uncomplemented, and constant branches are
-        delegated to AND so they share its cache entries.
+        The hot recursions run tens of thousands of times per image
+        step; closing over the kernel state (node arrays, subtables,
+        computed table, counter and allocation cells) replaces every
+        ``self._x`` attribute load with a cell access and every method
+        dispatch with a plain call.  All captured containers are only
+        ever mutated *in place* (``clear_caches``, ``collect_garbage``,
+        ``compact`` and ``add_var`` update them with
+        ``clear``/``update``/``append``/indexed stores), so the closures
+        can never go stale.
+
+        Two families are built and stashed in ``self._cores``:
+
+        * ``recursive`` — direct recursion with inlined terminal
+          resolution, a three-way top-level split and an inlined
+          allocation path.  Recursion depth is bounded by the *level*
+          count (every recursive call strictly descends the order), not
+          by BDD size.
+        * ``iterative`` — explicit-frame loops.  Expand frames are the
+          packed computed-table keys themselves; computed-table probes
+          are hoisted to push time, so frames are only pushed for cache
+          misses; combine frames are small tuples.  No Python recursion
+          at any depth.
+
+        :meth:`_select_core` binds the chosen family to ``apply_and`` /
+        ``apply_xor`` / ``_exists_core`` / ``_andex_core``.  ``ite`` has
+        a single iterative implementation (it is far colder than the
+        monotone ops) bound unconditionally.
         """
-        if f == TRUE:
-            return g
-        if f == FALSE:
-            return h
-        if g == f:
-            g = TRUE
-        elif g == f ^ 1:
-            g = FALSE
-        if h == f:
-            h = FALSE
-        elif h == f ^ 1:
-            h = TRUE
-        if g == h:
-            return g
-        if g == TRUE:
-            if h == FALSE:
-                return f
-            return self.apply_and(f ^ 1, h ^ 1) ^ 1
-        if g == FALSE:
-            if h == TRUE:
-                return f ^ 1
-            return self.apply_and(f ^ 1, h)
-        if h == FALSE:
-            return self.apply_and(f, g)
-        if h == TRUE:
-            return self.apply_and(f, g ^ 1) ^ 1
-        sign = 0
-        if f & 1:
-            f ^= 1
-            g, h = h, g
-        if g & 1:
-            sign = 1
-            g ^= 1
-            h ^= 1
-        key = (f, g, h, _OP_ITE)
         computed = self._computed
-        r = computed.get(key)
-        if r is not None:
-            self._counters[0] += 1
-            return r ^ sign
-        self._counters[1] += 1
-        top = min(self.level(f), self.level(g), self.level(h))
-        var = self._level2var[top]
-        f0, f1 = self._cofactors_at(f, top)
-        g0, g1 = self._cofactors_at(g, top)
-        h0, h1 = self._cofactors_at(h, top)
-        r = self._mk(var, self.ite(f0, g0, h0), self.ite(f1, g1, h1))
-        computed[key] = r
-        return r ^ sign
+        subtables = self._subtables
+        var_arr = self._var
+        lo_arr = self._lo
+        hi_arr = self._hi
+        var2level = self._var2level
+        level2var = self._level2var
+        free = self._free
+        counters = self._counters
+        nb = self._nb
+        computed_get = computed.get
+        mgr = self
+        mk = self._mk  # bound once; self._mk is never rebound
+        S = _EDGE_SHIFT
+        M = _EDGE_MASK
 
-    def _cofactors_at(self, f: int, level: int) -> tuple[int, int]:
-        """Shannon cofactors of ``f`` with respect to the var at ``level``."""
-        if self.level(f) == level:
-            return self._lo[f], self._hi[f]
-        return f, f
+        # ------------------------------------------------------------- #
+        # Recursive fast paths
+        # ------------------------------------------------------------- #
+
+        def _and_rec(f: int, g: int) -> int:
+            """Conjunction core.  Preconditions: ``f, g >= 2``, ``f != g``,
+            ``f ^ g != 1`` (callers resolve those inline)."""
+            if f > g:
+                f, g = g, f
+            key = (f << S | g) << 4
+            r = computed_get(key)
+            if r is not None:
+                counters[0] += 1
+                return r
+            lf = var2level[var_arr[f]]
+            lg = var2level[var_arr[g]]
+            # Three-way top-level split: each branch only performs the
+            # terminal checks its cofactor shapes can actually produce.
+            if lf < lg:
+                var = var_arr[f]
+                f0, f1 = lo_arr[f], hi_arr[f]
+                if f0 == g:
+                    lo = f0
+                elif f0 == 1:
+                    lo = g
+                elif f0 == 0 or f0 ^ g == 1:
+                    lo = 0
+                else:
+                    lo = _and_rec(f0, g)
+                if f1 == g:
+                    hi = f1
+                elif f1 == 1:
+                    hi = g
+                elif f1 == 0 or f1 ^ g == 1:
+                    hi = 0
+                else:
+                    hi = _and_rec(f1, g)
+            elif lg < lf:
+                var = var_arr[g]
+                g0, g1 = lo_arr[g], hi_arr[g]
+                if g0 == f or g0 == 1:
+                    lo = f if g0 == 1 else g0
+                elif g0 == 0 or g0 ^ f == 1:
+                    lo = 0
+                else:
+                    lo = _and_rec(f, g0)
+                if g1 == f or g1 == 1:
+                    hi = f if g1 == 1 else g1
+                elif g1 == 0 or g1 ^ f == 1:
+                    hi = 0
+                else:
+                    hi = _and_rec(f, g1)
+            else:
+                var = var_arr[f]
+                f0, f1 = lo_arr[f], hi_arr[f]
+                g0, g1 = lo_arr[g], hi_arr[g]
+                if f0 == g0 or g0 == 1:
+                    lo = f0
+                elif f0 == 1:
+                    lo = g0
+                elif f0 == 0 or g0 == 0 or f0 ^ g0 == 1:
+                    lo = 0
+                else:
+                    lo = _and_rec(f0, g0)
+                if f1 == g1 or g1 == 1:
+                    hi = f1
+                elif f1 == 1:
+                    hi = g1
+                elif f1 == 0 or g1 == 0 or f1 ^ g1 == 1:
+                    hi = 0
+                else:
+                    hi = _and_rec(f1, g1)
+            # Inlined _mk (this is the hottest path in the kernel).
+            if lo == hi:
+                r = lo
+            else:
+                negate = hi & 1
+                if negate:
+                    lo ^= 1
+                    hi ^= 1
+                sub = subtables[var]
+                ukey = lo << S | hi
+                edge = sub.get(ukey)
+                if edge is not None:
+                    counters[2] += 1
+                    r = edge | negate
+                elif free:
+                    # Freed slots exist: take the full (recycling) path.
+                    r = mgr._mk_new(var, sub, ukey, lo, hi) | negate
+                else:
+                    live = nb[0]
+                    if live >= nb[1]:
+                        raise BddNodeLimit(mgr.max_nodes)
+                    edge = len(var_arr)
+                    var_arr.append(var)
+                    var_arr.append(var)
+                    lo_arr.append(lo)
+                    lo_arr.append(lo ^ 1)
+                    hi_arr.append(hi)
+                    hi_arr.append(hi ^ 1)
+                    sub[ukey] = edge
+                    nb[0] = live + 1
+                    r = edge | negate
+            computed[key] = r
+            return r
+
+        def apply_and_rec(f: int, g: int) -> int:
+            """Conjunction (recursive fast path; see ``_bind_hot_ops``)."""
+            if f == g:
+                return f
+            if f < 2 or g < 2:
+                if f == 0 or g == 0:
+                    return 0
+                return g if f == 1 else f
+            if f ^ g == 1:
+                return 0
+            return _and_rec(f, g)
+
+        def _xor_rec(f: int, g: int) -> int:
+            """XOR core.  Preconditions: both regular, distinct,
+            non-terminal, ``f < g``."""
+            key = (f << S | g) << 4 | 1
+            r = computed_get(key)
+            if r is not None:
+                counters[0] += 1
+                return r
+            lf = var2level[var_arr[f]]
+            lg = var2level[var_arr[g]]
+            if lf <= lg:
+                var = var_arr[f]
+                f0, f1 = lo_arr[f], hi_arr[f]
+            else:
+                var = var_arr[g]
+                f0 = f1 = f
+            if lg <= lf:
+                g0, g1 = lo_arr[g], hi_arr[g]
+            else:
+                g0 = g1 = g
+            # Complement bits are factored out at the call sites, so all
+            # four polarities of a pair share one computed-table entry.
+            s0 = (f0 ^ g0) & 1
+            a = f0 & -2
+            b = g0 & -2
+            if a == b:
+                lo = s0
+            elif a == 0:
+                lo = b ^ s0
+            elif b == 0:
+                lo = a ^ s0
+            elif a < b:
+                lo = _xor_rec(a, b) ^ s0
+            else:
+                lo = _xor_rec(b, a) ^ s0
+            s1 = (f1 ^ g1) & 1
+            a = f1 & -2
+            b = g1 & -2
+            if a == b:
+                hi = s1
+            elif a == 0:
+                hi = b ^ s1
+            elif b == 0:
+                hi = a ^ s1
+            elif a < b:
+                hi = _xor_rec(a, b) ^ s1
+            else:
+                hi = _xor_rec(b, a) ^ s1
+            # Inlined _mk (same shape as the AND core's allocation path).
+            if lo == hi:
+                r = lo
+            else:
+                negate = hi & 1
+                if negate:
+                    lo ^= 1
+                    hi ^= 1
+                sub = subtables[var]
+                ukey = lo << S | hi
+                edge = sub.get(ukey)
+                if edge is not None:
+                    counters[2] += 1
+                    r = edge | negate
+                elif free:
+                    r = mgr._mk_new(var, sub, ukey, lo, hi) | negate
+                else:
+                    live = nb[0]
+                    if live >= nb[1]:
+                        raise BddNodeLimit(mgr.max_nodes)
+                    edge = len(var_arr)
+                    var_arr.append(var)
+                    var_arr.append(var)
+                    lo_arr.append(lo)
+                    lo_arr.append(lo ^ 1)
+                    hi_arr.append(hi)
+                    hi_arr.append(hi ^ 1)
+                    sub[ukey] = edge
+                    nb[0] = live + 1
+                    r = edge | negate
+            computed[key] = r
+            return r
+
+        def apply_xor_rec(f: int, g: int) -> int:
+            """Exclusive or (recursive fast path)."""
+            sign = (f ^ g) & 1
+            f &= -2
+            g &= -2
+            if f == g:
+                return sign
+            if f == 0:
+                return g ^ sign
+            if g == 0:
+                return f ^ sign
+            if f > g:
+                f, g = g, f
+            return _xor_rec(f, g) ^ sign
+
+        def exists_rec(
+            f: int, levels: tuple[int, ...], sids: list[int], li: int
+        ) -> int:
+            """Existential quantification core (recursive fast path)."""
+            if f < 2:
+                return f
+            top = var2level[var_arr[f]]
+            # Drop quantified levels strictly above the top of f.
+            n = len(levels)
+            while li < n and levels[li] < top:
+                li += 1
+            if li == n:
+                return f
+            key = (f << S | sids[li]) << 4 | 3
+            r = computed_get(key)
+            if r is not None:
+                counters[0] += 1
+                return r
+            lo, hi = lo_arr[f], hi_arr[f]
+            if levels[li] == top:
+                r0 = exists_rec(lo, levels, sids, li + 1)
+                if r0 == 1:
+                    r = 1
+                else:
+                    r1 = exists_rec(hi, levels, sids, li + 1)
+                    r = apply_and_rec(r0 ^ 1, r1 ^ 1) ^ 1
+            else:
+                r = mk(
+                    var_arr[f],
+                    exists_rec(lo, levels, sids, li),
+                    exists_rec(hi, levels, sids, li),
+                )
+            computed[key] = r
+            return r
+
+        def andex_rec(
+            f: int, g: int, levels: tuple[int, ...], sids: list[int], li: int
+        ) -> int:
+            """Fused ``∃ . (f ∧ g)`` core (recursive fast path).
+
+            The conjunction is never materialised above the quantified
+            levels, and a TRUE else-branch short-circuits the then-branch
+            of every quantified node — the monotone-op short-circuit that
+            makes the partitioned image fold cheap.
+            """
+            if f == g:
+                return exists_rec(f, levels, sids, li)
+            if f < 2 or g < 2:
+                if f == 0 or g == 0:
+                    return 0
+                return exists_rec(g if f == 1 else f, levels, sids, li)
+            if f ^ g == 1:
+                return 0
+            lf = var2level[var_arr[f]]
+            lg = var2level[var_arr[g]]
+            top = lf if lf < lg else lg
+            n = len(levels)
+            while li < n and levels[li] < top:
+                li += 1
+            if li == n:
+                return apply_and_rec(f, g)
+            if f > g:
+                f, g, lf, lg = g, f, lg, lf
+            key = ((f << S | g) << S | sids[li]) << 4 | 4
+            r = computed_get(key)
+            if r is not None:
+                counters[0] += 1
+                return r
+            if lf <= lg:
+                f0, f1 = lo_arr[f], hi_arr[f]
+            else:
+                f0 = f1 = f
+            if lg <= lf:
+                g0, g1 = lo_arr[g], hi_arr[g]
+            else:
+                g0 = g1 = g
+            if levels[li] == top:
+                r0 = andex_rec(f0, g0, levels, sids, li + 1)
+                if r0 == 1:
+                    r = 1
+                else:
+                    r1 = andex_rec(f1, g1, levels, sids, li + 1)
+                    r = apply_and_rec(r0 ^ 1, r1 ^ 1) ^ 1
+            else:
+                r = mk(
+                    level2var[top],
+                    andex_rec(f0, g0, levels, sids, li),
+                    andex_rec(f1, g1, levels, sids, li),
+                )
+            computed[key] = r
+            return r
+
+        # ------------------------------------------------------------- #
+        # Iterative explicit-frame core
+        # ------------------------------------------------------------- #
+        #
+        # Frame protocol (shared by the binary ops): the work stack holds
+        # either a packed computed-table key (int) — an *expand* frame
+        # for a pair that missed the cache at push time — or a tuple
+        # *combine* frame.  Results travel on a separate result stack;
+        # ``-1`` child slots in a combine frame mean "pop from the result
+        # stack" (children are pushed hi-first, so lo completes first and
+        # pops last).  Probing at push time keeps cache hits frame-free.
+
+        def apply_and_iter(f: int, g: int) -> int:
+            """Conjunction (iterative explicit-frame core)."""
+            if f == g:
+                return f
+            if f < 2 or g < 2:
+                if f == 0 or g == 0:
+                    return 0
+                return g if f == 1 else f
+            if f ^ g == 1:
+                return 0
+            if f > g:
+                f, g = g, f
+            key = (f << S | g) << 4
+            r = computed_get(key)
+            if r is not None:
+                counters[0] += 1
+                return r
+            stack = [key]
+            pop = stack.pop
+            push = stack.append
+            rstack: list[int] = []
+            rpush = rstack.append
+            rpop = rstack.pop
+            while stack:
+                top = pop()
+                if type(top) is int:
+                    # Expand frame: the packed key itself.  Re-probe — a
+                    # sibling subtree may have computed it meanwhile.
+                    r = computed_get(top)
+                    if r is not None:
+                        counters[0] += 1
+                        rpush(r)
+                        continue
+                    f = top >> (S + 4)
+                    g = (top >> 4) & M
+                    lf = var2level[var_arr[f]]
+                    lg = var2level[var_arr[g]]
+                    if lf <= lg:
+                        var = var_arr[f]
+                        f0, f1 = lo_arr[f], hi_arr[f]
+                    else:
+                        var = var_arr[g]
+                        f0 = f1 = f
+                    if lg <= lf:
+                        g0, g1 = lo_arr[g], hi_arr[g]
+                    else:
+                        g0 = g1 = g
+                    lkey = hkey = 0
+                    if f0 == g0 or g0 == 1:
+                        lo = f0
+                    elif f0 == 1:
+                        lo = g0
+                    elif f0 == 0 or g0 == 0 or f0 ^ g0 == 1:
+                        lo = 0
+                    else:
+                        if f0 > g0:
+                            lkey = (g0 << S | f0) << 4
+                        else:
+                            lkey = (f0 << S | g0) << 4
+                        lo = computed_get(lkey)
+                        if lo is None:
+                            lo = -1
+                        else:
+                            counters[0] += 1
+                    if f1 == g1 or g1 == 1:
+                        hi = f1
+                    elif f1 == 1:
+                        hi = g1
+                    elif f1 == 0 or g1 == 0 or f1 ^ g1 == 1:
+                        hi = 0
+                    else:
+                        if f1 > g1:
+                            hkey = (g1 << S | f1) << 4
+                        else:
+                            hkey = (f1 << S | g1) << 4
+                        hi = computed_get(hkey)
+                        if hi is None:
+                            hi = -1
+                        else:
+                            counters[0] += 1
+                    if lo >= 0 and hi >= 0:
+                        r = mk(var, lo, hi)
+                        computed[top] = r
+                        rpush(r)
+                        continue
+                    push((top, var, lo, hi))
+                    if hi < 0:
+                        push(hkey)
+                    if lo < 0:
+                        push(lkey)
+                else:
+                    key, var, lo, hi = top
+                    if hi < 0:
+                        hi = rpop()
+                    if lo < 0:
+                        lo = rpop()
+                    r = mk(var, lo, hi)
+                    computed[key] = r
+                    rpush(r)
+            return rstack[0]
+
+        def apply_xor_iter(f: int, g: int) -> int:
+            """Exclusive or (iterative explicit-frame core)."""
+            sign = (f ^ g) & 1
+            f &= -2
+            g &= -2
+            if f == g:
+                return sign
+            if f == 0:
+                return g ^ sign
+            if g == 0:
+                return f ^ sign
+            if f > g:
+                f, g = g, f
+            key = (f << S | g) << 4 | 1
+            r = computed_get(key)
+            if r is not None:
+                counters[0] += 1
+                return r ^ sign
+            stack: list = [key]
+            pop = stack.pop
+            push = stack.append
+            rstack: list[int] = []
+            rpush = rstack.append
+            rpop = rstack.pop
+            while stack:
+                top = pop()
+                if type(top) is int:
+                    r = computed_get(top)
+                    if r is not None:
+                        counters[0] += 1
+                        rpush(r)
+                        continue
+                    f = top >> (S + 4)
+                    g = (top >> 4) & M
+                    lf = var2level[var_arr[f]]
+                    lg = var2level[var_arr[g]]
+                    if lf <= lg:
+                        var = var_arr[f]
+                        f0, f1 = lo_arr[f], hi_arr[f]
+                    else:
+                        var = var_arr[g]
+                        f0 = f1 = f
+                    if lg <= lf:
+                        g0, g1 = lo_arr[g], hi_arr[g]
+                    else:
+                        g0 = g1 = g
+                    lkey = hkey = 0
+                    s0 = (f0 ^ g0) & 1
+                    a = f0 & -2
+                    b = g0 & -2
+                    if a == b:
+                        lo = s0
+                    elif a == 0:
+                        lo = b ^ s0
+                    elif b == 0:
+                        lo = a ^ s0
+                    else:
+                        if a > b:
+                            a, b = b, a
+                        lkey = (a << S | b) << 4 | 1
+                        lo = computed_get(lkey)
+                        if lo is None:
+                            lo = -1
+                        else:
+                            counters[0] += 1
+                            lo ^= s0
+                    s1 = (f1 ^ g1) & 1
+                    a = f1 & -2
+                    b = g1 & -2
+                    if a == b:
+                        hi = s1
+                    elif a == 0:
+                        hi = b ^ s1
+                    elif b == 0:
+                        hi = a ^ s1
+                    else:
+                        if a > b:
+                            a, b = b, a
+                        hkey = (a << S | b) << 4 | 1
+                        hi = computed_get(hkey)
+                        if hi is None:
+                            hi = -1
+                        else:
+                            counters[0] += 1
+                            hi ^= s1
+                    if lo >= 0 and hi >= 0:
+                        r = mk(var, lo, hi)
+                        computed[top] = r
+                        rpush(r)
+                        continue
+                    push((top, var, lo, hi, s0, s1))
+                    if hi < 0:
+                        push(hkey)
+                    if lo < 0:
+                        push(lkey)
+                else:
+                    key, var, lo, hi, s0, s1 = top
+                    if hi < 0:
+                        hi = rpop() ^ s1
+                    if lo < 0:
+                        lo = rpop() ^ s0
+                    r = mk(var, lo, hi)
+                    computed[key] = r
+                    rpush(r)
+            return rstack[0] ^ sign
+
+        def exists_iter(
+            f: int, levels: tuple[int, ...], sids: list[int], li: int
+        ) -> int:
+            """Existential quantification (iterative core).
+
+            Frames: ``(0, f, li)`` expand; ``(1, key, f1, li)`` inspect
+            the else-result and short-circuit on TRUE before the
+            then-branch is even pushed; ``(2, key, var)`` rebuild a
+            non-quantified node; ``(3, key, r0)`` OR-combine.
+            """
+            n = len(levels)
+            stack: list[tuple] = [(0, f, li)]
+            pop = stack.pop
+            push = stack.append
+            rstack: list[int] = []
+            rpush = rstack.append
+            rpop = rstack.pop
+            while stack:
+                fr = pop()
+                tag = fr[0]
+                if tag == 0:
+                    f = fr[1]
+                    li = fr[2]
+                    if f < 2:
+                        rpush(f)
+                        continue
+                    top = var2level[var_arr[f]]
+                    while li < n and levels[li] < top:
+                        li += 1
+                    if li == n:
+                        rpush(f)
+                        continue
+                    key = (f << S | sids[li]) << 4 | 3
+                    r = computed_get(key)
+                    if r is not None:
+                        counters[0] += 1
+                        rpush(r)
+                        continue
+                    if levels[li] == top:
+                        push((1, key, hi_arr[f], li + 1))
+                        push((0, lo_arr[f], li + 1))
+                    else:
+                        push((2, key, var_arr[f]))
+                        push((0, hi_arr[f], li))
+                        push((0, lo_arr[f], li))
+                elif tag == 1:
+                    r0 = rpop()
+                    if r0 == 1:
+                        computed[fr[1]] = 1
+                        rpush(1)
+                    else:
+                        push((3, fr[1], r0))
+                        push((0, fr[2], fr[3]))
+                elif tag == 2:
+                    hi = rpop()
+                    lo = rpop()
+                    r = mk(fr[2], lo, hi)
+                    computed[fr[1]] = r
+                    rpush(r)
+                else:
+                    r1 = rpop()
+                    r = apply_and_iter(fr[2] ^ 1, r1 ^ 1) ^ 1
+                    computed[fr[1]] = r
+                    rpush(r)
+            return rstack[0]
+
+        def andex_iter(
+            f: int, g: int, levels: tuple[int, ...], sids: list[int], li: int
+        ) -> int:
+            """Fused ``∃ . (f ∧ g)`` (iterative core); same frame scheme
+            as ``exists_iter`` with pairwise expand frames."""
+            n = len(levels)
+            stack: list[tuple] = [(0, f, g, li)]
+            pop = stack.pop
+            push = stack.append
+            rstack: list[int] = []
+            rpush = rstack.append
+            rpop = rstack.pop
+            while stack:
+                fr = pop()
+                tag = fr[0]
+                if tag == 0:
+                    f = fr[1]
+                    g = fr[2]
+                    li = fr[3]
+                    if f == g:
+                        rpush(exists_iter(f, levels, sids, li))
+                        continue
+                    if f < 2 or g < 2:
+                        if f == 0 or g == 0:
+                            rpush(0)
+                        else:
+                            rpush(exists_iter(g if f == 1 else f, levels, sids, li))
+                        continue
+                    if f ^ g == 1:
+                        rpush(0)
+                        continue
+                    lf = var2level[var_arr[f]]
+                    lg = var2level[var_arr[g]]
+                    top = lf if lf < lg else lg
+                    while li < n and levels[li] < top:
+                        li += 1
+                    if li == n:
+                        rpush(apply_and_iter(f, g))
+                        continue
+                    if f > g:
+                        f, g, lf, lg = g, f, lg, lf
+                    key = ((f << S | g) << S | sids[li]) << 4 | 4
+                    r = computed_get(key)
+                    if r is not None:
+                        counters[0] += 1
+                        rpush(r)
+                        continue
+                    if lf <= lg:
+                        f0, f1 = lo_arr[f], hi_arr[f]
+                    else:
+                        f0 = f1 = f
+                    if lg <= lf:
+                        g0, g1 = lo_arr[g], hi_arr[g]
+                    else:
+                        g0 = g1 = g
+                    if levels[li] == top:
+                        push((1, key, f1, g1, li + 1))
+                        push((0, f0, g0, li + 1))
+                    else:
+                        push((2, key, level2var[top]))
+                        push((0, f1, g1, li))
+                        push((0, f0, g0, li))
+                elif tag == 1:
+                    r0 = rpop()
+                    if r0 == 1:
+                        computed[fr[1]] = 1
+                        rpush(1)
+                    else:
+                        push((3, fr[1], r0))
+                        push((0, fr[2], fr[3], fr[4]))
+                elif tag == 2:
+                    hi = rpop()
+                    lo = rpop()
+                    r = mk(fr[2], lo, hi)
+                    computed[fr[1]] = r
+                    rpush(r)
+                else:
+                    r1 = rpop()
+                    r = apply_and_iter(fr[2] ^ 1, r1 ^ 1) ^ 1
+                    computed[fr[1]] = r
+                    rpush(r)
+            return rstack[0]
+
+        def ite_iter(f: int, g: int, h: int) -> int:
+            """If-then-else ``(f ∧ g) ∨ (¬f ∧ h)`` (iterative; the single
+            implementation — ite is far colder than the monotone ops).
+
+            Standard complement-edge normalisation at every expand frame:
+            the condition and then-branch are made regular and constant
+            branches delegate to AND so they share its cache entries.
+            """
+            stack: list[tuple] = [(0, f, g, h)]
+            pop = stack.pop
+            push = stack.append
+            rstack: list[int] = []
+            rpush = rstack.append
+            rpop = rstack.pop
+            apply_and = mgr.apply_and
+            while stack:
+                fr = pop()
+                if fr[0] == 0:
+                    f = fr[1]
+                    g = fr[2]
+                    h = fr[3]
+                    if f == TRUE:
+                        rpush(g)
+                        continue
+                    if f == FALSE:
+                        rpush(h)
+                        continue
+                    if g == f:
+                        g = TRUE
+                    elif g == f ^ 1:
+                        g = FALSE
+                    if h == f:
+                        h = FALSE
+                    elif h == f ^ 1:
+                        h = TRUE
+                    if g == h:
+                        rpush(g)
+                        continue
+                    if g == TRUE:
+                        if h == FALSE:
+                            rpush(f)
+                        else:
+                            rpush(apply_and(f ^ 1, h ^ 1) ^ 1)
+                        continue
+                    if g == FALSE:
+                        if h == TRUE:
+                            rpush(f ^ 1)
+                        else:
+                            rpush(apply_and(f ^ 1, h))
+                        continue
+                    if h == FALSE:
+                        rpush(apply_and(f, g))
+                        continue
+                    if h == TRUE:
+                        rpush(apply_and(f, g ^ 1) ^ 1)
+                        continue
+                    sign = 0
+                    if f & 1:
+                        f ^= 1
+                        g, h = h, g
+                    if g & 1:
+                        sign = 1
+                        g ^= 1
+                        h ^= 1
+                    key = ((f << S | g) << S | h) << 4 | 2
+                    r = computed_get(key)
+                    if r is not None:
+                        counters[0] += 1
+                        rpush(r ^ sign)
+                        continue
+                    lf = var2level[var_arr[f]]
+                    lg = var2level[var_arr[g]]
+                    lh = var2level[var_arr[h]]
+                    top = lf if lf < lg else lg
+                    if lh < top:
+                        top = lh
+                    if lf == top:
+                        f0, f1 = lo_arr[f], hi_arr[f]
+                    else:
+                        f0 = f1 = f
+                    if lg == top:
+                        g0, g1 = lo_arr[g], hi_arr[g]
+                    else:
+                        g0 = g1 = g
+                    if lh == top:
+                        h0, h1 = lo_arr[h], hi_arr[h]
+                    else:
+                        h0 = h1 = h
+                    push((1, key, level2var[top], sign))
+                    push((0, f1, g1, h1))
+                    push((0, f0, g0, h0))
+                else:
+                    hi = rpop()
+                    lo = rpop()
+                    r = mk(fr[2], lo, hi)
+                    computed[fr[1]] = r
+                    rpush(r ^ fr[3])
+            return rstack[0]
+
+        self.ite = ite_iter
+        self._cores = {
+            "recursive": (apply_and_rec, apply_xor_rec, exists_rec, andex_rec),
+            "iterative": (apply_and_iter, apply_xor_iter, exists_iter, andex_iter),
+        }
 
     # ------------------------------------------------------------------ #
     # Quantification and the relational product
     # ------------------------------------------------------------------ #
+
+    def quant_set(self, variables: Iterable[int]) -> QuantSet:
+        """Intern a quantification variable set for repeated use.
+
+        The returned :class:`QuantSet` caches the sorted level tuple and
+        interned suffix ids, revalidating lazily when the variable order
+        changes.  Image plans and fixpoint loops that quantify the same
+        set thousands of times should build one of these once.
+        """
+        return QuantSet(self, variables)
 
     def _levels_key(self, variables: Iterable[int]) -> tuple[int, ...]:
         """Canonical (sorted, deduplicated) level tuple for a var set."""
@@ -743,153 +1529,94 @@ class BddManager:
             self._suffix_cache[levels] = ids
         return ids
 
-    def exists(self, f: int, variables: Iterable[int]) -> int:
-        """Existential quantification of ``variables`` (indices) from ``f``."""
+    def _quant_args(
+        self, variables: Iterable[int] | QuantSet
+    ) -> tuple[tuple[int, ...], list[int]]:
+        """Resolve a variable collection to ``(levels, suffix_ids)``."""
+        if type(variables) is QuantSet:
+            return variables._resolve()
         levels = self._levels_key(variables)
         if not levels:
-            return f
-        return self._exists_rec(f, levels, self._suffix_ids(levels), 0)
+            return levels, []
+        return levels, self._suffix_ids(levels)
 
-    def forall(self, f: int, variables: Iterable[int]) -> int:
+    def exists(self, f: int, variables: Iterable[int] | QuantSet) -> int:
+        """Existential quantification of ``variables`` (indices) from ``f``.
+
+        ``variables`` may be any iterable of variable indices or a
+        pre-interned :meth:`quant_set`.
+        """
+        levels, sids = self._quant_args(variables)
+        if not levels:
+            return f
+        return self._exists_core(f, levels, sids, 0)
+
+    def forall(self, f: int, variables: Iterable[int] | QuantSet) -> int:
         """Universal quantification of ``variables`` (indices) from ``f``."""
         return self.exists(f ^ 1, variables) ^ 1
 
-    def _exists_rec(
-        self, f: int, levels: tuple[int, ...], sids: list[int], li: int
+    def and_exists(
+        self, f: int, g: int, variables: Iterable[int] | QuantSet
     ) -> int:
-        if f < 2:
-            return f
-        top = self._var2level[self._var[f]]
-        # Drop quantified levels strictly above the top of f.
-        n_levels = len(levels)
-        while li < n_levels and levels[li] < top:
-            li += 1
-        if li == n_levels:
-            return f
-        key = (f, sids[li], _OP_EXISTS)
-        computed = self._computed
-        r = computed.get(key)
-        if r is not None:
-            self._counters[0] += 1
-            return r
-        self._counters[1] += 1
-        lo, hi = self._lo[f], self._hi[f]
-        if levels[li] == top:
-            r0 = self._exists_rec(lo, levels, sids, li + 1)
-            if r0 == TRUE:
-                r = TRUE
-            else:
-                r1 = self._exists_rec(hi, levels, sids, li + 1)
-                r = self.apply_and(r0 ^ 1, r1 ^ 1) ^ 1
-        else:
-            r = self._mk(
-                self._var[f],
-                self._exists_rec(lo, levels, sids, li),
-                self._exists_rec(hi, levels, sids, li),
-            )
-        computed[key] = r
-        return r
-
-    def and_exists(self, f: int, g: int, variables: Iterable[int]) -> int:
         """Fused relational product ``∃ variables . (f ∧ g)``.
 
         This is the core primitive of image computation: the conjunction is
         never materialised above the quantified variables, which is what
-        makes partitioned image computation feasible.
+        makes partitioned image computation feasible.  ``variables`` may
+        be a plain iterable or a pre-interned :meth:`quant_set`.
         """
-        levels = self._levels_key(variables)
+        levels, sids = self._quant_args(variables)
         if not levels:
             return self.apply_and(f, g)
-        return self._andex_rec(f, g, levels, self._suffix_ids(levels), 0)
-
-    def _andex_rec(
-        self, f: int, g: int, levels: tuple[int, ...], sids: list[int], li: int
-    ) -> int:
-        if f == g:
-            return self._exists_rec(f, levels, sids, li)
-        if f < 2 or g < 2:
-            if f == FALSE or g == FALSE:
-                return FALSE
-            return self._exists_rec(g if f == TRUE else f, levels, sids, li)
-        if f ^ g == 1:
-            return FALSE
-        var2level = self._var2level
-        var_arr = self._var
-        lf = var2level[var_arr[f]]
-        lg = var2level[var_arr[g]]
-        top = lf if lf < lg else lg
-        n_levels = len(levels)
-        while li < n_levels and levels[li] < top:
-            li += 1
-        if li == n_levels:
-            return self.apply_and(f, g)
-        if f > g:
-            f, g, lf, lg = g, f, lg, lf
-        key = (f, g, sids[li], _OP_ANDEX)
-        computed = self._computed
-        r = computed.get(key)
-        if r is not None:
-            self._counters[0] += 1
-            return r
-        self._counters[1] += 1
-        if lf <= lg:
-            f0, f1 = self._lo[f], self._hi[f]
-        else:
-            f0 = f1 = f
-        if lg <= lf:
-            g0, g1 = self._lo[g], self._hi[g]
-        else:
-            g0 = g1 = g
-        if levels[li] == top:
-            r0 = self._andex_rec(f0, g0, levels, sids, li + 1)
-            if r0 == TRUE:
-                r = TRUE
-            else:
-                r1 = self._andex_rec(f1, g1, levels, sids, li + 1)
-                r = self.apply_and(r0 ^ 1, r1 ^ 1) ^ 1
-        else:
-            var = self._level2var[top]
-            r = self._mk(
-                var,
-                self._andex_rec(f0, g0, levels, sids, li),
-                self._andex_rec(f1, g1, levels, sids, li),
-            )
-        computed[key] = r
-        return r
+        return self._andex_core(f, g, levels, sids, 0)
 
     # ------------------------------------------------------------------ #
     # Cofactor, composition, renaming
     # ------------------------------------------------------------------ #
 
     def restrict(self, f: int, var: int, value: bool | int) -> int:
-        """Cofactor of ``f`` with respect to ``var = value``."""
+        """Cofactor of ``f`` with respect to ``var = value``.
+
+        Iterative (explicit stack): safe at any BDD depth.  Cofactoring
+        commutes with negation, so both polarities of every sub-DAG
+        share one cache entry (the sign is stripped per frame).
+        """
         val = 1 if value else 0
         target = self._var2level[var]
-        return self._restrict_rec(f, var, val, target)
-
-    def _restrict_rec(self, f: int, var: int, val: int, target: int) -> int:
-        if f < 2 or self.level(f) > target:
-            return f
-        # Cofactoring commutes with negation: recurse on the regular edge
-        # so both polarities share one cache entry.
-        sign = f & 1
-        f ^= sign
-        if self._var[f] == var:
-            return (self._hi[f] if val else self._lo[f]) ^ sign
-        key = (f, var, val, _OP_RESTRICT)
         computed = self._computed
-        r = computed.get(key)
-        if r is not None:
-            self._counters[0] += 1
-            return r ^ sign
-        self._counters[1] += 1
-        r = self._mk(
-            self._var[f],
-            self._restrict_rec(self._lo[f], var, val, target),
-            self._restrict_rec(self._hi[f], var, val, target),
-        )
-        computed[key] = r
-        return r ^ sign
+        counters = self._counters
+        var_arr, lo_arr, hi_arr = self._var, self._lo, self._hi
+        var2level = self._var2level
+        stack: list[tuple] = [(0, f)]
+        rstack: list[int] = []
+        while stack:
+            fr = stack.pop()
+            if fr[0] == 0:
+                f = fr[1]
+                if f < 2 or var2level[var_arr[f]] > target:
+                    rstack.append(f)
+                    continue
+                sign = f & 1
+                f ^= sign
+                if var_arr[f] == var:
+                    rstack.append((hi_arr[f] if val else lo_arr[f]) ^ sign)
+                    continue
+                key = ((f << _EDGE_SHIFT | var) << 1 | val) << 4 | _OP_RESTRICT
+                r = computed.get(key)
+                if r is not None:
+                    counters[0] += 1
+                    rstack.append(r ^ sign)
+                    continue
+                stack.append((1, key, var_arr[f], sign))
+                stack.append((0, hi_arr[f]))
+                stack.append((0, lo_arr[f]))
+            else:
+                hi = rstack.pop()
+                lo = rstack.pop()
+                r = self._mk(fr[2], lo, hi)
+                computed[fr[1]] = r
+                rstack.append(r ^ fr[3])
+        return rstack[0]
 
     def cofactor_cube(self, f: int, assignment: Mapping[int, bool | int]) -> int:
         """Cofactor with respect to several ``var -> value`` bindings."""
@@ -904,65 +1631,121 @@ class BddManager:
         (``constrain(f,c) ∧ c == f ∧ c``) and is typically smaller than
         ``f`` — the classic image-computation simplification: the
         transition parts can be constrained by the current frontier.
-        ``c`` must not be FALSE.
+        ``c`` must not be FALSE.  Iterative; safe at any depth.
         """
         if c == FALSE:
             raise BddError("constrain by the FALSE function")
         if c == TRUE or f < 2:
             return f
-        if f == c:
-            return TRUE
-        if f == c ^ 1:
-            return FALSE
-        # Constrain commutes with negation of f (it composes f with a
-        # mapping that depends only on c).
-        sign = f & 1
-        f ^= sign
-        key = (f, c, _OP_CONSTRAIN)
         computed = self._computed
-        r = computed.get(key)
-        if r is not None:
-            self._counters[0] += 1
-            return r ^ sign
-        self._counters[1] += 1
-        top = min(self.level(f), self.level(c))
-        f0, f1 = self._cofactors_at(f, top)
-        c0, c1 = self._cofactors_at(c, top)
-        if c0 == FALSE:
-            r = self.constrain(f1, c1)
-        elif c1 == FALSE:
-            r = self.constrain(f0, c0)
-        else:
-            var = self._level2var[top]
-            r = self._mk(var, self.constrain(f0, c0), self.constrain(f1, c1))
-        computed[key] = r
-        return r ^ sign
+        counters = self._counters
+        var_arr, lo_arr, hi_arr = self._var, self._lo, self._hi
+        var2level = self._var2level
+        level2var = self._level2var
+        stack: list[tuple] = [(0, f, c)]
+        rstack: list[int] = []
+        while stack:
+            fr = stack.pop()
+            tag = fr[0]
+            if tag == 0:
+                f = fr[1]
+                c = fr[2]
+                if c == TRUE or f < 2:
+                    rstack.append(f)
+                    continue
+                if f == c:
+                    rstack.append(TRUE)
+                    continue
+                if f == c ^ 1:
+                    rstack.append(FALSE)
+                    continue
+                # Constrain commutes with negation of f (it composes f
+                # with a mapping that depends only on c).
+                sign = f & 1
+                f ^= sign
+                key = (f << _EDGE_SHIFT | c) << 4 | _OP_CONSTRAIN
+                r = computed.get(key)
+                if r is not None:
+                    counters[0] += 1
+                    rstack.append(r ^ sign)
+                    continue
+                lf = var2level[var_arr[f]]
+                lc = var2level[var_arr[c]]
+                top = lf if lf < lc else lc
+                if lf == top:
+                    f0, f1 = lo_arr[f], hi_arr[f]
+                else:
+                    f0 = f1 = f
+                if lc == top:
+                    c0, c1 = lo_arr[c], hi_arr[c]
+                else:
+                    c0 = c1 = c
+                if c0 == FALSE:
+                    stack.append((2, key, sign))
+                    stack.append((0, f1, c1))
+                elif c1 == FALSE:
+                    stack.append((2, key, sign))
+                    stack.append((0, f0, c0))
+                else:
+                    stack.append((1, key, level2var[top], sign))
+                    stack.append((0, f1, c1))
+                    stack.append((0, f0, c0))
+            elif tag == 1:
+                hi = rstack.pop()
+                lo = rstack.pop()
+                r = self._mk(fr[2], lo, hi)
+                computed[fr[1]] = r
+                rstack.append(r ^ fr[3])
+            else:
+                r = rstack.pop()
+                computed[fr[1]] = r
+                rstack.append(r ^ fr[2])
+        return rstack[0]
 
     def compose(self, f: int, var: int, g: int) -> int:
-        """Substitute function ``g`` for variable ``var`` in ``f``."""
-        target = self._var2level[var]
-        return self._compose_rec(f, var, g, target)
+        """Substitute function ``g`` for variable ``var`` in ``f``.
 
-    def _compose_rec(self, f: int, var: int, g: int, target: int) -> int:
-        if f < 2 or self.level(f) > target:
-            return f
-        sign = f & 1
-        f ^= sign
-        key = (f, g, var, _OP_COMPOSE)
+        Iterative walk of ``f`` down to ``var``'s level; the recombination
+        runs through :meth:`ite` (itself iterative), so composition is
+        safe at any depth.
+        """
+        target = self._var2level[var]
         computed = self._computed
-        r = computed.get(key)
-        if r is not None:
-            self._counters[0] += 1
-            return r ^ sign
-        self._counters[1] += 1
-        if self._var[f] == var:
-            r = self.ite(g, self._hi[f], self._lo[f])
-        else:
-            c0 = self._compose_rec(self._lo[f], var, g, target)
-            c1 = self._compose_rec(self._hi[f], var, g, target)
-            r = self.ite(self.var_node(self._var[f]), c1, c0)
-        computed[key] = r
-        return r ^ sign
+        counters = self._counters
+        var_arr, lo_arr, hi_arr = self._var, self._lo, self._hi
+        var2level = self._var2level
+        stack: list[tuple] = [(0, f)]
+        rstack: list[int] = []
+        while stack:
+            fr = stack.pop()
+            if fr[0] == 0:
+                f = fr[1]
+                if f < 2 or var2level[var_arr[f]] > target:
+                    rstack.append(f)
+                    continue
+                sign = f & 1
+                f ^= sign
+                key = ((f << _EDGE_SHIFT | g) << _EDGE_SHIFT | var) << 4 | _OP_COMPOSE
+                r = computed.get(key)
+                if r is not None:
+                    counters[0] += 1
+                    rstack.append(r ^ sign)
+                    continue
+                if var_arr[f] == var:
+                    r = self.ite(g, hi_arr[f], lo_arr[f])
+                    computed[key] = r
+                    rstack.append(r ^ sign)
+                    continue
+                stack.append((1, key, var_arr[f], sign))
+                stack.append((0, hi_arr[f]))
+                stack.append((0, lo_arr[f]))
+            else:
+                c1 = rstack.pop()
+                c0 = rstack.pop()
+                r = self.ite(self.var_node(fr[2]), c1, c0)
+                computed[fr[1]] = r
+                rstack.append(r ^ fr[3])
+        return rstack[0]
 
     def vector_compose(self, f: int, substitution: Mapping[int, int]) -> int:
         """Simultaneously substitute ``substitution[var]`` for each var.
@@ -988,26 +1771,31 @@ class BddManager:
         Uses a fast structural rebuild when the mapping preserves the
         variable order; otherwise falls back to the quantification-based
         method (which requires the new variables to be absent from the
-        support of ``f``).
+        support of ``f``).  Both paths are iterative.
         """
         relevant = {old: new for old, new in var_map.items() if old != new}
         if not relevant or f < 2:
             return f
         sign = f & 1
         f ^= sign
-        key = (f, tuple(sorted(relevant.items())), _OP_RENAME)
+        map_key = tuple(sorted(relevant.items()))
+        intern = self._rename_intern
+        mid = intern.get(map_key)
+        if mid is None:
+            mid = len(intern)
+            intern[map_key] = mid
+        key = (f << _EDGE_SHIFT | mid) << 4 | _OP_RENAME
         r = self._computed.get(key)
         if r is not None:
             self._counters[0] += 1
             return r ^ sign
-        self._counters[1] += 1
         olds = sorted(relevant, key=lambda v: self._var2level[v])
         news = [relevant[v] for v in olds]
         new_levels = [self._var2level[v] for v in news]
         order_ok = all(new_levels[i] < new_levels[i + 1] for i in range(len(news) - 1))
         if order_ok:
             try:
-                r = self._rename_rec(f, relevant, {})
+                r = self._rename_struct(f, relevant)
             except BddOrderError:
                 r = self._rename_general(f, relevant)
         else:
@@ -1015,21 +1803,41 @@ class BddManager:
         self._computed[key] = r
         return r ^ sign
 
-    def _rename_rec(self, f: int, var_map: Mapping[int, int], memo: dict[int, int]) -> int:
-        if f < 2:
-            return f
-        r = memo.get(f)
-        if r is not None:
-            return r
-        lo = self._rename_rec(self._lo[f], var_map, memo)
-        hi = self._rename_rec(self._hi[f], var_map, memo)
-        var = var_map.get(self._var[f], self._var[f])
-        level = self._var2level[var]
-        if min(self.level(lo), self.level(hi)) <= level:
-            raise BddOrderError("rename does not preserve the variable order")
-        r = self._mk(var, lo, hi)
-        memo[f] = r
-        return r
+    def _rename_struct(self, f: int, var_map: Mapping[int, int]) -> int:
+        """Structural rebuild rename (iterative postorder with memo).
+
+        Raises :class:`~repro.errors.BddOrderError` as soon as a rebuilt
+        node would violate the variable order.
+        """
+        var_arr, lo_arr, hi_arr = self._var, self._lo, self._hi
+        var2level = self._var2level
+        memo: dict[int, int] = {}
+        stack: list[tuple[int, int]] = [(0, f)]
+        rstack: list[int] = []
+        while stack:
+            tag, e = stack.pop()
+            if tag == 0:
+                if e < 2:
+                    rstack.append(e)
+                    continue
+                r = memo.get(e)
+                if r is not None:
+                    rstack.append(r)
+                    continue
+                stack.append((1, e))
+                stack.append((0, hi_arr[e]))
+                stack.append((0, lo_arr[e]))
+            else:
+                hi = rstack.pop()
+                lo = rstack.pop()
+                var = var_map.get(var_arr[e], var_arr[e])
+                level = var2level[var]
+                if min(self.level(lo), self.level(hi)) <= level:
+                    raise BddOrderError("rename does not preserve the variable order")
+                r = self._mk(var, lo, hi)
+                memo[e] = r
+                rstack.append(r)
+        return rstack[0]
 
     def _rename_general(self, f: int, var_map: Mapping[int, int]) -> int:
         support = self.support(f)
@@ -1096,18 +1904,19 @@ class BddManager:
         but the floor backs off after consecutive unprofitable sweeps
         (see :class:`~repro.bdd.policy.GcPolicy`).
         """
-        return self.gc_policy.should_collect(self._live, self._gc_baseline)
+        return self.gc_policy.should_collect(self._nb[0], self._gc_baseline)
 
     def collect_garbage(self, roots: Iterable[int] = ()) -> int:
         """Reclaim every node unreachable from refs, ``roots`` or literals.
 
         Returns the number of reclaimed nodes.  Edges of surviving nodes
         are stable (freed slots are recycled by later ``_mk`` calls), so
-        held edges of *live* functions remain valid.  Unique-table entries
-        of dead nodes are dropped and computed-table entries mentioning a
-        dead node are swept before any slot can be reused — stale hits are
-        impossible.  Variable literal nodes are always kept, so literal
-        edges held by callers can never dangle.
+        held edges of *live* functions remain valid.  The sweep is
+        **level-local**: each per-level subtable is scanned over its live
+        entries only (dead slots are never touched), and computed-table
+        entries mentioning a dead node are swept before any slot can be
+        reused — stale hits are impossible.  Variable literal nodes are
+        always kept, so literal edges held by callers can never dangle.
 
         Every sweep reports its reclaim ratio to :attr:`gc_policy` (which
         may back off the collection floor) and asks :attr:`reorder_policy`
@@ -1118,17 +1927,22 @@ class BddManager:
         — including ``roots`` and all pinned references — remains valid.
         """
         roots = list(roots)
-        live_before = self._live
-        if self._live > self._peak_live:
-            self._peak_live = self._live
+        nb = self._nb
+        live_before = nb[0]
+        if live_before > self._peak_live:
+            self._peak_live = live_before
         var_arr, lo_arr, hi_arr = self._var, self._lo, self._hi
         marked = bytearray(len(var_arr))
         marked[0] = marked[1] = 1
         stack = list(self._extref)
         stack.extend(roots)
-        unique = self._unique
-        for v in range(len(self._var_names)):
-            lit = unique.get((v, TRUE, FALSE))
+        subtables = self._subtables
+        # Literal nodes store canonically as (lo=TRUE, hi=FALSE) — the
+        # complement moved onto the returned edge — so their packed
+        # subtable key is ``TRUE << _EDGE_SHIFT``.
+        lit_key = TRUE << _EDGE_SHIFT
+        for sub in subtables:
+            lit = sub.get(lit_key)
             if lit is not None:
                 stack.append(lit)
         while stack:
@@ -1141,31 +1955,35 @@ class BddManager:
             stack.append(hi_arr[e])
         reclaimed = 0
         free = self._free
-        for e in range(2, len(var_arr), 2):
-            v = var_arr[e]
-            if v == _FREE or marked[e]:
+        for sub in subtables:
+            if not sub:
                 continue
-            del unique[(v, lo_arr[e], hi_arr[e])]
-            var_arr[e] = var_arr[e + 1] = _FREE
-            free.append(e)
-            reclaimed += 1
+            dead = [ukey for ukey, e in sub.items() if not marked[e]]
+            if not dead:
+                continue
+            for ukey in dead:
+                e = sub.pop(ukey)
+                var_arr[e] = var_arr[e + 1] = _FREE
+                free.append(e)
+            reclaimed += len(dead)
         if reclaimed:
-            self._live -= reclaimed
+            nb[0] = live_before - reclaimed
             computed = self._computed
             dead_keys = [
                 key
                 for key, val in computed.items()
-                if not marked[val]
-                or any(not marked[edge] for edge in _key_edges(key))
+                if not marked[val] or _key_mentions_dead(key, marked)
             ]
+            # Swept entries stay counted as past misses (see _counters).
+            self._counters[1] += len(dead_keys)
             for key in dead_keys:
                 del computed[key]
         self._gc_runs += 1
         self._gc_reclaimed += reclaimed
-        self._gc_baseline = self._live
+        self._gc_baseline = nb[0]
         ratio = self.gc_policy.record(live_before, reclaimed)
         self._gc_ratio_sum += ratio
-        if self.reorder_policy.should_reorder(self._live, ratio):
+        if self.reorder_policy.should_reorder(nb[0], ratio):
             from repro.bdd.reorder import sift
 
             policy = self.reorder_policy
@@ -1177,8 +1995,8 @@ class BddManager:
             )
             self._reorder_runs += 1
             self._reorder_swaps += result.swaps
-            policy.record_reorder(self._live)
-            self._gc_baseline = self._live
+            policy.record_reorder(nb[0])
+            self._gc_baseline = nb[0]
         return reclaimed
 
     def maybe_collect_garbage(self, roots: Iterable[int] = ()) -> int:
@@ -1259,23 +2077,32 @@ class BddManager:
     # ------------------------------------------------------------------ #
 
     @property
-    def stats(self) -> dict[str, int | float]:
-        """Counter snapshot: table hits/misses, recursion, GC and
-        reordering activity.
+    def stats(self) -> dict[str, object]:
+        """Counter snapshot: table hits/misses, recursion, GC, reordering
+        and per-level occupancy.
 
-        ``reclaim_ratio_avg`` is the mean reclaim ratio over all sweeps
-        so far (1.0 when no sweep has run); ``reorder_runs`` /
-        ``reorder_swaps`` count completed sifts and the adjacent-level
-        swaps they performed.
+        ``cache_misses`` (= ``recursive_calls``) is derived: every miss
+        stores exactly one computed-table entry, so the count is the
+        live entry count plus a compensation cell fed by sweeps, flushes
+        and :meth:`reset_stats`.  ``reclaim_ratio_avg`` is the mean
+        reclaim ratio over all sweeps so far (1.0 when no sweep has
+        run); ``reorder_runs`` / ``reorder_swaps`` count completed sifts
+        and the adjacent-level swaps they performed.
+        ``nodes_per_level`` lists live node counts from the top of the
+        order to the bottom (the terminal is outside all levels);
+        ``subtable_count`` is the number of per-level subtables (one per
+        declared variable).
         """
         gc_runs = self._gc_runs
         avg_ratio = self._gc_ratio_sum / gc_runs if gc_runs else 1.0
+        misses = self._counters[1] + len(self._computed)
+        live = self._nb[0]
         return {
             "unique_hits": self._counters[2],
             "cache_hits": self._counters[0],
             # Every cache miss recurses exactly once, so the two coincide.
-            "cache_misses": self._counters[1],
-            "recursive_calls": self._counters[1],
+            "cache_misses": misses,
+            "recursive_calls": misses,
             "gc_runs": gc_runs,
             "gc_reclaimed": self._gc_reclaimed,
             "reclaim_ratio_avg": avg_ratio,
@@ -1283,14 +2110,22 @@ class BddManager:
             "reorder_swaps": self._reorder_swaps,
             # The live count only drops at collection points, where the
             # peak is recorded; between them "now" may be the new peak.
-            "peak_live_nodes": max(self._peak_live, self._live),
-            "live_nodes": self._live,
+            "peak_live_nodes": max(self._peak_live, live),
+            "live_nodes": live,
+            "nodes_per_level": [
+                len(self._subtables[v]) for v in self._level2var
+            ],
+            "subtable_count": len(self._subtables),
         }
+
+    def nodes_at_level(self, level: int) -> int:
+        """Number of live nodes at ``level`` (free with per-level subtables)."""
+        return len(self._subtables[self._level2var[level]])
 
     def cache_hit_rate(self) -> float:
         """Computed-table hit rate over all lookups so far (0.0 when idle)."""
-        hits, misses, _ = self._counters
-        lookups = hits + misses
+        hits = self._counters[0]
+        lookups = hits + self._counters[1] + len(self._computed)
         if not lookups:
             return 0.0
         return hits / lookups
@@ -1298,16 +2133,20 @@ class BddManager:
     def reset_stats(self) -> None:
         """Zero all counters (``peak_live_nodes`` restarts at the current
         live count)."""
-        self._counters[:] = [0, 0, 0]
+        self._counters[0] = 0
+        # Derived misses restart at zero: compensate away the live entries.
+        self._counters[1] = -len(self._computed)
+        self._counters[2] = 0
         self._gc_runs = 0
         self._gc_reclaimed = 0
         self._gc_ratio_sum = 0.0
         self._reorder_runs = 0
         self._reorder_swaps = 0
-        self._peak_live = self._live
+        self._peak_live = self._nb[0]
 
     def clear_caches(self) -> None:
-        """Drop the computed table (the unique table is preserved)."""
+        """Drop the computed table (the unique subtables are preserved)."""
+        self._counters[1] += len(self._computed)
         self._computed.clear()
 
     def computed_table_size(self) -> int:
@@ -1323,38 +2162,48 @@ class BddManager:
           bits only ever appear on else-edges and external edges);
         * ordering — both children sit at strictly lower levels;
         * reduction — no node has identical children;
-        * table consistency — the unique table maps exactly the live
-          ``(var, lo, hi)`` triples to their edges, and the mirrored odd
-          slots hold the complement-propagated children;
-        * the live count equals the number of unique-table entries + 1.
+        * table consistency — each per-level subtable maps exactly the
+          live packed ``(lo, hi)`` pairs of its variable to their edges,
+          every live slot appears in its variable's subtable, and the
+          mirrored odd slots hold the complement-propagated children;
+        * the live count equals the total subtable occupancy + 1.
 
         Raises :class:`~repro.errors.BddError` on the first violation.
         """
         var_arr, lo_arr, hi_arr = self._var, self._lo, self._hi
         live = 0
+        for var, sub in enumerate(self._subtables):
+            here = self._var2level[var]
+            for ukey, e in sub.items():
+                live += 1
+                lo = ukey >> _EDGE_SHIFT
+                hi = ukey & _EDGE_MASK
+                if var_arr[e] != var:
+                    raise BddError(f"node {e}: subtable/var mismatch ({var})")
+                if hi & 1:
+                    raise BddError(f"node {e}: stored then-edge {hi} is complemented")
+                if lo == hi:
+                    raise BddError(f"node {e}: unreduced (lo == hi == {lo})")
+                if lo_arr[e] != lo or hi_arr[e] != hi:
+                    raise BddError(f"node {e}: subtable key out of sync")
+                for child in (lo, hi):
+                    if child >= 2 and self._var2level[var_arr[child & -2]] <= here:
+                        raise BddError(f"node {e}: child {child} not below level {here}")
+                if var_arr[e + 1] != var or lo_arr[e + 1] != lo ^ 1 or hi_arr[e + 1] != hi ^ 1:
+                    raise BddError(f"node {e}: odd-slot mirror out of sync")
+        scanned = 0
         for e in range(2, len(var_arr), 2):
             v = var_arr[e]
             if v == _FREE:
                 continue
-            live += 1
-            lo, hi = lo_arr[e], hi_arr[e]
-            if hi & 1:
-                raise BddError(f"node {e}: stored then-edge {hi} is complemented")
-            if lo == hi:
-                raise BddError(f"node {e}: unreduced (lo == hi == {lo})")
-            here = self._var2level[v]
-            for child in (lo, hi):
-                if child >= 2 and self._var2level[var_arr[child & -2]] <= here:
-                    raise BddError(f"node {e}: child {child} not below level {here}")
-            if self._unique.get((v, lo, hi)) != e:
-                raise BddError(f"node {e}: unique table missing/mismatched")
-            if var_arr[e + 1] != v or lo_arr[e + 1] != lo ^ 1 or hi_arr[e + 1] != hi ^ 1:
-                raise BddError(f"node {e}: odd-slot mirror out of sync")
-        if live + 1 != self._live or len(self._unique) != live:
+            scanned += 1
+            if self._subtables[v].get(lo_arr[e] << _EDGE_SHIFT | hi_arr[e]) != e:
+                raise BddError(f"node {e}: missing from its subtable")
+        if live != scanned or live + 1 != self._nb[0]:
             raise BddError(
-                f"live-count mismatch: scanned {live + 1}, tracked {self._live}, "
-                f"unique table {len(self._unique)}"
+                f"live-count mismatch: subtables {live + 1}, arrays {scanned + 1}, "
+                f"tracked {self._nb[0]}"
             )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<BddManager vars={self.num_vars} nodes={self._live}>"
+        return f"<BddManager vars={self.num_vars} nodes={self._nb[0]}>"

@@ -21,6 +21,12 @@ Two generations of reordering live here:
 node arrays densely, returning an old-id -> new-id mapping for the
 caller's live references — also lives here.
 
+With **per-level subtables** (see :mod:`repro.bdd.manager`) the swap gets
+its candidate bucket for free: the upper variable's subtable *is* the
+list of nodes to rewrite — no array scan, no lazily-filtered bucket
+lists.  Every completed swap bumps the manager's ``_order_epoch`` so
+interned :class:`~repro.bdd.manager.QuantSet` level caches revalidate.
+
 **In-place swap, in one paragraph.**  To exchange level ``l`` (variable
 ``x``) with level ``l+1`` (variable ``y``): every ``x``-node whose
 children do not mention ``y`` is untouched (only the level tables flip).
@@ -34,9 +40,9 @@ the parents, which is exactly what makes the in-place update sound.
 Node deaths (``y``-nodes orphaned by the rewrite, plus cascades) are
 detected with sift-local reference counts seeded from the stored parent
 edges, external refs, literals and the caller's roots; freed slots are
-withheld from reuse until the sift completes, so the bucket lists stay
-valid.  The computed table is flushed once per sift: quantification
-cache keys embed level-set ids whose meaning changes with the order.
+withheld from reuse until the sift completes.  The computed table is
+flushed once per sift: quantification cache keys embed level-set ids
+whose meaning changes with the order.
 """
 
 from __future__ import annotations
@@ -44,7 +50,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
-from repro.bdd.manager import _FREE, FALSE, TRUE, BddManager
+from repro.bdd.manager import _EDGE_SHIFT, _FREE, FALSE, TRUE, BddManager
 from repro.errors import BddError
 
 
@@ -79,7 +85,7 @@ def compact(mgr: BddManager, roots: Iterable[int]) -> dict[int, int]:
     new_var: list[int] = [-1, -1]
     new_lo: list[int] = [0, 1]
     new_hi: list[int] = [0, 1]
-    new_unique: dict[tuple[int, int, int], int] = {}
+    new_subtables: list[dict[int, int]] = [{} for _ in range(mgr.num_vars)]
     edge_map: dict[int, int] = {0: 0}
     for n in order:
         var = mgr._var[n]
@@ -90,21 +96,23 @@ def compact(mgr: BddManager, roots: Iterable[int]) -> dict[int, int]:
         new_var += (var, var)
         new_lo += (lo, lo ^ 1)
         new_hi += (hi, hi ^ 1)
-        new_unique[(var, lo, hi)] = new_edge
+        new_subtables[var][lo << _EDGE_SHIFT | hi] = new_edge
         edge_map[n] = new_edge
 
-    mgr._peak_live = max(mgr._peak_live, mgr._live)
+    if mgr._nb[0] > mgr._peak_live:
+        mgr._peak_live = mgr._nb[0]
     # In-place updates: the manager's hot closures capture these containers
     # (see BddManager._bind_hot_ops), so they must never be rebound.
     mgr._var[:] = new_var
     mgr._lo[:] = new_lo
     mgr._hi[:] = new_hi
-    mgr._unique.clear()
-    mgr._unique.update(new_unique)
+    for sub, new_sub in zip(mgr._subtables, new_subtables):
+        sub.clear()
+        sub.update(new_sub)
     mgr._free.clear()
     mgr._extref.clear()
-    mgr._live = 1 + len(order)
-    mgr._gc_baseline = mgr._live
+    mgr._nb[0] = 1 + len(order)
+    mgr._gc_baseline = mgr._nb[0]
     mgr.clear_caches()
     mapping: dict[int, int] = {}
     for old, new in edge_map.items():
@@ -124,28 +132,39 @@ def transfer(
     Variables are matched by name (optionally renamed through
     ``name_map``); they must already be declared in ``dst``.  The copy is
     order-safe: it recombines children with ITE, so the destination order
-    may differ arbitrarily from the source order.
+    may differ arbitrarily from the source order.  Iterative (postorder
+    stack), so arbitrarily deep functions transfer without touching the
+    recursion limit.
     """
     memo: dict[int, int] = {FALSE: FALSE, TRUE: TRUE}
-
-    def rec(node: int) -> int:
-        cached = memo.get(node)
-        if cached is not None:
-            return cached
-        name = src.var_name(src.node_var(node))
-        if name_map is not None:
-            name = name_map.get(name, name)
-        try:
-            var = dst.var_index(name)
-        except KeyError:
-            raise BddError(f"transfer: variable {name!r} not declared in destination")
-        lo = rec(src.node_lo(node))
-        hi = rec(src.node_hi(node))
-        result = dst.ite(dst.var_node(var), hi, lo)
-        memo[node] = result
-        return result
-
-    return rec(f)
+    stack: list[tuple[int, int]] = [(0, f)]
+    rstack: list[int] = []
+    while stack:
+        tag, node = stack.pop()
+        if tag == 0:
+            cached = memo.get(node)
+            if cached is not None:
+                rstack.append(cached)
+                continue
+            stack.append((1, node))
+            stack.append((0, src.node_hi(node)))
+            stack.append((0, src.node_lo(node)))
+        else:
+            hi = rstack.pop()
+            lo = rstack.pop()
+            name = src.var_name(src.node_var(node))
+            if name_map is not None:
+                name = name_map.get(name, name)
+            try:
+                var = dst.var_index(name)
+            except KeyError:
+                raise BddError(
+                    f"transfer: variable {name!r} not declared in destination"
+                )
+            result = dst.ite(dst.var_node(var), hi, lo)
+            memo[node] = result
+            rstack.append(result)
+    return rstack[0]
 
 
 def reorder(
@@ -181,49 +200,43 @@ class SiftResult:
 
 
 class _SiftContext:
-    """Sift-local bookkeeping: reference counts, per-var node buckets.
+    """Sift-local bookkeeping: reference counts over the subtables.
 
     The manager has no per-node reference counts (mark-and-sweep GC does
     not need them), but swap-based reordering does: it must know, after
     rewriting a level, which lower nodes just lost their last parent.
-    The context computes counts once (O(live)) and maintains them
-    incrementally across swaps; it also keeps a bucket of node edges per
-    variable so a swap touches only the level being rewritten instead of
-    scanning the whole node array.
+    The context computes counts once (O(live), iterating the subtables —
+    live entries only) and maintains them incrementally across swaps.
+    The per-variable candidate buckets that the old context maintained
+    by hand now *are* the manager's per-level subtables; a swap snapshots
+    the upper variable's subtable values and rewrites from there.
 
-    Buckets are maintained lazily: entries whose variable no longer
-    matches (node moved or freed) are filtered out when the bucket is
-    next taken.  Slots freed during the sift are *not* recycled until
-    :meth:`finish` (they are merged into the manager's free list then),
-    which keeps stale bucket entries unambiguous.
+    Slots freed during the sift are *not* recycled until :meth:`finish`
+    (they are merged into the manager's free list then), so edges stay
+    unambiguous for the whole pass.
     """
 
-    __slots__ = ("buckets", "dead", "freed", "mgr", "rc")
+    __slots__ = ("dead", "freed", "mgr", "rc")
 
     def __init__(self, mgr: BddManager, roots: Iterable[int]) -> None:
         self.mgr = mgr
-        var_arr, lo_arr, hi_arr = mgr._var, mgr._lo, mgr._hi
-        rc = [0] * (len(var_arr) // 2)
+        lo_arr, hi_arr = mgr._lo, mgr._hi
+        rc = [0] * (len(mgr._var) // 2)
         rc[0] = 1 << 60  # the terminal is immortal
-        buckets: dict[int, list[int]] = {}
-        for e in range(2, len(var_arr), 2):
-            v = var_arr[e]
-            if v == _FREE:
-                continue
-            rc[(lo_arr[e] & -2) >> 1] += 1
-            rc[hi_arr[e] >> 1] += 1
-            buckets.setdefault(v, []).append(e)
+        for sub in mgr._subtables:
+            for e in sub.values():
+                rc[(lo_arr[e] & -2) >> 1] += 1
+                rc[hi_arr[e] >> 1] += 1
         for n in mgr._extref:
             rc[n >> 1] += 1
-        unique = mgr._unique
-        for v in range(len(mgr._var_names)):
-            lit = unique.get((v, TRUE, FALSE))
+        lit_key = TRUE << _EDGE_SHIFT  # literals store as (TRUE, FALSE)
+        for sub in mgr._subtables:
+            lit = sub.get(lit_key)
             if lit is not None:
                 rc[lit >> 1] += 1
         for root in {r & -2 for r in roots}:
             rc[root >> 1] += 1
         self.rc = rc
-        self.buckets = buckets
         self.dead: list[int] = []  # regular edges whose rc hit zero
         self.freed: list[int] = []  # slots reclaimed by this sift
 
@@ -245,7 +258,8 @@ class _SiftContext:
         """Free every node whose reference count reached zero (cascading)."""
         mgr = self.mgr
         var_arr, lo_arr, hi_arr = mgr._var, mgr._lo, mgr._hi
-        unique = mgr._unique
+        subtables = mgr._subtables
+        nb = mgr._nb
         rc = self.rc
         dead = self.dead
         while dead:
@@ -256,10 +270,10 @@ class _SiftContext:
             if v == _FREE:
                 continue
             lo, hi = lo_arr[e], hi_arr[e]
-            del unique[(v, lo, hi)]
+            del subtables[v][lo << _EDGE_SHIFT | hi]
             var_arr[e] = var_arr[e + 1] = _FREE
             self.freed.append(e)
-            mgr._live -= 1
+            nb[0] -= 1
             self.decref(lo)
             self.decref(hi)
 
@@ -270,10 +284,10 @@ class _SiftContext:
 
         Same reduction and complement normalisation as ``BddManager._mk``
         but: new nodes start at refcount zero (the caller owns the
-        parent-edge increment), children are counted, the node joins its
-        variable's bucket, and the node *budget is not enforced* — a
-        swap must never fail halfway through, and sifting's whole
-        purpose is to end up smaller than it started.
+        parent-edge increment), children are counted, and the node
+        *budget is not enforced* — a swap must never fail halfway
+        through, and sifting's whole purpose is to end up smaller than
+        it started.
         """
         if lo == hi:
             return lo
@@ -282,9 +296,9 @@ class _SiftContext:
             lo ^= 1
             hi ^= 1
         mgr = self.mgr
-        key = (var, lo, hi)
-        unique = mgr._unique
-        e = unique.get(key)
+        sub = mgr._subtables[var]
+        ukey = lo << _EDGE_SHIFT | hi
+        e = sub.get(ukey)
         if e is not None:
             return e | negate
         var_arr, lo_arr, hi_arr = mgr._var, mgr._lo, mgr._hi
@@ -306,24 +320,11 @@ class _SiftContext:
             hi_arr.append(hi)
             hi_arr.append(hi ^ 1)
             self.rc.append(0)
-        unique[key] = e
-        mgr._live += 1
+        sub[ukey] = e
+        mgr._nb[0] += 1
         self.incref(lo)
         self.incref(hi)
-        self.buckets.setdefault(var, []).append(e)
         return e | negate
-
-    def take_bucket(self, var: int) -> list[int]:
-        """Live nodes of ``var``, deduplicated; resets the bucket."""
-        var_arr = self.mgr._var
-        seen: set[int] = set()
-        out = []
-        for e in self.buckets.get(var, ()):
-            if var_arr[e] == var and e not in seen:
-                seen.add(e)
-                out.append(e)
-        self.buckets[var] = []
-        return out
 
     # -- the adjacent-level swap --------------------------------------- #
 
@@ -331,23 +332,25 @@ class _SiftContext:
         """Exchange ``level`` and ``level + 1`` in place.
 
         Returns the number of nodes rewritten.  See the module docstring
-        for the algorithm and the canonical-form argument.
+        for the algorithm and the canonical-form argument.  The upper
+        variable's subtable is snapshotted up front: nodes created
+        mid-swap land in the same subtable but never depend on the lower
+        variable, so they must not be revisited.
         """
         mgr = self.mgr
         level2var, var2level = mgr._level2var, mgr._var2level
         x = level2var[level]
         y = level2var[level + 1]
         var_arr, lo_arr, hi_arr = mgr._var, mgr._lo, mgr._hi
-        unique = mgr._unique
-        keep: list[int] = []
-        moved: list[int] = []
-        for e in self.take_bucket(x):
+        sub_x = mgr._subtables[x]
+        sub_y = mgr._subtables[y]
+        moved = 0
+        for e in list(sub_x.values()):
             f0 = lo_arr[e]
             f1 = hi_arr[e]
             dep0 = f0 >= 2 and var_arr[f0] == y
             dep1 = f1 >= 2 and var_arr[f1] == y
             if not (dep0 or dep1):
-                keep.append(e)
                 continue
             # Cofactors w.r.t. y; the edge-indexed arrays propagate the
             # complement bit of an odd f0 for free.
@@ -365,27 +368,26 @@ class _SiftContext:
             self.incref(g1)
             self.decref(f0)
             self.decref(f1)
-            del unique[(x, f0, f1)]
+            del sub_x[f0 << _EDGE_SHIFT | f1]
             var_arr[e] = var_arr[e + 1] = y
             lo_arr[e] = g0
             lo_arr[e + 1] = g0 ^ 1
             hi_arr[e] = g1
             hi_arr[e + 1] = g1 ^ 1
-            unique[(y, g0, g1)] = e
-            moved.append(e)
-        self.buckets[x].extend(keep)
-        self.buckets.setdefault(y, []).extend(moved)
+            sub_y[g0 << _EDGE_SHIFT | g1] = e
+            moved += 1
         # Transient growth (new cofactor nodes before the dead level is
         # reaped, or an exploration that will be walked back) counts
         # toward the peak: peak_live_nodes must report the true
         # high-water mark, not just the pre/post-sift sizes.
-        if mgr._live > mgr._peak_live:
-            mgr._peak_live = mgr._live
+        if mgr._nb[0] > mgr._peak_live:
+            mgr._peak_live = mgr._nb[0]
         self.reap()
         level2var[level], level2var[level + 1] = y, x
         var2level[x] = level + 1
         var2level[y] = level
-        return len(moved)
+        mgr._order_epoch += 1
+        return moved
 
     # -- per-variable sifting ------------------------------------------ #
 
@@ -400,9 +402,10 @@ class _SiftContext:
         """
         mgr = self.mgr
         var2level = mgr._var2level
+        nb = mgr._nb
         start = var2level[var]
-        limit = int(max_growth * mgr._live) + 2
-        best_size = mgr._live
+        limit = int(max_growth * nb[0]) + 2
+        best_size = nb[0]
         best_level = start
         swaps = 0
 
@@ -412,10 +415,10 @@ class _SiftContext:
             while var2level[var] < block_hi - 1:
                 self.swap(var2level[var])
                 count += 1
-                if mgr._live < best_size:
-                    best_size = mgr._live
+                if nb[0] < best_size:
+                    best_size = nb[0]
                     best_level = var2level[var]
-                elif mgr._live > limit:
+                elif nb[0] > limit:
                     break
             return count
 
@@ -425,10 +428,10 @@ class _SiftContext:
             while var2level[var] > block_lo:
                 self.swap(var2level[var] - 1)
                 count += 1
-                if mgr._live < best_size:
-                    best_size = mgr._live
+                if nb[0] < best_size:
+                    best_size = nb[0]
                     best_level = var2level[var]
-                elif mgr._live > limit:
+                elif nb[0] > limit:
                     break
             return count
 
@@ -450,8 +453,8 @@ class _SiftContext:
         """Release sift-local state back to the manager."""
         self.mgr._free.extend(self.freed)
         self.freed.clear()
-        if self.mgr._gc_baseline > self.mgr._live:
-            self.mgr._gc_baseline = self.mgr._live
+        if self.mgr._gc_baseline > self.mgr._nb[0]:
+            self.mgr._gc_baseline = self.mgr._nb[0]
 
 
 def swap_levels(mgr: BddManager, level: int, roots: Iterable[int] = ()) -> int:
@@ -481,7 +484,8 @@ def sift(
 ) -> SiftResult:
     """In-place sifting: move each variable to its locally best level.
 
-    Variables are processed largest-level-population first; each is
+    Variables are processed largest-level-population first (the
+    per-level subtables provide the population counts for free); each is
     walked through its reorder block (see
     :meth:`~repro.bdd.manager.BddManager.set_reorder_boundaries`) and
     parked at the level minimising the live node count, abandoning a
@@ -495,7 +499,7 @@ def sift(
     node budget is *not* enforced during the sift, so a near-budget
     manager can reorder its way back under the limit.
     """
-    size_before = mgr._live
+    size_before = mgr._nb[0]
     nvars = mgr.num_vars
     if nvars < 2 or size_before <= 2:
         return SiftResult(0, size_before, size_before, 0)
@@ -514,15 +518,14 @@ def sift(
                 return lo, hi
         return 0, nvars
 
-    order = sorted(
-        range(nvars), key=lambda v: -len(ctx.buckets.get(v, ()))
-    )
+    subtables = mgr._subtables
+    order = sorted(range(nvars), key=lambda v: -len(subtables[v]))
     if max_vars is not None:
         order = order[:max_vars]
     swaps = 0
     sifted = 0
     for v in order:
-        if not ctx.buckets.get(v):
+        if not subtables[v]:
             continue
         lo, hi = block_of(mgr._var2level[v])
         if hi - lo < 2:
@@ -533,7 +536,7 @@ def sift(
     return SiftResult(
         swaps=swaps,
         size_before=size_before,
-        size_after=mgr._live,
+        size_after=mgr._nb[0],
         vars_sifted=sifted,
     )
 

@@ -84,6 +84,18 @@ TABLE1_CASES: list[SplitCase] = [
         notes="xor feedback; both complete but the ratio is large",
     ),
     SplitCase(
+        name="johnson12",
+        make=lambda: circuits.johnson(12),
+        x_latches=("j1", "j3", "j5", "j7", "j9", "j11"),
+        paper_row="extra row (larger interleaved-order instance)",
+        max_seconds=60.0,
+        notes=(
+            "12 latches under the builder's interleaved cs/ns order; both "
+            "flows complete but monolithic hiding is ~10x slower — the "
+            "largest both-complete instance in the suite"
+        ),
+    ),
+    SplitCase(
         name="rand14",
         make=lambda: circuits.random_network(3, 14, 4, seed=9, n_nodes=80),
         x_latches=("l2", "l5", "l8", "l11"),

@@ -6,13 +6,16 @@ Subcommands::
     repro-lang-eqn table1 [--rows s27,count6] [--paper]
     repro-lang-eqn info   --blif FILE
     repro-lang-eqn reach  --blif FILE
+    repro-lang-eqn bench  [--smoke] [--baseline F] [...]
     repro-lang-eqn stg    --blif FILE [--kiss-out F] [--dot-out F]
 
 ``solve`` computes the CSF of the selected latches of a BLIF circuit
 (optionally synthesising a replacement circuit with ``--implement-out``)
 and can export the result as KISS2/DOT; ``table1`` reproduces the
 paper's experiment; ``info`` prints circuit statistics; ``reach`` runs
-symbolic reachability; ``stg`` extracts the state transition graph.
+symbolic reachability; ``bench`` runs the recorded benchmark suites
+(all flags forwarded to :mod:`repro.bench.driver`); ``stg`` extracts
+the state transition graph.
 """
 
 from __future__ import annotations
@@ -95,6 +98,15 @@ def _build_parser() -> argparse.ArgumentParser:
         default="static",
         choices=("static", "adaptive"),
         help="garbage-collection tuning (adaptive backs off unprofitable sweeps)",
+    )
+
+    # ``bench`` forwards everything to repro.bench.driver's own parser
+    # (main() intercepts it before this parser runs; registering it here
+    # keeps it in the --help subcommand listing).
+    sub.add_parser(
+        "bench",
+        help="run the benchmark suites (wraps benchmarks/run_all.py)",
+        add_help=False,
     )
 
     stg = sub.add_parser("stg", help="extract the state transition graph")
@@ -269,6 +281,12 @@ def _cmd_stg(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "bench":
+        # Forward verbatim: the driver owns its (large) flag surface.
+        from repro.bench.driver import main as bench_main
+
+        return bench_main(argv[1:])
     args = _build_parser().parse_args(argv)
     handlers = {
         "solve": _cmd_solve,

@@ -96,6 +96,11 @@ class MonolithicOracle:
 
         self.cs_vars = problem.all_cs_vars() + [problem.dc_var]
         self.ns_vars = problem.all_ns_vars() + [problem.dc_ns_var]
+        # Interned quantification sets: every expansion quantifies the
+        # same cs/ns blocks, so the per-call level sort/intern pass is
+        # paid once (and revalidated lazily across dynamic reordering).
+        self.cs_qs = mgr.quant_set(self.cs_vars)
+        self.ns_qs = mgr.quant_set(self.ns_vars)
         self.rename = dict(problem.ns_to_cs())
         self.rename[problem.dc_ns_var] = problem.dc_var
         self.uv_vars = problem.uv_vars()
@@ -128,13 +133,15 @@ class MonolithicOracle:
 
     def expand(self, psi: int) -> tuple[list[SubsetEdge], int]:
         mgr = self.mgr
-        # P_ψ(u,v,ns) = ∃cs [ TS ∧ ψ ]
-        p = mgr.and_exists(psi, self.ts, self.cs_vars)
-        domain = mgr.exists(p, self.ns_vars)
+        # P_ψ(u,v,ns) = ∃cs [ TS ∧ ψ ] — one fused and_exists against the
+        # hidden relation; the kernel's short-circuiting core quantifies
+        # on the fly.
+        p = mgr.and_exists(psi, self.ts, self.cs_qs)
+        domain = mgr.exists(p, self.ns_qs)
         if self.trim:
             # Q_ψ: classes leading into a DC1-flagged successor.
             dc_next = mgr.var_node(self.problem.dc_ns_var)
-            q = mgr.exists(mgr.apply_and(p, dc_next), self.ns_vars)
+            q = mgr.exists(mgr.apply_and(p, dc_next), self.ns_qs)
             p_good = mgr.apply_diff(p, q)
             edges = [
                 SubsetEdge(cond=cond, successor=mgr.rename(leaf, self.rename))

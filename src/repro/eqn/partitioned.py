@@ -89,9 +89,14 @@ class PartitionedOracle:
             self.init_cube = mgr.apply_and(
                 self.init_cube, mgr.apply_not(mgr.var_node(problem.dc_var))
             )
+        # Interned quantification set for the per-expansion ∃ns domain
+        # computation (revalidates lazily across dynamic reordering).
+        self.ns_qs = mgr.quant_set(self.ns_vars)
         # Every ψ is a function of the product cs variables, so the
         # quantification schedules can be computed once and reused for
-        # every subset expansion.
+        # every subset expansion; plan_image interns every retire set as
+        # a QuantSet, so each of the thousands of and_exists fold steps
+        # skips the per-call level sort/intern pass.
         cs_support = set(self.quantify)
         if self.schedule:
             self.p_plan = plan_image(
@@ -189,7 +194,7 @@ class PartitionedOracle:
                 SubsetEdge(cond=cond, successor=mgr.rename(leaf, self.rename))
                 for leaf, cond in split_by_vars(mgr, p_good, self.uv_vars).items()
             ]
-            domain = mgr.exists(p, self.ns_vars)
+            domain = mgr.exists(p, self.ns_qs)
             dca = mgr.apply_diff(mgr.apply_not(q), domain)
             return edges, dca
         # Ablation: no trimming — every class is expanded; acceptance of
@@ -204,6 +209,6 @@ class PartitionedOracle:
                     accepting=self.is_accepting(successor),
                 )
             )
-        domain = mgr.exists(p, self.ns_vars)
+        domain = mgr.exists(p, self.ns_qs)
         dca = mgr.apply_not(domain)
         return edges, dca

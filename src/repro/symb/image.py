@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 
-from repro.bdd.manager import FALSE, TRUE, BddManager
+from repro.bdd.manager import FALSE, TRUE, BddManager, QuantSet
 from repro.symb.schedule import schedule_parts
 
 
@@ -98,7 +98,7 @@ def plan_image(
     parts: Sequence[int],
     quantify: Iterable[int],
     constraint_support: Iterable[int],
-) -> tuple[list[tuple[int, list[int]]], list[int]]:
+) -> tuple[list[tuple[int, QuantSet]], QuantSet]:
     """Precompute a reusable image plan for a fixed part list.
 
     The subset construction computes thousands of images against the
@@ -106,6 +106,13 @@ def plan_image(
     long as every constraint's support stays within
     ``constraint_support``, the schedule can be computed once and reused
     via :func:`image_with_plan`.  Returns ``(plan, leftover_vars)``.
+
+    Every retire set (and the leftover set) is interned as a
+    :class:`~repro.bdd.manager.QuantSet`, so the thousands of
+    ``and_exists`` fold steps the plan will drive skip the per-call
+    sort/dedup/intern pass.  Quant sets hold variable *indices* and
+    revalidate their level caches lazily, so a plan stays valid across
+    GC-triggered in-place reordering.
     """
     qvars = list(quantify)
     plan = schedule_parts(
@@ -115,21 +122,26 @@ def plan_image(
     for _, retire in plan:
         planned.update(retire)
     leftover = [v for v in qvars if v not in planned]
-    return plan, leftover
+    interned = [(part, mgr.quant_set(retire)) for part, retire in plan]
+    return interned, mgr.quant_set(leftover)
 
 
 def image_with_plan(
     mgr: BddManager,
-    plan: Sequence[tuple[int, list[int]]],
-    leftover: Sequence[int],
+    plan: Sequence[tuple[int, QuantSet | list[int]]],
+    leftover: QuantSet | Sequence[int],
     constraint: int,
     *,
     gc: bool = False,
 ) -> int:
     """Run a precomputed image plan against one constraint.
 
-    ``gc=True`` allows opportunistic garbage collection between fold steps
-    (see :func:`image_partitioned` for the rooting contract).
+    Each fold step is one fused ``and_exists`` — the conjunction with
+    the next part quantifies its retired variables on the fly and
+    short-circuits to FALSE the moment the product dies, so the
+    monolithic conjunction is never materialised.  ``gc=True`` allows
+    opportunistic garbage collection between fold steps (see
+    :func:`image_partitioned` for the rooting contract).
     """
     result = constraint
     if result == FALSE:

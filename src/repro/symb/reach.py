@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from repro.bdd import sat_count
 from repro.bdd.manager import FALSE, BddManager
 from repro.network.bddbuild import NetworkBdds
+from repro.symb import image as image_mod
 from repro.symb.image import image_partitioned
 from repro.symb.relation import PartitionedRelation, transition_relation
 
@@ -44,6 +45,17 @@ def reachable_states(
     rename = dict(zip(ns_vars, cs_vars))
     quantify = list(input_vars) + list(cs_vars)
     parts = list(relation)
+    # Every frontier is a function of the cs variables, so the
+    # early-quantification schedule can be computed once for the whole
+    # fixpoint and reused via image_with_plan: each iteration then runs
+    # the pure and_exists fold (interned quant sets, no rescheduling).
+    # The plan's retire sets hold variable indices, so a GC-triggered
+    # in-place sift mid-fixpoint leaves it valid.
+    plan = leftover = None
+    if schedule:
+        plan, leftover = image_mod.plan_image(
+            mgr, parts, quantify, constraint_support=set(cs_vars)
+        )
     reached = init
     frontier = init
     iterations = 0
@@ -60,9 +72,14 @@ def reachable_states(
     try:
         while frontier != FALSE:
             iterations += 1
-            img_ns = image_partitioned(
-                mgr, parts, frontier, quantify, schedule=schedule, gc=True
-            )
+            if plan is not None:
+                img_ns = image_mod.image_with_plan(
+                    mgr, plan, leftover, frontier, gc=True
+                )
+            else:
+                img_ns = image_partitioned(
+                    mgr, parts, frontier, quantify, schedule=False, gc=True
+                )
             img_cs = mgr.rename(img_ns, rename)
             mgr.deref(frontier)
             frontier = mgr.ref(mgr.apply_diff(img_cs, reached))

@@ -1,0 +1,181 @@
+"""Cross-checks between the iterative apply core and the recursive one.
+
+The recursive closures are the retained reference implementation; the
+explicit-frame iterative core must agree with them operation for
+operation — on random op DAGs, across garbage collections and across
+mid-run in-place sifting.  Because both cores share one unique table
+per manager, agreement is checked two ways:
+
+* *across managers*: the same op program applied to a recursive-core
+  manager and an iterative-core manager yields identical truth tables;
+* *within one manager*: recompute with the other core after a cache
+  flush and the canonical edge must be bit-identical.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bdd.manager import FALSE, TRUE, BddManager
+from repro.bdd.reorder import sift
+
+from tests.strategies import DEFAULT_VARS, bdd_minterms
+
+
+#: Op codes for the random program strategy: (arity, needs_vars).
+_OPS = ("and", "or", "xor", "ite", "exists", "andex", "restrict", "diff")
+
+
+def _fresh_pair() -> tuple[BddManager, BddManager]:
+    rec = BddManager(apply_core="recursive", gc_min_live=0, gc_growth=1.0)
+    it = BddManager(apply_core="iterative", gc_min_live=0, gc_growth=1.0)
+    for name in DEFAULT_VARS:
+        rec.add_var(name)
+        it.add_var(name)
+    return rec, it
+
+
+def _apply(mgr: BddManager, op: str, pool: list[int], step) -> int:
+    a = pool[step.a % len(pool)]
+    b = pool[step.b % len(pool)]
+    c = pool[step.c % len(pool)]
+    var = step.var % mgr.num_vars
+    var2 = step.var2 % mgr.num_vars
+    if op == "and":
+        return mgr.apply_and(a, b)
+    if op == "or":
+        return mgr.apply_or(a, b)
+    if op == "xor":
+        return mgr.apply_xor(a, b)
+    if op == "diff":
+        return mgr.apply_diff(a, b)
+    if op == "ite":
+        return mgr.ite(a, b, c)
+    if op == "exists":
+        return mgr.exists(a, [var, var2])
+    if op == "andex":
+        return mgr.and_exists(a, b, [var, var2])
+    if op == "restrict":
+        return mgr.restrict(a, var, step.b & 1)
+    raise AssertionError(op)
+
+
+class _Step:
+    def __init__(self, op, a, b, c, var, var2, gc, reorder):
+        self.op = op
+        self.a = a
+        self.b = b
+        self.c = c
+        self.var = var
+        self.var2 = var2
+        self.gc = gc
+        self.reorder = reorder
+
+
+_steps = st.builds(
+    _Step,
+    op=st.sampled_from(_OPS),
+    a=st.integers(min_value=0, max_value=63),
+    b=st.integers(min_value=0, max_value=63),
+    c=st.integers(min_value=0, max_value=63),
+    var=st.integers(min_value=0, max_value=63),
+    var2=st.integers(min_value=0, max_value=63),
+    gc=st.booleans(),
+    reorder=st.integers(min_value=0, max_value=9),
+)
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(program=st.lists(_steps, min_size=1, max_size=14))
+def test_cores_agree_on_random_op_dags(program) -> None:
+    """Both cores realise the same functions on random op DAGs,
+    including interleaved GC and mid-run in-place sifting."""
+    rec, it = _fresh_pair()
+    pool_rec = [FALSE, TRUE] + [rec.var_node(v) for v in range(rec.num_vars)]
+    pool_it = [FALSE, TRUE] + [it.var_node(v) for v in range(it.num_vars)]
+    for step in program:
+        r = _apply(rec, step.op, pool_rec, step)
+        i = _apply(it, step.op, pool_it, step)
+        assert bdd_minterms(rec, r, DEFAULT_VARS) == bdd_minterms(it, i, DEFAULT_VARS)
+        pool_rec.append(r)
+        pool_it.append(i)
+        if step.gc:
+            # Collect on both managers with the pools rooted; results
+            # must stay valid (edges are stable across collections).
+            rec.collect_garbage(pool_rec)
+            it.collect_garbage(pool_it)
+        if step.reorder == 0:
+            # Sift only the iterative manager: orders diverge, semantics
+            # must not.
+            sift(it, pool_it)
+            it.check()
+    rec.check()
+    it.check()
+    # Final full-pool comparison after all the churn.
+    for r, i in zip(pool_rec, pool_it):
+        assert bdd_minterms(rec, r, DEFAULT_VARS) == bdd_minterms(it, i, DEFAULT_VARS)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(program=st.lists(_steps, min_size=1, max_size=10))
+def test_core_switch_is_edge_identical(program) -> None:
+    """Recomputing with the other core (same manager, flushed computed
+    table) yields the *same canonical edge* — the unique table is shared,
+    so agreement is exact, not just semantic."""
+    mgr = BddManager(apply_core="recursive")
+    for name in DEFAULT_VARS:
+        mgr.add_var(name)
+    pool = [FALSE, TRUE] + [mgr.var_node(v) for v in range(mgr.num_vars)]
+    results = []
+    for step in program:
+        results.append((step, len(pool)))
+        pool.append(_apply(mgr, step.op, pool, step))
+    mgr.clear_caches()
+    mgr.set_apply_core("iterative")
+    assert mgr.apply_core == "iterative"
+    for step, at in results:
+        redo = _apply(mgr, step.op, pool[:at], step)
+        assert redo == pool[at], f"{step.op} diverged between cores"
+    mgr.check()
+
+
+def test_auto_core_tracks_recursion_limit() -> None:
+    """``auto`` binds the recursive fast path on shallow managers and
+    flips to the iterative core once the level count approaches the
+    interpreter recursion limit."""
+    mgr = BddManager()
+    mgr.add_vars([f"x{i}" for i in range(8)])
+    assert mgr.apply_core == "recursive"
+    import sys
+
+    limit = sys.getrecursionlimit()
+    threshold = (limit - BddManager._DEEP_MARGIN) // 3
+    mgr.add_vars([f"y{i}" for i in range(threshold)])
+    assert mgr.apply_core == "iterative"
+
+
+def test_explicit_core_modes() -> None:
+    mgr = BddManager(apply_core="iterative")
+    a, b = mgr.add_vars(["a", "b"])
+    f = mgr.apply_and(mgr.var_node(a), mgr.var_node(b))
+    assert mgr.apply_core == "iterative"
+    mgr.set_apply_core("recursive")
+    assert mgr.apply_core == "recursive"
+    g = mgr.apply_and(mgr.var_node(a), mgr.var_node(b))
+    assert f == g
+    with pytest.raises(Exception):
+        mgr.set_apply_core("warp-drive")
+
+
+def test_iterative_core_respects_node_budget() -> None:
+    from repro.errors import BddNodeLimit
+
+    mgr = BddManager(max_nodes=10, apply_core="iterative")
+    vs = mgr.add_vars([f"x{i}" for i in range(12)])
+    with pytest.raises(BddNodeLimit):
+        f = TRUE
+        for v in vs:
+            f = mgr.apply_and(f, mgr.var_node(v))
+            f = mgr.apply_or(f, mgr.apply_xor(mgr.var_node(v), f))

@@ -76,3 +76,51 @@ def test_size_mismatch_skipped(tmp_path) -> None:
     base = _write_baseline(tmp_path, results)
     resized = [dict(r, size=r["size"] + 1, wall_s=r["wall_s"] * 100) for r in results]
     assert run_all.check_regression(resized, base, 1.5) == []
+
+
+def test_markdown_diff_lists_every_workload(tmp_path) -> None:
+    """The diff table shows the whole perf picture, not just failures."""
+    results = _baseline_results()
+    base = _write_baseline(tmp_path, results)
+    md = run_all.format_markdown_diff(results, base, 2.5)
+    for r in results:
+        assert f"| {r['name']} |" in md
+    assert "| workload |" in md
+    assert "🔴" not in md  # identical run: no regressions flagged
+
+
+def test_markdown_diff_flags_regressions_and_new_workloads(tmp_path) -> None:
+    results = _baseline_results()
+    base = _write_baseline(tmp_path, results)
+    mixed = [
+        dict(r, wall_s=r["wall_s"] * (4 if r["name"] == "gc_reachability" else 1))
+        for r in results
+    ]
+    mixed.append(dict(results[0], name="brand_new_workload"))
+    md = run_all.format_markdown_diff(mixed, base, 2.5)
+    gc_line = next(line for line in md.splitlines() if "| gc_reachability |" in line)
+    assert "🔴" in gc_line
+    new_line = next(line for line in md.splitlines() if "brand_new_workload" in line)
+    assert "🆕" in new_line
+
+
+def test_markdown_diff_marks_sub_ms_noise(tmp_path) -> None:
+    results = _baseline_results()
+    base = _write_baseline(tmp_path, results)
+    sub_ms = [r["name"] for r in results if r["wall_s"] < 0.001]
+    md = run_all.format_markdown_diff(results, base, 2.5)
+    for name in sub_ms:
+        line = next(line for line in md.splitlines() if f"| {name} |" in line)
+        assert "sub-ms" in line
+
+
+def test_driver_writes_diff_artifact(tmp_path) -> None:
+    """--baseline produces BENCH_diff.md next to the JSON artifacts."""
+    results = _baseline_results()
+    base = _write_baseline(tmp_path, results)
+    rows = run_all.compare_to_baseline(results, {"results": results})
+    assert all(row["status"] in {"compared", "sub-ms"} for row in rows)
+    md = run_all.format_markdown_diff(results, base, 2.5)
+    out = tmp_path / "BENCH_diff.md"
+    out.write_text(md)
+    assert out.read_text().startswith("## Kernel benchmark diff")

@@ -171,3 +171,58 @@ class TestTable1:
     def test_unknown_row_rejected(self) -> None:
         with pytest.raises(KeyError):
             main(["table1", "--rows", "sDoesNotExist"])
+
+
+class TestBench:
+    def test_bench_subcommand_runs_kernel_smoke(self, tmp_path, capsys) -> None:
+        """``repro bench`` forwards its flags to the benchmark driver."""
+        code = main(
+            [
+                "bench",
+                "--smoke",
+                "--only",
+                "kernel",
+                "--repeats",
+                "1",
+                "--out-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "kernel/and_or_chain" in out
+        assert (tmp_path / "BENCH_kernel.json").exists()
+
+    def test_bench_subcommand_writes_diff_against_baseline(
+        self, tmp_path, capsys
+    ) -> None:
+        import json
+        import pathlib
+
+        baseline = (
+            pathlib.Path(__file__).resolve().parent.parent
+            / "benchmarks"
+            / "baselines"
+            / "BENCH_kernel_smoke.json"
+        )
+        code = main(
+            [
+                "bench",
+                "--smoke",
+                "--only",
+                "kernel",
+                "--repeats",
+                "1",
+                "--out-dir",
+                str(tmp_path),
+                "--baseline",
+                str(baseline),
+                "--tolerance",
+                "50",  # generous: this asserts plumbing, not performance
+            ]
+        )
+        assert code == 0
+        diff = (tmp_path / "BENCH_diff.md").read_text()
+        assert diff.startswith("## Kernel benchmark diff")
+        payload = json.loads((tmp_path / "BENCH_kernel.json").read_text())
+        assert {r["name"] for r in payload["results"]} >= {"and_or_chain", "deep_chain"}
