@@ -10,12 +10,23 @@ the bench-gate tests import — working from a source checkout.
 from __future__ import annotations
 
 import sys
+import warnings
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
+
+# stacklevel=1 attributes the warning to this module itself, which is
+# ``__main__`` for script runs — the default warning filters show
+# DeprecationWarning in __main__, so the nudge is actually visible.
+warnings.warn(
+    "benchmarks/run_all.py is a compatibility shim; use the `repro bench` "
+    "console subcommand (repro.bench.driver) instead",
+    DeprecationWarning,
+    stacklevel=1,
+)
 
 from repro.bench.driver import (  # noqa: E402
     KERNEL_WORKLOADS,

@@ -26,7 +26,13 @@ from repro.bdd.cube import (
     sat_count,
 )
 from repro.bdd.function import Function
-from repro.bdd.io import dump_function, load_function, to_dot
+from repro.bdd.io import (
+    dump_function,
+    dump_nodes,
+    load_function,
+    load_nodes,
+    to_dot,
+)
 from repro.bdd.manager import FALSE, TRUE, BddManager
 from repro.bdd.policy import GcPolicy, ReorderPolicy
 from repro.bdd.reorder import (
@@ -49,10 +55,12 @@ __all__ = [
     "SiftResult",
     "compact",
     "dump_function",
+    "dump_nodes",
     "greedy_sift_order",
     "iter_cubes",
     "iter_minterms",
     "load_function",
+    "load_nodes",
     "pick_cube",
     "pick_minterm",
     "reorder",

@@ -8,14 +8,27 @@
 * :func:`dump_function` / :func:`load_function` round-trip a function
   through a plain JSON-able structure, used by the test suite and by the
   CLI's ``--save`` option.
+* :func:`dump_nodes` / :func:`load_nodes` round-trip a *set* of functions
+  through a packed-array snapshot — flat ``array('q')`` columns of
+  ``(var, lo, hi)`` records preserving complement bits and shared
+  structure.  This is the wire format of the sharded runtime
+  (:mod:`repro.shard`): snapshots pickle to a few bytes per node (vs
+  tens for the nested-list JSON form), variables travel by *name* so
+  managers with different orders and indices interoperate, and loading
+  recombines children with ITE, so it is safe under any destination
+  order and at any BDD depth (no recursion on either side).
 """
 
 from __future__ import annotations
 
+from array import array
 from collections.abc import Mapping, Sequence
 
 from repro.bdd.manager import FALSE, TRUE, BddManager
 from repro.errors import BddError
+
+#: Version tag of the packed-array snapshot format.
+NODES_FORMAT = "repro-bdd-nodes/1"
 
 
 def to_dot(
@@ -110,3 +123,107 @@ def load_function(mgr: BddManager, data: dict) -> int:
         lo, hi = ref(lo_ref), ref(hi_ref)
         built.append(mgr.ite(mgr.var_node(var), hi, lo))
     return ref(data["root"])
+
+
+def dump_nodes(mgr: BddManager, roots: Sequence[int]) -> dict:
+    """Serialise the shared DAG of ``roots`` as a packed-array snapshot.
+
+    The snapshot is a dict of flat ``array('q')`` columns::
+
+        {"format": NODES_FORMAT,
+         "names":  [var name, ...],          # snapshot-local var table
+         "var":    array('q', [...]),        # index into ``names`` per node
+         "lo":     array('q', [...]),        # packed child refs
+         "hi":     array('q', [...]),
+         "roots":  array('q', [...])}        # packed root refs
+
+    Nodes are listed children-first over the *regular* (uncomplemented)
+    DAG, so shared structure is stored exactly once regardless of how
+    many roots (or polarities) reach it.  A packed ref is ``0`` (FALSE),
+    ``1`` (TRUE) or ``((pos + 1) << 1) | sign`` where ``pos`` indexes the
+    node columns — the complement bit of every edge survives verbatim.
+    The traversal is iterative, so snapshots of BDDs deeper than the
+    Python recursion limit work.
+
+    This is the wire format the sharded runtime ships across process
+    boundaries; it is also several times denser than
+    :func:`dump_function` when pickled.
+    """
+    index: dict[int, int] = {}
+    var_col = array("q")
+    lo_col = array("q")
+    hi_col = array("q")
+    name_ids: dict[int, int] = {}
+    names: list[str] = []
+
+    def pack(edge: int) -> int:
+        reg = edge & -2
+        if reg == 0:
+            return edge  # FALSE/TRUE survive as-is
+        return (index[reg] + 1) << 1 | (edge & 1)
+
+    for root in roots:
+        stack: list[int] = [root & -2]
+        while stack:
+            node = stack.pop()
+            if node == 0 or node in index:
+                continue
+            lo = mgr.node_lo(node) & -2
+            hi = mgr.node_hi(node) & -2
+            if (lo == 0 or lo in index) and (hi == 0 or hi in index):
+                var = mgr.node_var(node)
+                vid = name_ids.get(var)
+                if vid is None:
+                    vid = len(names)
+                    name_ids[var] = vid
+                    names.append(mgr.var_name(var))
+                index[node] = len(var_col)
+                var_col.append(vid)
+                lo_col.append(pack(mgr.node_lo(node)))
+                hi_col.append(pack(mgr.node_hi(node)))
+            else:
+                stack.append(node)  # revisit once the children are placed
+                if hi != 0 and hi not in index:
+                    stack.append(hi)
+                if lo != 0 and lo not in index:
+                    stack.append(lo)
+    return {
+        "format": NODES_FORMAT,
+        "names": names,
+        "var": var_col,
+        "lo": lo_col,
+        "hi": hi_col,
+        "roots": array("q", [pack(r) for r in roots]),
+    }
+
+
+def load_nodes(mgr: BddManager, data: Mapping) -> list[int]:
+    """Rebuild the functions serialised by :func:`dump_nodes`.
+
+    Variables are matched by name (declared on demand when absent).
+    Children are recombined with ITE, so the destination order may
+    differ arbitrarily from the order the snapshot was taken under; with
+    a preserved order the rebuild degenerates to pure unique-table
+    lookups.  Returns the root edges aligned with the dumped roots.
+    """
+    if data.get("format") != NODES_FORMAT:
+        raise BddError(f"unknown BDD snapshot format: {data.get('format')!r}")
+    vars_local: list[int] = []
+    for name in data["names"]:
+        try:
+            vars_local.append(mgr.var_index(name))
+        except KeyError:
+            vars_local.append(mgr.add_var(name))
+    built = array("q")
+    ite = mgr.ite
+
+    def unpack(ref: int) -> int:
+        if ref < 2:
+            return ref
+        return built[(ref >> 1) - 1] ^ (ref & 1)
+
+    for vid, lo_ref, hi_ref in zip(data["var"], data["lo"], data["hi"]):
+        built.append(
+            ite(mgr.var_node(vars_local[vid]), unpack(hi_ref), unpack(lo_ref))
+        )
+    return [unpack(r) for r in data["roots"]]

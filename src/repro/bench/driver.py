@@ -6,7 +6,8 @@ hit rate, GC activity per workload).  Invoke through the console script or
 the thin repo-root shim::
 
     repro bench --smoke                         # fast CI variant
-    python benchmarks/run_all.py                # full run
+    repro bench --list                          # list workloads, run nothing
+    python benchmarks/run_all.py                # full run (deprecated shim)
     repro bench --baseline BENCH_kernel.json --tolerance 1.4
 
 Outputs (written to ``--out-dir``, default: the repository root):
@@ -27,6 +28,7 @@ from __future__ import annotations
 import argparse
 import gc
 import json
+import os
 import platform
 import subprocess
 import sys
@@ -49,6 +51,13 @@ SCHEMA_TABLE1 = "repro-bench-table1/3"
 #: rows: the paper-scale instances where dynamic reordering is the
 #: difference between CNC and completion.
 TABLE1_REORDER_VARIANTS = ("rand14", "rand15")
+
+#: Table 1 cases re-run on the sharded runtime as ``@shards2`` rows
+#: (partitioned flow only — the monolithic baseline cannot shard).
+#: Wall-clock deltas vs the base row are only interpretable together
+#: with the recorded ``meta.cpu_count``: on a single-core runner the
+#: worker processes time-slice and the transfer overhead dominates.
+TABLE1_SHARD_VARIANTS = ("johnson12",)
 
 
 # --------------------------------------------------------------------- #
@@ -263,6 +272,101 @@ def wl_reach_blocked_reorder(n: int) -> BddManager:
     return _reach_blocked(n, "auto")
 
 
+def _reach_sharded(n: int, shards: int) -> BddManager:
+    """Random-logic reachability, optionally on the sharded runtime.
+
+    Few iterations with heavy image steps — the shape where shipping
+    frontier slices to worker processes amortises best.  ``shards=1`` is
+    the in-process reference; compare the ``@shards2`` row against it
+    *together with* the recorded ``meta.cpu_count`` (single-core runners
+    pay the full transfer + duplication overhead with nothing to
+    overlap; the win needs real cores).
+    """
+    net = circuits.random_network(4, n, 4, seed=5, n_nodes=110)
+    mgr = BddManager()
+    input_vars = {name: mgr.add_var(name) for name in net.inputs}
+    cs = {name: mgr.add_var(name) for name in net.latches}
+    ns = {name: mgr.add_var(f"{name}'") for name in net.latches}
+    bdds = build_network_bdds(net, mgr, input_vars, cs)
+    result = network_reachable_states(bdds, ns_vars=ns, shards=shards)
+    assert result.state_count > 0
+    return mgr
+
+
+def wl_reach_shards1(n: int) -> BddManager:
+    return _reach_sharded(n, 1)
+
+
+def wl_reach_shards2(n: int) -> BddManager:
+    return _reach_sharded(n, 2)
+
+
+def _indep_images(n: int, shards: int) -> BddManager:
+    """A round of independent image computations, dealt across shards.
+
+    Mirrors the partitioned oracle's per-output ``Q_ψ`` images: several
+    *complete* images of different constraints against the same relation
+    — embarrassingly parallel, so the sharded variant's only overhead is
+    the snapshot traffic.  This is the best case for multi-core scaling
+    (each shard owns the full relation and serves whole images).
+    """
+    from repro.symb.image import image_with_plan, plan_image
+    from repro.symb.relation import transition_relation
+
+    net = circuits.random_network(3, n, 3, seed=13, n_nodes=100)
+    mgr = BddManager()
+    input_vars = {name: mgr.add_var(name) for name in net.inputs}
+    cs = {name: mgr.add_var(name) for name in net.latches}
+    ns = {name: mgr.add_var(f"{name}'") for name in net.latches}
+    bdds = build_network_bdds(net, mgr, input_vars, cs)
+    relation = transition_relation(
+        mgr, bdds.next_state, ns, order=list(net.latches)
+    )
+    parts = list(relation)
+    quantify = [*input_vars.values(), *cs.values()]
+    cs_vars = list(cs.values())
+    # One constraint per latch: the reachable wave from "that latch set".
+    constraints = [
+        mgr.apply_and(bdds.init_cube ^ 1, mgr.var_node(v)) for v in cs_vars
+    ]
+    constraints = [c for c in constraints if c != 0] or [bdds.init_cube]
+    out = 0
+    if shards <= 1:
+        plan, leftover = plan_image(mgr, parts, quantify, set(cs_vars))
+        for c in constraints:
+            out = mgr.apply_or(out, image_with_plan(mgr, plan, leftover, c))
+    else:
+        from repro.bdd.io import dump_nodes, load_nodes
+        from repro.shard import ShardPool
+        from repro.shard.plan import load_parts, make_plan
+
+        with ShardPool(shards, mgr.var_order()) as pool:
+            plan_ids = []
+            for k in range(pool.num_shards):
+                handles = load_parts(pool, k, mgr, parts)
+                plan_ids.append(
+                    make_plan(pool, k, mgr, handles, quantify, cs_vars)
+                )
+            submitted = []
+            for i, c in enumerate(constraints):
+                k = i % pool.num_shards
+                pool.submit(k, ("image", plan_ids[k], dump_nodes(mgr, [c])))
+                submitted.append(k)
+            for k in submitted:
+                (img,) = load_nodes(mgr, pool.collect(k))
+                out = mgr.apply_or(out, img)
+    assert out != 0
+    return mgr
+
+
+def wl_indep_images_shards1(n: int) -> BddManager:
+    return _indep_images(n, 1)
+
+
+def wl_indep_images_shards2(n: int) -> BddManager:
+    return _indep_images(n, 2)
+
+
 KERNEL_WORKLOADS = [
     # (name, fn, full_size, smoke_size)
     ("and_or_chain", wl_and_or_chain, 14, 8),
@@ -277,6 +381,12 @@ KERNEL_WORKLOADS = [
     ("misordered_product_reorder", wl_misordered_product_reorder, 12, 7),
     ("reach_blocked_order", wl_reach_blocked, 9, 8),
     ("reach_blocked_order_reorder", wl_reach_blocked_reorder, 9, 8),
+    # Sharded-runtime pairs: compare each @shards2 row against its
+    # @shards1 twin *and* the recorded meta.cpu_count.
+    ("reach@shards1", wl_reach_shards1, 18, 12),
+    ("reach@shards2", wl_reach_shards2, 18, 12),
+    ("indep_images@shards1", wl_indep_images_shards1, 16, 10),
+    ("indep_images@shards2", wl_indep_images_shards2, 16, 10),
 ]
 
 
@@ -329,7 +439,9 @@ def run_kernel(smoke: bool, repeats: int) -> list[dict]:
 # --------------------------------------------------------------------- #
 
 
-def _run_table1_case(case, *, reorder: str, gc_mode: str, row_name: str) -> dict:
+def _run_table1_case(
+    case, *, reorder: str, gc_mode: str, row_name: str, shards: int = 1
+) -> dict:
     from repro.eqn.problem import build_latch_split_problem
     from repro.eqn.solver import solve_equation
     from repro.errors import ReproError
@@ -342,9 +454,12 @@ def _run_table1_case(case, *, reorder: str, gc_mode: str, row_name: str) -> dict
         "paper_row": case.paper_row,
         "reorder": reorder,
         "gc": gc_mode,
+        "shards": shards,
         "methods": {},
     }
-    for method in ("partitioned", "monolithic"):
+    # Only the partitioned flow shards; @shardsN rows skip the baseline.
+    methods = ("partitioned",) if shards > 1 else ("partitioned", "monolithic")
+    for method in methods:
         limit = ResourceLimit(max_seconds=case.max_seconds, max_nodes=case.max_nodes)
         gc.collect()
         t0 = time.perf_counter()
@@ -356,7 +471,9 @@ def _run_table1_case(case, *, reorder: str, gc_mode: str, row_name: str) -> dict
                 reorder=reorder,
                 gc=gc_mode,
             )
-            result = solve_equation(problem, method=method, limit=limit)
+            result = solve_equation(
+                problem, method=method, limit=limit, shards=shards
+            )
         except ReproError:
             row["methods"][method] = {"cnc": True}
             print(f"  table1/{row_name:14s} {method:12s} CNC", flush=True)
@@ -417,7 +534,54 @@ def run_table1_bench(
                     row_name=f"{name}@auto",
                 )
             )
+        # Sharded-runtime rows: the partitioned flow on a 2-worker pool,
+        # interpretable against the base row via meta.cpu_count.
+        for name in TABLE1_SHARD_VARIANTS:
+            case = by_name.get(name)
+            if case is None:
+                continue
+            rows.append(
+                _run_table1_case(
+                    case,
+                    reorder=reorder,
+                    gc_mode=gc_mode,
+                    row_name=f"{name}@shards2",
+                    shards=2,
+                )
+            )
     return rows
+
+
+# --------------------------------------------------------------------- #
+# Workload listing (``repro bench --list``)
+# --------------------------------------------------------------------- #
+
+
+def list_workloads() -> str:
+    """Human-readable listing of every workload and variant, unrun.
+
+    ``repro bench --list`` prints this: kernel workloads with their full
+    and smoke sizes, and Table 1 cases with the ``@auto`` (dynamic
+    reordering) and ``@shards2`` (sharded runtime) variant rows the full
+    run records alongside them.
+    """
+    from repro.bench.suite import TABLE1_CASES
+
+    lines = ["kernel workloads (name, full n, smoke n):"]
+    for name, _fn, full_n, smoke_n in KERNEL_WORKLOADS:
+        lines.append(f"  kernel/{name:28s} n={full_n:<5d} smoke n={smoke_n}")
+    lines.append("")
+    lines.append("table1 cases (solver, partitioned vs monolithic):")
+    for case in TABLE1_CASES:
+        variants = []
+        if case.name in TABLE1_REORDER_VARIANTS:
+            variants.append(f"{case.name}@auto")
+        if case.name in TABLE1_SHARD_VARIANTS:
+            variants.append(f"{case.name}@shards2")
+        suffix = f"  (+ variants: {', '.join(variants)})" if variants else ""
+        cnc = "  [mono expected CNC]" if case.expect_mono_cnc else ""
+        lines.append(f"  table1/{case.name:14s} {case.paper_row}{cnc}{suffix}")
+    return "\n".join(lines)
 
 
 # --------------------------------------------------------------------- #
@@ -514,6 +678,15 @@ def format_markdown_diff(
             else ""
         ),
     ]
+    # Surface both environments: shard-variant deltas (``@shards2`` vs
+    # ``@shards1``) are only meaningful relative to the core counts.
+    base_meta = baseline.get("meta", {})
+    lines.append(
+        f"Environment: cpus={os.cpu_count()}, "
+        f"python={platform.python_version()} "
+        f"(baseline: cpus={base_meta.get('cpu_count', '?')}, "
+        f"python={base_meta.get('python', '?')})"
+    )
     if medians:
         lines.append(
             f"Median slowdown: **{medians[0]:.2f}x** "
@@ -569,11 +742,17 @@ def git_rev() -> str | None:
 def meta(smoke: bool, **extra) -> dict:
     """Run provenance.  ``extra`` records suite-specific knobs only —
     the ``--reorder``/``--gc`` flags go into the table1 meta alone,
-    since kernel workloads hard-code their per-workload policies."""
+    since kernel workloads hard-code their per-workload policies.
+
+    ``cpu_count`` makes the sharded-runtime rows interpretable across
+    machines: ``@shards2`` beating ``@shards1`` needs real cores, and a
+    single-core runner shows the pure overhead instead.
+    """
     return {
         "version": __version__,
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
         "git_rev": git_rev(),
         "smoke": smoke,
         **extra,
@@ -585,6 +764,11 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--smoke", action="store_true", help="small sizes / fewer repeats (CI)"
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list available workloads and variants without running them",
     )
     parser.add_argument(
         "--repeats", type=int, default=None, help="kernel repeats (default 5, smoke 2)"
@@ -623,6 +807,9 @@ def main(argv: list[str] | None = None) -> int:
         help="GC tuning mode for the table1 solver runs",
     )
     args = parser.parse_args(argv)
+    if args.list:
+        print(list_workloads())
+        return 0
     args.out_dir.mkdir(parents=True, exist_ok=True)
     repeats = args.repeats if args.repeats is not None else (2 if args.smoke else 5)
 

@@ -63,6 +63,15 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("static", "adaptive"),
         help="garbage-collection tuning (adaptive backs off unprofitable sweeps)",
     )
+    solve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for the partitioned flow's image computations "
+            "(1 = in-process; N≥2 shards the partition clusters)"
+        ),
+    )
     solve.add_argument("--no-verify", action="store_true", help="skip formal checks")
     solve.add_argument("--kiss-out", help="write the CSF as KISS2 to this file")
     solve.add_argument("--dot-out", help="write the CSF as Graphviz dot")
@@ -99,6 +108,15 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("static", "adaptive"),
         help="garbage-collection tuning (adaptive backs off unprofitable sweeps)",
     )
+    reach.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for the image steps "
+            "(1 = in-process; N≥2 shards the relation parts)"
+        ),
+    )
 
     # ``bench`` forwards everything to repro.bench.driver's own parser
     # (main() intercepts it before this parser runs; registering it here
@@ -127,6 +145,12 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
     net = read_blif(args.blif)
     x_latches = [name for name in args.x_latches.split(",") if name]
+    if args.shards > 1 and args.method != "partitioned":
+        print(
+            f"error: --shards requires --method partitioned (got {args.method})",
+            file=sys.stderr,
+        )
+        return 2
     limit = None
     if args.max_seconds is not None or args.max_nodes is not None:
         limit = ResourceLimit(max_seconds=args.max_seconds, max_nodes=args.max_nodes)
@@ -137,6 +161,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         limit=limit,
         reorder=args.reorder,
         gc=args.gc,
+        shards=args.shards,
     )
     print(result.summary())
     if result.stats is not None:
@@ -236,7 +261,7 @@ def _cmd_reach(args: argparse.Namespace) -> int:
         ns[name] = mgr.add_var(f"{name}'")
     bdds = build_network_bdds(net, mgr, input_vars, cs)
     result = network_reachable_states(
-        bdds, ns_vars=ns, schedule=not args.no_schedule
+        bdds, ns_vars=ns, schedule=not args.no_schedule, shards=args.shards
     )
     stats = mgr.stats
     print(f"model:            {net.name} ({net.stats()})")

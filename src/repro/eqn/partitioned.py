@@ -23,11 +23,24 @@ ever constructed; validity rests on Theorem 1 (tested in
 ablation: a DC1 flag variable is threaded through the image as one more
 partition ``dc' ≡ (dc ∨ ¬C)``, non-conforming subsets are expanded like
 any others, and prefix-closure removes them at the end.
+
+``shards=N`` (N ≥ 2) distributes the oracle's image computations over a
+:class:`~repro.shard.pool.ShardPool` of worker processes, each owning
+its own shard manager: the ``P_ψ`` image runs as a cluster-sharded
+:class:`~repro.shard.plan.ShardedImage` (partition clusters assigned to
+shards, partial images joined in this manager), and the per-output
+``Q_ψ`` images — independent of one another — are dealt round-robin
+across the shards and OR-joined.  Both joins are exact, so the sharded
+oracle is result-identical to ``shards=1`` (which keeps today's
+in-process path, bit for bit).
 """
 
 from __future__ import annotations
 
+from collections.abc import Mapping
+
 from repro.bdd.cube import split_by_vars
+from repro.bdd.io import dump_nodes, load_nodes
 from repro.bdd.manager import FALSE, BddManager
 from repro.symb.image import image_partitioned, image_with_plan, plan_image
 from repro.eqn.problem import EquationProblem
@@ -43,6 +56,8 @@ class PartitionedOracle:
         *,
         schedule: bool = True,
         trim: bool = True,
+        shards: int = 1,
+        shard_opts: Mapping[str, object] | None = None,
     ) -> None:
         self.problem = problem
         self.schedule = schedule
@@ -98,7 +113,62 @@ class PartitionedOracle:
         # a QuantSet, so each of the thousands of and_exists fold steps
         # skips the per-call level sort/intern pass.
         cs_support = set(self.quantify)
-        if self.schedule:
+        self._pool = None
+        self._p_sharded = None
+        self._q_remote: list[tuple[int, int]] = []
+        if shards > 1:
+            from repro.shard import ShardPool, ShardedImage
+            from repro.shard.plan import load_parts, make_plan
+
+            self.p_plan = None
+            self.q_plans = None
+            # Workers inherit the coordinator's node budget and runtime
+            # policies unless shard_opts overrides them: the CNC
+            # mechanism (max_nodes) must bound the shard managers too,
+            # or an exploding conjunction would grow unchecked in a
+            # worker the resource limit cannot see.
+            opts = {
+                "max_nodes": mgr.max_nodes,
+                "gc": mgr.gc_policy.mode,
+                "reorder": mgr.reorder_policy.mode,
+            }
+            opts.update(shard_opts or {})
+            pool = ShardPool(shards, mgr.var_order(), **opts)
+            self._pool = pool
+            try:
+                # P_ψ: partition clusters across the shards, joined here.
+                self._p_sharded = ShardedImage(
+                    pool,
+                    mgr,
+                    self.u_parts + self.t_parts,
+                    self.quantify,
+                    cs_support,
+                )
+                # Q_ψ: one *complete* image per output, dealt
+                # round-robin — each shard holds the u-parts plus its
+                # outputs' ¬C_j parts.
+                u_handles = [
+                    load_parts(pool, k, mgr, self.u_parts)
+                    for k in range(pool.num_shards)
+                ]
+                for j, nc in enumerate(self.nonconf):
+                    k = j % pool.num_shards
+                    (nc_handle,) = load_parts(pool, k, mgr, [nc])
+                    plan_id = make_plan(
+                        pool,
+                        k,
+                        mgr,
+                        u_handles[k] + [nc_handle],
+                        self.quantify,
+                        cs_support,
+                    )
+                    self._q_remote.append((k, plan_id))
+            except BaseException:
+                # Setup failed: reap the workers deterministically
+                # instead of leaving them to __del__ timing.
+                self.close()
+                raise
+        elif self.schedule:
             self.p_plan = plan_image(
                 mgr, self.u_parts + self.t_parts, self.quantify, cs_support
             )
@@ -144,6 +214,19 @@ class PartitionedOracle:
         """``Q_ψ(u,v)``, computed one output at a time."""
         mgr = self.mgr
         q = FALSE
+        if self._pool is not None:
+            if not self._q_remote:
+                return FALSE
+            # Submit every per-output image before collecting anything:
+            # the shards compute their outputs' images concurrently.
+            blob = dump_nodes(mgr, [psi])
+            for shard, plan_id in self._q_remote:
+                self._pool.submit(shard, ("image", plan_id, blob))
+            for shard, _ in self._q_remote:
+                snapshot = self._pool.collect(shard)
+                (q_j,) = load_nodes(mgr, snapshot)
+                q = mgr.apply_or(q, q_j)
+            return q
         if self.q_plans is not None:
             for plan, leftover in self.q_plans:
                 # The accumulator must survive collections triggered
@@ -165,8 +248,18 @@ class PartitionedOracle:
             )
         return q
 
+    def close(self) -> None:
+        """Shut down the shard pool, if any (idempotent; ``shards=1`` no-op)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+            self._p_sharded = None
+            self._q_remote = []
+
     def successor_image(self, psi: int) -> int:
         """``P_ψ(u,v,ns)`` — the partitioned image of ψ."""
+        if self._p_sharded is not None:
+            return self._p_sharded.run(psi)
         if self.p_plan is not None:
             plan, leftover = self.p_plan
             return image_with_plan(self.mgr, plan, leftover, psi, gc=True)

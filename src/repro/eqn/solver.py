@@ -66,6 +66,8 @@ def solve_equation(
     limit: ResourceLimit | None = None,
     schedule: bool = True,
     trim: bool = True,
+    shards: int = 1,
+    shard_opts: dict | None = None,
 ) -> SolveResult:
     """Solve a built problem with the chosen flow.
 
@@ -84,9 +86,22 @@ def solve_equation(
     trim:
         The DCN subset-trimming shortcut (both symbolic flows; the E6
         ablation switches it off).
+    shards:
+        ``1`` (default) keeps the in-process path bit-identically;
+        ``N ≥ 2`` runs the partitioned oracle's image computations on a
+        pool of ``N`` worker processes (:mod:`repro.shard`), joining the
+        transferred partial results in the problem manager.  The result
+        is identical to ``shards=1``; only the partitioned flow shards.
+    shard_opts:
+        Worker-manager knobs forwarded to the pool (``gc``, ``reorder``,
+        ``max_nodes``).
     """
     if method not in METHODS:
         raise EquationError(f"unknown method {method!r}; choose from {METHODS}")
+    if shards > 1 and method != "partitioned":
+        raise EquationError(
+            f"--shards requires the partitioned flow, not {method!r}"
+        )
     watch = Stopwatch()
     if limit is not None:
         limit.restart()
@@ -102,10 +117,21 @@ def solve_equation(
             options={"schedule": schedule, "trim": trim},
         )
     if method == "partitioned":
-        oracle = PartitionedOracle(problem, schedule=schedule, trim=trim)
+        oracle = PartitionedOracle(
+            problem,
+            schedule=schedule,
+            trim=trim,
+            shards=shards,
+            shard_opts=shard_opts,
+        )
     else:
         oracle = MonolithicOracle(problem, trim=trim)
-    solution, stats = subset_construct(oracle, problem, limit=limit)
+    try:
+        solution, stats = subset_construct(oracle, problem, limit=limit)
+    finally:
+        closer = getattr(oracle, "close", None)
+        if closer is not None:
+            closer()
     csf = extract_csf(solution, problem.u_names)
     return SolveResult(
         problem=problem,
@@ -114,7 +140,7 @@ def solve_equation(
         csf=csf,
         seconds=watch.elapsed(),
         stats=stats,
-        options={"schedule": schedule, "trim": trim},
+        options={"schedule": schedule, "trim": trim, "shards": shards},
     )
 
 
@@ -129,6 +155,8 @@ def solve_latch_split(
     trim: bool = True,
     reorder: str = "off",
     gc: str = "static",
+    shards: int = 1,
+    shard_opts: dict | None = None,
 ) -> SolveResult:
     """Split ``net``, then solve for the CSF of the moved latches.
 
@@ -147,7 +175,13 @@ def solve_latch_split(
     max_nodes = limit.max_nodes if limit is not None else None
     problem = build_problem(split, max_nodes=max_nodes, reorder=reorder, gc=gc)
     return solve_equation(
-        problem, method=method, limit=limit, schedule=schedule, trim=trim
+        problem,
+        method=method,
+        limit=limit,
+        schedule=schedule,
+        trim=trim,
+        shards=shards,
+        shard_opts=shard_opts,
     )
 
 

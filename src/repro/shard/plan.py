@@ -1,0 +1,360 @@
+"""Join-tree scheduling for the sharded runtime.
+
+The conjunctive decomposition used here is the early-quantification
+argument of the paper, distributed across processes.  Write an image as
+
+.. math::
+
+    \\exists Q .\\; (\\psi \\wedge \\Pi_k C_k)
+
+where the :math:`C_k` are *clusters* of relation parts.  Ship ψ to every
+shard; shard *k* computes the partial image
+
+.. math::
+
+    p_k = \\exists L_k .\\; (\\psi \\wedge C_k)
+
+where :math:`L_k \\subseteq Q` are the variables **local** to cluster
+*k*: they appear in no other cluster and not in the support of ψ.  Since
+conjunction is idempotent (:math:`\\psi \\wedge \\psi = \\psi`) and each
+:math:`L_k` is absent from every other factor,
+
+.. math::
+
+    \\exists Q .\\; (\\psi \\wedge \\Pi_k C_k)
+    \\;=\\; \\exists (Q - \\cup_k L_k) .\\; \\Pi_k p_k
+
+— the coordinator joins the transferred partials with the ordinary
+scheduled ``and_exists`` fold over the remaining shared variables.
+Every step is exact, so the sharded image is *function-identical* to the
+in-process one (and therefore edge-identical in the coordinator manager,
+by BDD canonicity).
+
+:func:`partition_clusters` builds the cluster assignment with the
+:func:`repro.symb.schedule.schedule_supports` affinity heuristic;
+:class:`ShardedImage` owns the worker-side plans and runs the
+transfer-based join per constraint.
+
+Two decompositions, one join protocol
+-------------------------------------
+
+The conjunctive *cluster* mode above shines when the quantified
+variables split cleanly across clusters (each shard retires its own).
+When they do not — image computation over a transition relation shares
+the input and current-state variables across *every* part, so the local
+sets come out empty and each shard would just build an unquantified
+product — the dual *split* mode is used instead: image distributes over
+disjunction,
+
+.. math::
+
+    \\exists Q . ((\\psi_1 \\vee \\psi_2) \\wedge \\Pi) =
+    (\\exists Q . \\psi_1 \\wedge \\Pi) \\vee (\\exists Q . \\psi_2 \\wedge \\Pi)
+
+so every shard holds *all* parts with a full early-quantification plan,
+the constraint is split into cofactor slices on its top variables, each
+shard images its slices, and the join is a cheap OR.  ``mode="auto"``
+(the default) picks cluster mode when in-shard retirement is possible
+and split mode otherwise.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.bdd.io import dump_nodes, load_nodes
+from repro.bdd.manager import FALSE, BddManager
+from repro.shard.pool import ShardError, ShardPool
+from repro.symb.image import image_partitioned
+from repro.symb.schedule import schedule_supports
+
+
+@dataclass
+class ClusterAssignment:
+    """Which parts each shard owns, and which variables it may retire."""
+
+    clusters: list[list[int]]  # part indices per shard (affinity-ordered)
+    local_vars: list[list[int]]  # quantify vars retired inside each shard
+    shared_vars: list[int]  # quantify vars left for the coordinator join
+
+    @property
+    def num_clusters(self) -> int:
+        return len(self.clusters)
+
+
+def partition_clusters(
+    mgr: BddManager,
+    parts: Sequence[int],
+    num_shards: int,
+    quantify: Iterable[int],
+    constraint_support: Iterable[int] = (),
+) -> ClusterAssignment:
+    """Assign ``parts`` to (at most) ``num_shards`` affinity clusters.
+
+    The parts are first ordered by the early-quantification heuristic
+    (:func:`~repro.symb.schedule.schedule_supports`): parts adjacent in
+    that order share support variables and retire quantified variables
+    together.  The ordered list is then cut into contiguous chunks of
+    balanced total BDD size, one per shard — contiguity preserves the
+    affinity, balance keeps the shard workloads comparable.
+
+    For each cluster the *local* variable set is computed: quantified
+    variables mentioned by that cluster only — not by any other cluster
+    and not by ``constraint_support`` (the support bound of every future
+    constraint).  Those are sound to retire entirely inside the shard;
+    everything else stays shared and is quantified at the join.
+    """
+    qset = set(quantify)
+    csupp = set(constraint_support)
+    supports = [mgr.support(p) for p in parts]
+    ordered = [
+        idx
+        for idx, _ in schedule_supports(
+            supports, qset, constraint_support=csupp
+        )
+    ]
+    num = max(1, min(num_shards, len(ordered)))
+    sizes = [mgr.size(p) for p in parts]
+    total = sum(sizes[i] for i in ordered)
+
+    clusters: list[list[int]] = []
+    chunk: list[int] = []
+    acc = 0
+    done = 0
+    for pos, idx in enumerate(ordered):
+        chunk.append(idx)
+        acc += sizes[idx]
+        remaining_parts = len(ordered) - pos - 1
+        remaining_chunks = num - len(clusters) - 1
+        if remaining_chunks == 0:
+            continue
+        # Close the chunk once it reaches its proportional share of what
+        # is left, but always keep at least one part per remaining chunk.
+        target = (total - done) / (remaining_chunks + 1)
+        if acc >= target or remaining_parts <= remaining_chunks:
+            clusters.append(chunk)
+            done += acc
+            chunk = []
+            acc = 0
+    if chunk:
+        clusters.append(chunk)
+
+    cluster_supports = [
+        set().union(*(supports[i] for i in cluster)) for cluster in clusters
+    ]
+    local_vars: list[list[int]] = []
+    claimed: set[int] = set()
+    for k, supp in enumerate(cluster_supports):
+        others: set[int] = set(csupp)
+        for j, other in enumerate(cluster_supports):
+            if j != k:
+                others |= other
+        local = sorted((supp & qset) - others)
+        local_vars.append(local)
+        claimed.update(local)
+    shared = sorted(qset - claimed)
+    return ClusterAssignment(
+        clusters=clusters, local_vars=local_vars, shared_vars=shared
+    )
+
+
+def load_parts(
+    pool: ShardPool, shard: int, mgr: BddManager, parts: Sequence[int]
+) -> list[int]:
+    """Transfer ``parts`` into ``shard``'s manager; returns their handles."""
+    handles = []
+    for part in parts:
+        handle = pool.new_handle()
+        pool.submit(shard, ("load", handle, dump_nodes(mgr, [part])))
+        handles.append(handle)
+    for _ in handles:
+        pool.collect(shard)
+    return handles
+
+
+def make_plan(
+    pool: ShardPool,
+    shard: int,
+    mgr: BddManager,
+    part_handles: Sequence[int],
+    quantify: Iterable[int],
+    constraint_support: Iterable[int],
+) -> int:
+    """Build a reusable worker-side image plan; returns its plan id.
+
+    Variables cross the pipe by name, so the plan stays valid however
+    either side reorders afterwards.
+    """
+    plan_id = pool.new_handle()
+    pool.call(
+        shard,
+        (
+            "plan",
+            plan_id,
+            list(part_handles),
+            [mgr.var_name(v) for v in quantify],
+            [mgr.var_name(v) for v in constraint_support],
+        ),
+    )
+    return plan_id
+
+
+class ShardedImage:
+    """A partitioned image computation distributed over a worker pool.
+
+    Construction assigns partition clusters to shards
+    (:func:`partition_clusters`), transfers each cluster into its
+    worker's manager once, and precomputes a worker-side image plan that
+    retires the cluster's local variables.  Every :meth:`run` then costs
+    one constraint broadcast plus one partial-image transfer per shard,
+    folded in the coordinator with the ordinary scheduled ``and_exists``
+    join over the shared variables.
+
+    The object holds only variable *indices* and worker handles, so it
+    stays valid across coordinator-side garbage collection and in-place
+    reordering (callers pin the parts themselves, exactly as for
+    :func:`repro.symb.image.plan_image`).
+    """
+
+    def __init__(
+        self,
+        pool: ShardPool,
+        mgr: BddManager,
+        parts: Sequence[int],
+        quantify: Iterable[int],
+        constraint_support: Iterable[int],
+        *,
+        mode: str = "auto",
+    ) -> None:
+        if mode not in ("auto", "cluster", "split"):
+            raise ShardError(
+                f"unknown sharded-image mode {mode!r}; "
+                "choose from 'auto', 'cluster', 'split'"
+            )
+        self.pool = pool
+        self.mgr = mgr
+        qvars = list(quantify)
+        csupp = list(constraint_support)
+        self.assignment = partition_clusters(
+            mgr, parts, pool.num_shards, qvars, csupp
+        )
+        if mode == "auto":
+            # Cluster mode only pays when shards can retire variables
+            # in-shard; otherwise every shard would just build an
+            # unquantified ψ ∧ cluster product and leave all the real
+            # work (and more) to the join.
+            retirable = sum(len(lv) for lv in self.assignment.local_vars)
+            mode = "cluster" if retirable else "split"
+        self.mode = mode
+        self._plan_ids: list[int] = []
+        self._shards: list[int] = []
+        if mode == "cluster":
+            for k, cluster in enumerate(self.assignment.clusters):
+                handles = load_parts(pool, k, mgr, [parts[i] for i in cluster])
+                plan_id = make_plan(
+                    pool, k, mgr, handles, self.assignment.local_vars[k], csupp
+                )
+                self._plan_ids.append(plan_id)
+                self._shards.append(k)
+            self._shared = list(self.assignment.shared_vars)
+        else:
+            # Split mode: every shard owns all parts + the full plan;
+            # run() deals constraint slices across them.
+            for k in range(pool.num_shards):
+                handles = load_parts(pool, k, mgr, parts)
+                plan_id = make_plan(pool, k, mgr, handles, qvars, csupp)
+                self._plan_ids.append(plan_id)
+                self._shards.append(k)
+            self._shared = []
+            # Constraint variables eligible as slice splitters, topmost
+            # level first (indices, so reordering keeps this valid).
+            self._split_candidates = list(csupp)
+
+    # ------------------------------------------------------------------ #
+
+    def run(self, constraint: int) -> int:
+        """``∃ quantify . (constraint ∧ Π parts)`` via the shard pool.
+
+        Result-identical to the in-process
+        :func:`~repro.symb.image.image_partitioned`: cluster mode joins
+        the per-shard partials with a scheduled ``and_exists`` fold,
+        split mode ORs the per-slice images.
+        """
+        if constraint == FALSE:
+            return FALSE
+        if self.mode == "cluster":
+            return self._run_cluster(constraint)
+        return self._run_split(constraint)
+
+    def _run_cluster(self, constraint: int) -> int:
+        mgr = self.mgr
+        blob = dump_nodes(mgr, [constraint])
+        for shard, plan_id in zip(self._shards, self._plan_ids):
+            self.pool.submit(shard, ("image", plan_id, blob))
+        partials = []
+        dead = False
+        for shard in self._shards:
+            snapshot = self.pool.collect(shard)
+            if dead:
+                continue
+            (partial,) = load_nodes(mgr, snapshot)
+            if partial == FALSE:
+                dead = True
+                continue
+            partials.append(partial)
+        if dead:
+            return FALSE
+        # The join: each partial already contains ψ (idempotent ∧), so
+        # the fold's constraint is TRUE and only the shared variables
+        # remain to quantify.
+        return image_partitioned(
+            mgr, partials, 1, self._shared, schedule=True
+        )
+
+    def _slices(self, constraint: int) -> list[int]:
+        """Disjoint cofactor slices of ``constraint``, one per shard.
+
+        Splits on the topmost constraint variables actually in the
+        support, binary-tree style, until there are enough slices (or no
+        split variable is left).  The slices OR back to the constraint
+        exactly, so the join is lossless.
+        """
+        mgr = self.mgr
+        support = mgr.support(constraint)
+        splitters = sorted(
+            (v for v in self._split_candidates if v in support),
+            key=mgr.var_level,
+        )
+        slices = [constraint]
+        for var in splitters:
+            if len(slices) >= self.pool.num_shards:
+                break
+            pos, neg = mgr.var_node(var), mgr.nvar_node(var)
+            nxt = []
+            for s in slices:
+                lo = mgr.apply_and(s, neg)
+                hi = mgr.apply_and(s, pos)
+                nxt.extend(x for x in (lo, hi) if x != FALSE)
+            slices = nxt
+        return slices
+
+    def _run_split(self, constraint: int) -> int:
+        mgr = self.mgr
+        slices = self._slices(constraint)
+        submitted: list[int] = []
+        for i, s in enumerate(slices):
+            shard = i % len(self._shards)
+            self.pool.submit(
+                shard, ("image", self._plan_ids[shard], dump_nodes(mgr, [s]))
+            )
+            submitted.append(shard)
+        result = FALSE
+        for shard in submitted:
+            (img,) = load_nodes(mgr, self.pool.collect(shard))
+            result = mgr.apply_or(result, img)
+        return result
+
+    def worker_stats(self) -> list[dict]:
+        """Per-shard manager statistics for the shards this image uses."""
+        return self.pool.stats()

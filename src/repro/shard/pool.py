@@ -1,0 +1,181 @@
+"""The coordinator-side worker pool of the sharded runtime.
+
+:class:`ShardPool` spawns ``num_shards`` persistent worker processes
+(:func:`repro.shard.worker.worker_main`), each owning an independent
+shard :class:`~repro.bdd.manager.BddManager`, and talks to them over
+pipes.  The pool is deliberately low-level — submit a command, collect a
+reply — so callers can pipeline: sending a command to every shard and
+*then* collecting the replies is what lets the workers compute
+concurrently.
+
+The pool is a context manager; :meth:`close` (or ``__exit__``) shuts the
+workers down and reaps the processes.  Workers are daemonic, so an
+abandoned pool can never outlive the coordinator.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from collections.abc import Sequence
+
+from repro.errors import ReproError
+from repro.shard.worker import worker_main
+
+
+class ShardError(ReproError):
+    """A shard worker failed or died mid-command."""
+
+
+class ShardPool:
+    """A set of persistent shard workers, addressed by index.
+
+    Parameters
+    ----------
+    num_shards:
+        Number of worker processes (≥ 1).
+    var_names:
+        Variable order declared in every shard manager, top to bottom —
+        normally the coordinator's ``mgr.var_order()``.  Snapshots travel
+        by variable *name*, so shard-local reordering never desyncs the
+        wire format.
+    gc, reorder, max_nodes:
+        Per-shard manager policies (every worker gets its own
+        :class:`~repro.bdd.policy.GcPolicy` /
+        :class:`~repro.bdd.policy.ReorderPolicy` instance).
+    start_method:
+        ``multiprocessing`` start method; the default ``"fork"`` (cheap,
+        no re-import) falls back to the platform default where fork is
+        unavailable.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        var_names: Sequence[str],
+        *,
+        gc: str = "static",
+        reorder: str = "off",
+        max_nodes: int | None = None,
+        start_method: str = "fork",
+    ) -> None:
+        if num_shards < 1:
+            raise ShardError(f"ShardPool needs at least one shard, got {num_shards}")
+        try:
+            ctx = mp.get_context(start_method)
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            ctx = mp.get_context()
+        config = {"gc": gc, "reorder": reorder, "max_nodes": max_nodes}
+        self._conns = []
+        self._procs = []
+        self._pending = [0] * num_shards
+        self._next_handle = 0
+        self._closed = False
+        try:
+            for _ in range(num_shards):
+                parent, child = ctx.Pipe(duplex=True)
+                proc = ctx.Process(
+                    target=worker_main, args=(child, config), daemon=True
+                )
+                proc.start()
+                child.close()
+                self._conns.append(parent)
+                self._procs.append(proc)
+            self.broadcast(("vars", list(var_names)))
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._procs)
+
+    def new_handle(self) -> int:
+        """Allocate a fresh registry handle (unique across all shards)."""
+        self._next_handle += 1
+        return self._next_handle
+
+    def submit(self, shard: int, msg: tuple) -> None:
+        """Send a command to ``shard`` without waiting for the reply."""
+        if self._closed:
+            raise ShardError("ShardPool is closed")
+        try:
+            self._conns[shard].send(msg)
+        except (OSError, BrokenPipeError) as exc:
+            raise ShardError(f"shard {shard} is gone: {exc}") from exc
+        self._pending[shard] += 1
+
+    def collect(self, shard: int):
+        """Receive one pending reply from ``shard`` (FIFO order)."""
+        if self._pending[shard] <= 0:
+            raise ShardError(f"shard {shard} has no pending reply")
+        try:
+            status, payload = self._conns[shard].recv()
+        except (EOFError, OSError) as exc:
+            self._pending[shard] = 0
+            raise ShardError(f"shard {shard} died mid-command: {exc}") from exc
+        self._pending[shard] -= 1
+        if status != "ok":
+            raise ShardError(f"shard {shard} failed:\n{payload}")
+        return payload
+
+    def call(self, shard: int, msg: tuple):
+        """Send one command and wait for its reply."""
+        self.submit(shard, msg)
+        return self.collect(shard)
+
+    def broadcast(self, msg: tuple) -> list:
+        """Send ``msg`` to every shard, then gather all replies.
+
+        Submitting everything before collecting anything is the pool's
+        concurrency primitive: all workers run the command in parallel.
+        """
+        for shard in range(self.num_shards):
+            self.submit(shard, msg)
+        return [self.collect(shard) for shard in range(self.num_shards)]
+
+    def stats(self) -> list[dict]:
+        """Per-shard manager statistics (live nodes, GC runs, ...)."""
+        return self.broadcast(("stats",))
+
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Shut every worker down and reap the processes (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for shard, conn in enumerate(self._conns):
+            try:
+                # Drain pending replies so the shutdown ack is unambiguous.
+                while self._pending[shard] > 0:
+                    conn.recv()
+                    self._pending[shard] -= 1
+                conn.send(("shutdown",))
+                conn.recv()
+            except (EOFError, OSError, BrokenPipeError):
+                pass
+            finally:
+                conn.close()
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=5)
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return f"<ShardPool shards={self.num_shards} {state}>"

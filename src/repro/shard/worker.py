@@ -1,0 +1,195 @@
+"""The shard worker: one process, one manager, one command loop.
+
+A worker is spawned by :class:`repro.shard.pool.ShardPool` with a
+connection (one end of a ``multiprocessing.Pipe``) and a config dict.
+It builds its own :class:`~repro.bdd.manager.BddManager` — with its own
+computed table, GC policy and reorder policy, entirely independent of
+the coordinator's — and serves commands until told to shut down.
+
+Every command is a tuple ``(op, *args)``; every reply is ``("ok",
+payload)`` or ``("err", traceback_text)``.  BDDs cross the pipe as
+packed-array snapshots (:func:`repro.bdd.io.dump_nodes`); inside the
+worker they live in a *handle registry* (small ints chosen by the
+coordinator), each pinned with ``mgr.ref`` so worker-side garbage
+collections can never reclaim what the coordinator still names.
+
+Commands
+--------
+
+``("vars", names)``
+    Declare the variable order (must run first).
+``("load", handle, snapshot)``
+    Load a snapshot (first root) into the registry under ``handle``.
+``("dump", handle)``
+    Reply with the snapshot of a registered function.
+``("free", handles)``
+    Deref and drop registry entries.
+``("conjoin", handle, handles)``
+    Store the conjunction of the named functions under ``handle``.
+``("and_exists", handle, h1, h2, var_names)``
+    Store the fused relational product under ``handle``.
+``("plan", plan_id, part_handles, quantify_names, support_names)``
+    Precompute a reusable image plan over the named parts
+    (:func:`repro.symb.image.plan_image`), quantifying
+    ``quantify_names``; ``support_names`` bounds every future
+    constraint's support.
+``("image", plan_id, snapshot)``
+    Run the plan against the constraint in ``snapshot`` (with
+    opportunistic GC) and reply with the result snapshot.
+``("stats",)``
+    Reply with a small dict of manager statistics.
+``("gc",)``
+    Force a collection; reply with the reclaimed count.
+``("shutdown",)``
+    Acknowledge and exit the loop.
+"""
+
+from __future__ import annotations
+
+import traceback
+
+from repro.bdd.io import dump_nodes, load_nodes
+from repro.bdd.manager import BddManager
+from repro.bdd.policy import GcPolicy, ReorderPolicy
+from repro.errors import ReproError
+from repro.symb.image import image_with_plan, plan_image
+
+
+class _WorkerState:
+    """Manager + registries behind one worker's command loop."""
+
+    def __init__(self, config: dict) -> None:
+        self.mgr = BddManager(
+            max_nodes=config.get("max_nodes"),
+            gc_policy=GcPolicy(mode=config.get("gc", "static")),
+            reorder_policy=ReorderPolicy(mode=config.get("reorder", "off")),
+        )
+        self.handles: dict[int, int] = {}
+        self.plans: dict[int, tuple] = {}
+
+    # Each handler returns the reply payload. ------------------------------ #
+
+    def op_vars(self, names: list[str]) -> int:
+        for name in names:
+            self.mgr.add_var(name)
+        return self.mgr.num_vars
+
+    def _store(self, handle: int, edge: int) -> None:
+        old = self.handles.get(handle)
+        if old is not None:
+            self.mgr.deref(old)
+        self.handles[handle] = self.mgr.ref(edge)
+
+    def op_load(self, handle: int, snapshot: dict) -> None:
+        (edge,) = load_nodes(self.mgr, snapshot)
+        self._store(handle, edge)
+
+    def op_dump(self, handle: int) -> dict:
+        return dump_nodes(self.mgr, [self.handles[handle]])
+
+    def op_free(self, handles: list[int]) -> None:
+        for handle in handles:
+            edge = self.handles.pop(handle, None)
+            if edge is not None:
+                self.mgr.deref(edge)
+
+    def op_conjoin(self, handle: int, handles: list[int]) -> None:
+        mgr = self.mgr
+        result = 1
+        for h in handles:
+            result = mgr.apply_and(result, self.handles[h])
+        self._store(handle, result)
+
+    def op_and_exists(
+        self, handle: int, h1: int, h2: int, var_names: list[str]
+    ) -> None:
+        mgr = self.mgr
+        variables = [mgr.var_index(n) for n in var_names]
+        self._store(
+            handle, mgr.and_exists(self.handles[h1], self.handles[h2], variables)
+        )
+
+    def op_plan(
+        self,
+        plan_id: int,
+        part_handles: list[int],
+        quantify_names: list[str],
+        support_names: list[str],
+    ) -> None:
+        mgr = self.mgr
+        parts = [self.handles[h] for h in part_handles]
+        quantify = [mgr.var_index(n) for n in quantify_names]
+        support = {mgr.var_index(n) for n in support_names}
+        self.plans[plan_id] = (
+            *plan_image(mgr, parts, quantify, support),
+            parts,
+        )
+
+    def op_image(self, plan_id: int, snapshot: dict) -> dict:
+        mgr = self.mgr
+        plan, leftover, parts = self.plans[plan_id]
+        (constraint,) = load_nodes(mgr, snapshot)
+        with mgr.protect(constraint):
+            result = image_with_plan(mgr, plan, leftover, constraint, gc=True)
+        out = dump_nodes(mgr, [result])
+        # The result (and the constraint) are per-call intermediates: let
+        # the next growth-armed collection reclaim them.
+        mgr.maybe_collect_garbage([*parts, result])
+        return out
+
+    def op_stats(self) -> dict:
+        stats = self.mgr.stats
+        return {
+            "live_nodes": stats["live_nodes"],
+            "peak_live_nodes": stats["peak_live_nodes"],
+            "gc_runs": stats["gc_runs"],
+            "reorder_runs": stats["reorder_runs"],
+            "max_nodes": self.mgr.max_nodes,
+            "handles": len(self.handles),
+            "plans": len(self.plans),
+        }
+
+    def op_gc(self) -> int:
+        return self.mgr.collect_garbage()
+
+
+def worker_main(conn, config: dict) -> None:
+    """Run one worker's command loop until ``shutdown`` or pipe closure.
+
+    Exceptions raised by a command are caught and reported as ``("err",
+    traceback)`` replies, so a bad command never kills the worker; only
+    losing the pipe (coordinator death) or ``shutdown`` ends the loop.
+    """
+    state = _WorkerState(config)
+    ops = {
+        "vars": state.op_vars,
+        "load": state.op_load,
+        "dump": state.op_dump,
+        "free": state.op_free,
+        "conjoin": state.op_conjoin,
+        "and_exists": state.op_and_exists,
+        "plan": state.op_plan,
+        "image": state.op_image,
+        "stats": state.op_stats,
+        "gc": state.op_gc,
+    }
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        op = msg[0]
+        if op == "shutdown":
+            conn.send(("ok", None))
+            break
+        handler = ops.get(op)
+        try:
+            if handler is None:
+                raise ReproError(f"unknown shard command {op!r}")
+            conn.send(("ok", handler(*msg[1:])))
+        except BaseException:
+            try:
+                conn.send(("err", traceback.format_exc()))
+            except (OSError, BrokenPipeError):  # pragma: no cover
+                break
+    conn.close()

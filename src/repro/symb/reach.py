@@ -36,11 +36,22 @@ def reachable_states(
     input_vars: Sequence[int],
     *,
     schedule: bool = True,
+    shards: int = 1,
+    shard_opts: Mapping[str, object] | None = None,
 ) -> ReachabilityResult:
     """Forward reachability from ``init`` under a partitioned relation.
 
     ``cs_vars`` and ``ns_vars`` must be aligned (same latch order); the
     image is computed over ``ns`` then renamed back to ``cs``.
+
+    ``shards=1`` (the default) runs entirely in-process.  With
+    ``shards=N`` (N ≥ 2) the relation parts are clustered across ``N``
+    worker processes (:mod:`repro.shard`) and each image step joins the
+    transferred per-shard partial images in this manager — the frontier
+    sequence, the reached set and the iteration count are identical to
+    the in-process path (the sharded image computes the same function,
+    and BDDs are canonical).  ``shard_opts`` forwards worker-manager
+    knobs (``gc``, ``reorder``, ``max_nodes``) to the pool.
     """
     rename = dict(zip(ns_vars, cs_vars))
     quantify = list(input_vars) + list(cs_vars)
@@ -52,7 +63,25 @@ def reachable_states(
     # The plan's retire sets hold variable indices, so a GC-triggered
     # in-place sift mid-fixpoint leaves it valid.
     plan = leftover = None
-    if schedule:
+    pool = sharded = None
+    if shards > 1:
+        from repro.shard import ShardPool, ShardedImage
+
+        # Workers inherit the coordinator's node budget and runtime
+        # policies unless shard_opts overrides them.
+        opts = {
+            "max_nodes": mgr.max_nodes,
+            "gc": mgr.gc_policy.mode,
+            "reorder": mgr.reorder_policy.mode,
+        }
+        opts.update(shard_opts or {})
+        pool = ShardPool(shards, mgr.var_order(), **opts)
+        try:
+            sharded = ShardedImage(pool, mgr, parts, quantify, set(cs_vars))
+        except BaseException:
+            pool.close()
+            raise
+    elif schedule:
         plan, leftover = image_mod.plan_image(
             mgr, parts, quantify, constraint_support=set(cs_vars)
         )
@@ -72,7 +101,9 @@ def reachable_states(
     try:
         while frontier != FALSE:
             iterations += 1
-            if plan is not None:
+            if sharded is not None:
+                img_ns = sharded.run(frontier)
+            elif plan is not None:
                 img_ns = image_mod.image_with_plan(
                     mgr, plan, leftover, frontier, gc=True
                 )
@@ -87,6 +118,8 @@ def reachable_states(
             reached = mgr.ref(mgr.apply_or(reached, img_cs))
             mgr.maybe_collect_garbage()
     finally:
+        if pool is not None:
+            pool.close()
         for part in parts:
             mgr.deref(part)
         mgr.deref(reached)
@@ -100,6 +133,8 @@ def network_reachable_states(
     *,
     ns_vars: Mapping[str, int] | None = None,
     schedule: bool = True,
+    shards: int = 1,
+    shard_opts: Mapping[str, object] | None = None,
 ) -> ReachabilityResult:
     """Reachable-state fixed point of a network from its initial state.
 
@@ -137,6 +172,8 @@ def network_reachable_states(
             [ns_vars[n] for n in latch_order],
             bdds.all_input_vars(),
             schedule=schedule,
+            shards=shards,
+            shard_opts=shard_opts,
         )
     finally:
         for f in pinned:

@@ -18,19 +18,20 @@ from collections.abc import Iterable, Sequence
 from repro.bdd.manager import BddManager
 
 
-def schedule_parts(
-    mgr: BddManager,
-    parts: Sequence[int],
+def schedule_supports(
+    supports: Sequence[set[int]],
     quantify: Iterable[int],
     *,
     constraint_support: Iterable[int] = (),
 ) -> list[tuple[int, list[int]]]:
-    """Order ``parts`` and attach early-quantification sets.
+    """Support-set core of :func:`schedule_parts`.
 
-    Returns ``[(part, vars_quantifiable_after_it), ...]`` such that
-    processing parts in the returned order and existentially quantifying
-    the attached variables right after conjoining each part is equivalent
-    to quantifying everything at the end.
+    Takes the per-part support sets directly (no manager, no BDDs) and
+    returns ``[(part_index, vars_quantifiable_after_it), ...]``.  The
+    sharded runtime (:mod:`repro.shard.plan`) reuses this as its
+    *affinity* heuristic: parts adjacent in the returned order share
+    support and retire variables together, so contiguous chunks of it
+    make good per-shard clusters.
 
     The greedy metric picks, at each step, the part minimising the
     estimated live support of the accumulated product:
@@ -39,8 +40,7 @@ def schedule_parts(
     original position (deterministic).
     """
     qset = set(quantify)
-    supports = [mgr.support(p) for p in parts]
-    remaining = list(range(len(parts)))
+    remaining = list(range(len(supports)))
     current: set[int] = set(constraint_support)
     ordered: list[tuple[int, list[int]]] = []
 
@@ -66,10 +66,33 @@ def schedule_parts(
                 future |= supports[other]
         live = current | supports[best]
         retirable = sorted((live & qset) - future)
-        ordered.append((parts[best], retirable))
+        ordered.append((best, retirable))
         current = live - set(retirable)
         remaining.remove(best)
     return ordered
+
+
+def schedule_parts(
+    mgr: BddManager,
+    parts: Sequence[int],
+    quantify: Iterable[int],
+    *,
+    constraint_support: Iterable[int] = (),
+) -> list[tuple[int, list[int]]]:
+    """Order ``parts`` and attach early-quantification sets.
+
+    Returns ``[(part, vars_quantifiable_after_it), ...]`` such that
+    processing parts in the returned order and existentially quantifying
+    the attached variables right after conjoining each part is equivalent
+    to quantifying everything at the end.  The ordering heuristic is
+    :func:`schedule_supports` over the parts' support sets.
+    """
+    ordered = schedule_supports(
+        [mgr.support(p) for p in parts],
+        quantify,
+        constraint_support=constraint_support,
+    )
+    return [(parts[idx], retire) for idx, retire in ordered]
 
 
 def cluster_parts(

@@ -1,0 +1,149 @@
+"""Result-identity of the sharded runtime (the CI shard-smoke suite).
+
+``--shards N`` must change *nothing* but the process topology: the
+sharded image computations are exact decompositions and BDDs are
+canonical, so reached sets, iteration counts and CSFs coincide with the
+in-process path.  These tests assert that over reachability workloads
+and the full Table 1 solver suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata import equivalent
+from repro.bdd.manager import BddManager
+from repro.bench import circuits
+from repro.bench.suite import TABLE1_CASES
+from repro.eqn.problem import build_latch_split_problem
+from repro.eqn.solver import solve_equation
+from repro.errors import EquationError
+from repro.network.bddbuild import build_network_bdds
+from repro.symb.reach import network_reachable_states
+
+
+def _reach(net, shards):
+    mgr = BddManager()
+    input_vars = {name: mgr.add_var(name) for name in net.inputs}
+    cs = {name: mgr.add_var(name) for name in net.latches}
+    ns = {name: mgr.add_var(f"{name}'") for name in net.latches}
+    bdds = build_network_bdds(net, mgr, input_vars, cs)
+    return network_reachable_states(bdds, ns_vars=ns, shards=shards)
+
+
+REACH_NETS = [
+    ("counter6", lambda: circuits.counter(6)),
+    ("gray5", lambda: circuits.gray_counter(5)),
+    ("rand12", lambda: circuits.random_network(3, 12, 3, seed=7, n_nodes=70)),
+]
+
+
+@pytest.mark.parametrize("name,make", REACH_NETS, ids=[n for n, _ in REACH_NETS])
+@pytest.mark.parametrize("shards", [2, 3])
+def test_sharded_reach_identical(name, make, shards) -> None:
+    base = _reach(make(), 1)
+    sharded = _reach(make(), shards)
+    assert sharded.state_count == base.state_count
+    assert sharded.iterations == base.iterations
+
+
+def test_sharded_reach_same_manager_same_edge() -> None:
+    """Within one manager, the sharded fixpoint lands on the same BDD."""
+    net = circuits.counter(5)
+    mgr = BddManager()
+    input_vars = {name: mgr.add_var(name) for name in net.inputs}
+    cs = {name: mgr.add_var(name) for name in net.latches}
+    ns = {name: mgr.add_var(f"{name}'") for name in net.latches}
+    bdds = build_network_bdds(net, mgr, input_vars, cs)
+    base = network_reachable_states(bdds, ns_vars=ns, shards=1)
+    sharded = network_reachable_states(bdds, ns_vars=ns, shards=2)
+    assert sharded.states == base.states  # identical edge, not just count
+
+
+@pytest.mark.parametrize("case", TABLE1_CASES, ids=[c.name for c in TABLE1_CASES])
+def test_sharded_solve_full_table1_identical(case) -> None:
+    """CSF identity over the *full* Table 1 suite, ``--shards 2`` vs 1.
+
+    The two solves share one problem (and manager), so structural
+    identity is meaningful: same subset states discovered in the same
+    order, same edge-label BDD edges, same CSF.
+    """
+    prob = build_latch_split_problem(
+        case.network(), list(case.x_latches), max_nodes=case.max_nodes
+    )
+    base = solve_equation(prob, method="partitioned")
+    sharded = solve_equation(prob, method="partitioned", shards=2)
+    assert sharded.csf_states == base.csf_states
+    assert sharded.stats.subsets == base.stats.subsets
+    assert sharded.stats.edges == base.stats.edges
+    # Deterministic expansion ⇒ structurally identical solutions.
+    assert sharded.solution.state_names == base.solution.state_names
+    assert sharded.solution.edges == base.solution.edges
+
+
+@pytest.mark.parametrize(
+    "case", TABLE1_CASES[:3], ids=[c.name for c in TABLE1_CASES[:3]]
+)
+def test_sharded_solve_language_equivalent(case) -> None:
+    prob = build_latch_split_problem(case.network(), list(case.x_latches))
+    base = solve_equation(prob, method="partitioned")
+    sharded = solve_equation(prob, method="partitioned", shards=3)
+    assert equivalent(sharded.csf, base.csf)
+
+
+def test_shards_require_partitioned_flow() -> None:
+    case = TABLE1_CASES[0]
+    prob = build_latch_split_problem(case.network(), list(case.x_latches))
+    with pytest.raises(EquationError, match="partitioned"):
+        solve_equation(prob, method="monolithic", shards=2)
+    with pytest.raises(EquationError, match="partitioned"):
+        solve_equation(prob, method="explicit", shards=2)
+
+
+def test_shard_workers_inherit_node_budget() -> None:
+    """Workers must enforce the problem's max_nodes (the CNC mechanism):
+    an exploding conjunction inside a shard manager is bounded too."""
+    case = TABLE1_CASES[0]
+    prob = build_latch_split_problem(
+        case.network(), list(case.x_latches), max_nodes=123_456
+    )
+    from repro.eqn.partitioned import PartitionedOracle
+
+    oracle = PartitionedOracle(prob, shards=2)
+    try:
+        for stats in oracle._pool.stats():
+            assert stats["max_nodes"] == 123_456
+    finally:
+        oracle.close()
+
+
+def test_shard_worker_budget_raises_as_repro_error() -> None:
+    """A worker blowing its budget surfaces as ShardError (a ReproError),
+    so the Table 1 harness records CNC exactly as in-process."""
+    from repro.bdd import BddManager, dump_nodes
+    from repro.errors import ReproError
+    from repro.shard import ShardError, ShardPool
+
+    names = [f"x{i}" for i in range(8)] + [f"y{i}" for i in range(8)]
+    mgr = BddManager()
+    vs = mgr.add_vars(names)
+    # Σ x_i·y_i under the blocked order: needs far more than 20 nodes.
+    f = 0
+    for x, y in zip(vs[:8], vs[8:]):
+        f = mgr.apply_or(f, mgr.apply_and(mgr.var_node(x), mgr.var_node(y)))
+    with ShardPool(1, names, max_nodes=20) as pool:
+        with pytest.raises(ShardError, match="BddNodeLimit"):
+            pool.call(0, ("load", 1, dump_nodes(mgr, [f])))
+    assert issubclass(ShardError, ReproError)
+
+
+def test_shards_one_is_the_inprocess_path() -> None:
+    """``shards=1`` must not even construct a pool."""
+    case = TABLE1_CASES[0]
+    prob = build_latch_split_problem(case.network(), list(case.x_latches))
+    from repro.eqn.partitioned import PartitionedOracle
+
+    oracle = PartitionedOracle(prob, shards=1)
+    assert oracle._pool is None
+    assert oracle.p_plan is not None  # the usual in-process plans exist
+    oracle.close()  # no-op

@@ -1,0 +1,153 @@
+"""Join-tree scheduler tests: clustering soundness + sharded images."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import BddManager
+from repro.shard import ShardPool, ShardedImage, partition_clusters
+from repro.shard.pool import ShardError
+from repro.symb.image import image_partitioned
+
+N_VARS = 8
+
+
+def relation_manager():
+    """A manager with interleaved (x_i, y_i) pairs and iff parts."""
+    mgr = BddManager()
+    xs, ys = [], []
+    for i in range(N_VARS):
+        xs.append(mgr.add_var(f"x{i}"))
+        ys.append(mgr.add_var(f"y{i}"))
+    return mgr, xs, ys
+
+
+def make_parts(mgr, xs, ys, spec):
+    """Parts ``y_i ≡ <function of xs>`` per (i, xs-subset) spec."""
+    parts = []
+    for i, deps in spec:
+        f = 1
+        for d in deps:
+            f = mgr.apply_and(f, mgr.var_node(xs[d]))
+        parts.append(mgr.apply_iff(mgr.var_node(ys[i]), f))
+    return parts
+
+
+class TestPartitionClusters:
+    def test_covers_every_part_once(self) -> None:
+        mgr, xs, ys = relation_manager()
+        parts = make_parts(mgr, xs, ys, [(i, [i]) for i in range(6)])
+        asg = partition_clusters(mgr, parts, 3, xs, set())
+        flat = sorted(i for cluster in asg.clusters for i in cluster)
+        assert flat == list(range(6))
+        assert 1 <= asg.num_clusters <= 3
+
+    def test_never_more_clusters_than_parts(self) -> None:
+        mgr, xs, ys = relation_manager()
+        parts = make_parts(mgr, xs, ys, [(0, [0]), (1, [1])])
+        asg = partition_clusters(mgr, parts, 8, xs, set())
+        assert asg.num_clusters == 2
+
+    def test_local_vars_are_exclusive_and_sound(self) -> None:
+        mgr, xs, ys = relation_manager()
+        # Part i depends on x_i only → every quantified x_i is local.
+        parts = make_parts(mgr, xs, ys, [(i, [i]) for i in range(6)])
+        asg = partition_clusters(mgr, parts, 2, xs[:6], set())
+        seen: set[int] = set()
+        for k, local in enumerate(asg.local_vars):
+            cluster_support = set()
+            for i in asg.clusters[k]:
+                cluster_support |= mgr.support(parts[i])
+            for v in local:
+                assert v not in seen
+                seen.add(v)
+                assert v in cluster_support
+        assert sorted(seen | set(asg.shared_vars)) == sorted(xs[:6])
+
+    def test_constraint_support_blocks_locality(self) -> None:
+        mgr, xs, ys = relation_manager()
+        parts = make_parts(mgr, xs, ys, [(i, [i]) for i in range(4)])
+        # Constraint mentions every x: nothing may retire in-shard.
+        asg = partition_clusters(mgr, parts, 2, xs[:4], set(xs[:4]))
+        assert all(not local for local in asg.local_vars)
+        assert asg.shared_vars == sorted(xs[:4])
+
+    def test_shared_vars_include_cross_cluster_vars(self) -> None:
+        mgr, xs, ys = relation_manager()
+        # x0 appears in every part → never local.
+        parts = make_parts(mgr, xs, ys, [(i, [0, i]) for i in range(4)])
+        asg = partition_clusters(mgr, parts, 2, xs[:4], set())
+        for local in asg.local_vars:
+            assert xs[0] not in local
+
+
+class TestShardedImage:
+    @pytest.mark.parametrize("mode", ["cluster", "split", "auto"])
+    @pytest.mark.parametrize("shards", [1, 2, 3])
+    def test_matches_in_process_image(self, mode, shards) -> None:
+        mgr, xs, ys = relation_manager()
+        parts = make_parts(
+            mgr, xs, ys, [(0, [0]), (1, [0, 1]), (2, [2, 3]), (3, [3])]
+        )
+        quantify = xs[:4]
+        psi = mgr.apply_or(
+            mgr.apply_and(mgr.var_node(xs[0]), mgr.var_node(xs[2])),
+            mgr.nvar_node(xs[1]),
+        )
+        expected = image_partitioned(mgr, parts, psi, quantify)
+        with ShardPool(shards, mgr.var_order()) as pool:
+            img = ShardedImage(
+                pool, mgr, parts, quantify, set(xs[:4]), mode=mode
+            )
+            assert img.run(psi) == expected
+            # FALSE constraint short-circuits without worker traffic.
+            assert img.run(0) == 0
+
+    def test_auto_picks_split_when_nothing_local(self) -> None:
+        mgr, xs, ys = relation_manager()
+        parts = make_parts(mgr, xs, ys, [(i, [i]) for i in range(4)])
+        with ShardPool(2, mgr.var_order()) as pool:
+            img = ShardedImage(pool, mgr, parts, xs[:4], set(xs[:4]))
+            assert img.mode == "split"
+
+    def test_auto_picks_cluster_when_retirement_possible(self) -> None:
+        mgr, xs, ys = relation_manager()
+        parts = make_parts(mgr, xs, ys, [(i, [i]) for i in range(4)])
+        # Constraint over y-space only: every quantified x is local.
+        with ShardPool(2, mgr.var_order()) as pool:
+            img = ShardedImage(pool, mgr, parts, xs[:4], set())
+            assert img.mode == "cluster"
+            psi = 1
+            assert img.run(psi) == image_partitioned(mgr, parts, psi, xs[:4])
+
+    def test_rejects_unknown_mode(self) -> None:
+        mgr, xs, ys = relation_manager()
+        parts = make_parts(mgr, xs, ys, [(0, [0])])
+        with ShardPool(1, mgr.var_order()) as pool:
+            with pytest.raises(ShardError, match="unknown sharded-image mode"):
+                ShardedImage(pool, mgr, parts, xs[:1], set(), mode="bogus")
+
+
+@given(st.data())
+@settings(max_examples=15, deadline=None)
+def test_sharded_image_random_relations(data) -> None:
+    """Random dependency structure, both modes, vs the in-process image."""
+    mgr, xs, ys = relation_manager()
+    n_parts = data.draw(st.integers(2, 5))
+    spec = [
+        (i, sorted(data.draw(st.sets(st.integers(0, 5), max_size=3))))
+        for i in range(n_parts)
+    ]
+    parts = make_parts(mgr, xs, ys, spec)
+    quantify = xs[:6]
+    cube = data.draw(st.lists(st.sampled_from(xs[:6]), max_size=3))
+    psi = 1
+    for v in cube:
+        psi = mgr.apply_and(psi, mgr.var_node(v))
+    expected = image_partitioned(mgr, parts, psi, quantify)
+    mode = data.draw(st.sampled_from(["cluster", "split"]))
+    with ShardPool(2, mgr.var_order()) as pool:
+        img = ShardedImage(pool, mgr, parts, quantify, set(xs[:6]), mode=mode)
+        assert img.run(psi) == expected

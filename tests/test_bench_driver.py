@@ -1,0 +1,125 @@
+"""Bench-driver surface tests: --list, run metadata, the shim warning."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import warnings
+
+import pytest
+
+from repro.bench import driver
+
+
+class TestListWorkloads:
+    def test_lists_kernel_and_table1(self) -> None:
+        listing = driver.list_workloads()
+        for name, _fn, _full, _smoke in driver.KERNEL_WORKLOADS:
+            assert name in listing
+        assert "table1/s27" in listing
+        assert "table1/johnson12" in listing
+
+    def test_lists_variants_without_running(self) -> None:
+        listing = driver.list_workloads()
+        assert "rand14@auto" in listing
+        assert "johnson12@shards2" in listing
+        assert "reach@shards2" in listing
+
+    def test_cli_flag_runs_nothing(self, tmp_path, capsys) -> None:
+        rc = driver.main(["--list", "--out-dir", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "kernel workloads" in out
+        assert "indep_images@shards1" in out
+        assert list(tmp_path.iterdir()) == []  # nothing written, nothing run
+
+    def test_repro_bench_list_via_console_entry(self, capsys) -> None:
+        from repro.cli import main
+
+        assert main(["bench", "--list"]) == 0
+        assert "table1 cases" in capsys.readouterr().out
+
+
+class TestMeta:
+    def test_records_environment(self) -> None:
+        meta = driver.meta(False)
+        assert isinstance(meta["cpu_count"], int) and meta["cpu_count"] >= 1
+        assert meta["python"].count(".") == 2
+        assert meta["platform"]
+        assert meta["smoke"] is False
+
+    def test_extra_knobs_merge(self) -> None:
+        meta = driver.meta(True, reorder="auto", gc="adaptive")
+        assert meta["reorder"] == "auto"
+        assert meta["gc"] == "adaptive"
+
+
+class TestDiffEnvironmentLine:
+    def test_markdown_diff_surfaces_cpu_counts(self, tmp_path) -> None:
+        results = [
+            {"name": "w", "size": 5, "wall_s": 0.01, "peak_live_nodes": 1}
+        ]
+        baseline = {
+            "meta": {"cpu_count": 64, "python": "3.99.0", "git_rev": "abc"},
+            "results": [
+                {"name": "w", "size": 5, "wall_s": 0.01, "peak_live_nodes": 1}
+            ],
+        }
+        path = tmp_path / "base.json"
+        path.write_text(json.dumps(baseline))
+        md = driver.format_markdown_diff(results, path, 1.5)
+        assert "cpus=64" in md  # the baseline environment
+        assert "Environment: cpus=" in md  # the current one
+        assert "python=3.99.0" in md
+
+    def test_diff_tolerates_missing_baseline_meta(self, tmp_path) -> None:
+        path = tmp_path / "base.json"
+        path.write_text(json.dumps({"results": []}))
+        md = driver.format_markdown_diff([], path, 1.5)
+        assert "cpus=?" in md
+
+
+class TestShimDeprecation:
+    def _load_shim(self):
+        import pathlib
+
+        repo = pathlib.Path(__file__).resolve().parent.parent
+        spec = importlib.util.spec_from_file_location(
+            "bench_run_all_depr", repo / "benchmarks" / "run_all.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def test_shim_warns_and_points_at_repro_bench(self) -> None:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            module = self._load_shim()
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert deprecations, "shim must emit a DeprecationWarning"
+        assert "repro bench" in str(deprecations[0].message)
+        # The shim still re-exports the driver surface.
+        assert module.main is driver.main
+
+    def test_package_driver_does_not_warn(self) -> None:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            importlib.reload(driver)
+        assert not [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+
+
+@pytest.mark.parametrize("name", ["reach@shards1", "reach@shards2",
+                                  "indep_images@shards1", "indep_images@shards2"])
+def test_shard_workloads_registered_in_pairs(name) -> None:
+    names = [n for n, *_ in driver.KERNEL_WORKLOADS]
+    assert name in names
+    base, variant = name.split("@")
+    # Every @shardsN row has its @shards1 twin at the same size.
+    sizes = {
+        n: (full, smoke) for n, _f, full, smoke in driver.KERNEL_WORKLOADS
+    }
+    assert sizes[f"{base}@shards1"] == sizes[name]

@@ -82,6 +82,39 @@ class TestSolve:
         )
         assert code == 0
 
+    def test_solve_sharded_rejects_monolithic(self, blif_file, capsys) -> None:
+        code = main(
+            [
+                "solve",
+                "--blif",
+                blif_file,
+                "--x-latches",
+                "G6",
+                "--method",
+                "monolithic",
+                "--shards",
+                "2",
+            ]
+        )
+        assert code == 2
+        assert "--shards requires" in capsys.readouterr().err
+
+    def test_solve_sharded_matches_inprocess(self, blif_file, capsys) -> None:
+        code = main(
+            [
+                "solve",
+                "--blif",
+                blif_file,
+                "--x-latches",
+                "G6",
+                "--shards",
+                "2",
+                "--no-verify",
+            ]
+        )
+        assert code == 0
+        assert "csf_states=7" in capsys.readouterr().out
+
     def test_version_flag(self, capsys) -> None:
         with pytest.raises(SystemExit) as excinfo:
             main(["--version"])
@@ -96,6 +129,11 @@ class TestReach:
 
     def test_reach_without_scheduling(self, blif_file, capsys) -> None:
         assert main(["reach", "--blif", blif_file, "--no-schedule"]) == 0
+        out = capsys.readouterr().out
+        assert "reachable states: 6 of 8" in out
+
+    def test_reach_sharded_matches_inprocess(self, blif_file, capsys) -> None:
+        assert main(["reach", "--blif", blif_file, "--shards", "2"]) == 0
         out = capsys.readouterr().out
         assert "reachable states: 6 of 8" in out
 
