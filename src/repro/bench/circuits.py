@@ -67,6 +67,46 @@ def johnson(n_bits: int, *, name: str | None = None) -> Network:
     return net
 
 
+def twin_rings(na: int, nb: int, *, name: str | None = None) -> Network:
+    """Two independent Johnson rings sharing nothing but the clock.
+
+    Inputs: ``ena``, ``enb`` (one enable per ring).  Outputs: ``qa``,
+    ``qb`` (each ring's MSB).  Latches ``a0..a{na-1}``, ``b0..b{nb-1}``.
+
+    The rings are completely decoupled: each output observes one ring
+    only, so state variables of the *other* ring are irrelevant to its
+    conformance condition.  This is the ≥20-latch shape (``na + nb``)
+    where the subset construction's incremental completion step pays:
+    sibling subsets differing only in the hidden ring share one
+    ``Q^j_ψ`` image per output, while the monolithic flow still has to
+    build the full product relation over every latch pair — the paper's
+    CNC regime.
+    """
+    if na < 2 or nb < 2:
+        raise NetworkError("twin_rings needs at least two bits per ring")
+    net = Network(name=name or f"twin{na}_{nb}")
+    for prefix, n_bits, enable in (("a", na, "ena"), ("b", nb, "enb")):
+        net.add_input(enable)
+        bits = [f"{prefix}{k}" for k in range(n_bits)]
+        net.add_node(f"fb_{prefix}", Not(Var(bits[-1])))
+        for k, bit in enumerate(bits):
+            source = f"fb_{prefix}" if k == 0 else bits[k - 1]
+            net.add_node(
+                f"n_{prefix}{k}",
+                Or(
+                    (
+                        And((Var(enable), Var(source))),
+                        And((Not(Var(enable)), Var(bit))),
+                    )
+                ),
+            )
+            net.add_latch(bit, f"n_{prefix}{k}", 0)
+        net.add_node(f"q{prefix}", Var(bits[-1]))
+        net.add_output(f"q{prefix}")
+    net.validate()
+    return net
+
+
 def lfsr(
     n_bits: int,
     taps: tuple[int, ...] = (),

@@ -26,6 +26,7 @@ gate used by CI.
 from __future__ import annotations
 
 import argparse
+import fnmatch
 import gc
 import json
 import os
@@ -33,6 +34,7 @@ import platform
 import subprocess
 import sys
 import time
+from collections.abc import Callable
 from pathlib import Path
 
 from repro._version import __version__
@@ -45,7 +47,7 @@ from repro.symb.reach import network_reachable_states
 REPO_ROOT = Path(__file__).resolve().parents[3]
 
 SCHEMA_KERNEL = "repro-bench-kernel/2"
-SCHEMA_TABLE1 = "repro-bench-table1/3"
+SCHEMA_TABLE1 = "repro-bench-table1/4"
 
 #: Table 1 cases re-run with ``--reorder auto`` as dedicated ``@auto``
 #: rows: the paper-scale instances where dynamic reordering is the
@@ -58,6 +60,12 @@ TABLE1_REORDER_VARIANTS = ("rand14", "rand15")
 #: with the recorded ``meta.cpu_count``: on a single-core runner the
 #: worker processes time-slice and the transfer overhead dominates.
 TABLE1_SHARD_VARIANTS = ("johnson12",)
+
+#: Table 1 cases re-run through the frontier-batched subset engine as
+#: ``@batch8`` rows (partitioned flow only): BFS frontier order groups
+#: sibling subsets, batches of 8 flow through ``expand_batch``, and the
+#: incremental completion memo deduplicates their ``Q_ψ`` work.
+TABLE1_BATCH_VARIANTS = ("johnson12", "rand20")
 
 
 # --------------------------------------------------------------------- #
@@ -367,6 +375,35 @@ def wl_indep_images_shards2(n: int) -> BddManager:
     return _indep_images(n, 2)
 
 
+def _solve_batched(n: int, batch: int) -> BddManager:
+    """A partitioned solve through the frontier-batched subset engine.
+
+    The ``@batch1``/``@batch8`` pair isolates the cost/benefit of
+    batching on one manager: same instance, same flow, only the
+    frontier batch size (and the BFS sibling grouping that makes the
+    completion memo hit) differs.
+    """
+    from repro.eqn.problem import build_latch_split_problem
+    from repro.eqn.solver import solve_equation
+
+    net = circuits.johnson(n)
+    x_latches = [f"j{k}" for k in range(1, n, 2)]
+    problem = build_latch_split_problem(net, x_latches)
+    result = solve_equation(
+        problem, method="partitioned", frontier="bfs", batch=batch
+    )
+    assert result.csf_states > 0
+    return problem.manager
+
+
+def wl_solve_batch1(n: int) -> BddManager:
+    return _solve_batched(n, 1)
+
+
+def wl_solve_batch8(n: int) -> BddManager:
+    return _solve_batched(n, 8)
+
+
 KERNEL_WORKLOADS = [
     # (name, fn, full_size, smoke_size)
     ("and_or_chain", wl_and_or_chain, 14, 8),
@@ -387,12 +424,62 @@ KERNEL_WORKLOADS = [
     ("reach@shards2", wl_reach_shards2, 18, 12),
     ("indep_images@shards1", wl_indep_images_shards1, 16, 10),
     ("indep_images@shards2", wl_indep_images_shards2, 16, 10),
+    # Frontier-batched subset-engine pair: same solve, batch sizes 1/8.
+    ("solve@batch1", wl_solve_batch1, 10, 8),
+    ("solve@batch8", wl_solve_batch8, 10, 8),
 ]
 
 
-def run_kernel(smoke: bool, repeats: int) -> list[dict]:
+def make_workload_filter(
+    only: str | None = None, skip: str | None = None
+) -> Callable[[str, str], bool]:
+    """Build an ``accept(suite, name)`` predicate from glob patterns.
+
+    ``only`` and ``skip`` are comma-separated shell-style globs matched
+    (case-sensitively) against the full ``suite/name`` path, the bare
+    workload ``name`` and the bare ``suite`` name — so ``--only kernel``
+    keeps a whole suite, ``--only 'table1/rand*'`` or ``--only 'rand*'``
+    a family, and ``--skip '*@shards*'`` drops the sharded variants
+    everywhere.  An empty/None ``only`` accepts everything; ``skip``
+    wins over ``only``.
+    """
+
+    def patterns(spec: str | None) -> list[str]:
+        return [p for p in (spec or "").split(",") if p]
+
+    only_pats = patterns(only)
+    skip_pats = patterns(skip)
+
+    def matches(pats: list[str], suite: str, name: str) -> bool:
+        full = f"{suite}/{name}"
+        return any(
+            fnmatch.fnmatchcase(full, pat)
+            or fnmatch.fnmatchcase(name, pat)
+            or fnmatch.fnmatchcase(suite, pat)
+            for pat in pats
+        )
+
+    def accept(suite: str, name: str) -> bool:
+        if only_pats and not matches(only_pats, suite, name):
+            return False
+        return not (skip_pats and matches(skip_pats, suite, name))
+
+    return accept
+
+
+def _accept_all(_suite: str, _name: str) -> bool:
+    return True
+
+
+def run_kernel(
+    smoke: bool,
+    repeats: int,
+    select: Callable[[str, str], bool] = _accept_all,
+) -> list[dict]:
     results = []
     for name, fn, full_n, smoke_n in KERNEL_WORKLOADS:
+        if not select("kernel", name):
+            continue
         n = smoke_n if smoke else full_n
         best = None
         stats: dict = {}
@@ -440,7 +527,14 @@ def run_kernel(smoke: bool, repeats: int) -> list[dict]:
 
 
 def _run_table1_case(
-    case, *, reorder: str, gc_mode: str, row_name: str, shards: int = 1
+    case,
+    *,
+    reorder: str,
+    gc_mode: str,
+    row_name: str,
+    shards: int = 1,
+    frontier: str = "dfs",
+    batch: int = 1,
 ) -> dict:
     from repro.eqn.problem import build_latch_split_problem
     from repro.eqn.solver import solve_equation
@@ -455,6 +549,8 @@ def _run_table1_case(
         "reorder": reorder,
         "gc": gc_mode,
         "shards": shards,
+        "frontier": frontier,
+        "batch": batch,
         "methods": {},
     }
     # Only the partitioned flow shards; @shardsN rows skip the baseline.
@@ -472,7 +568,12 @@ def _run_table1_case(
                 gc=gc_mode,
             )
             result = solve_equation(
-                problem, method=method, limit=limit, shards=shards
+                problem,
+                method=method,
+                limit=limit,
+                shards=shards,
+                frontier=frontier,
+                batch=batch,
             )
         except ReproError:
             row["methods"][method] = {"cnc": True}
@@ -485,6 +586,10 @@ def _run_table1_case(
             "wall_s": round(elapsed, 4),
             "csf_states": result.csf_states,
             "subsets": result.stats.subsets if result.stats else None,
+            "batches": result.stats.batches if result.stats else None,
+            "memo_hits": result.stats.extra.get("completion_memo_hits")
+            if result.stats
+            else None,
             "peak_live_nodes": mgr_stats["peak_live_nodes"],
             "cache_hit_rate": round(problem.manager.cache_hit_rate(), 4),
             "gc_runs": mgr_stats["gc_runs"],
@@ -505,17 +610,52 @@ def _run_table1_case(
     return row
 
 
+def _table1_base_cases(smoke: bool) -> list:
+    from repro.bench.suite import TABLE1_CASES
+
+    if not smoke:
+        return list(TABLE1_CASES)
+    return [c for c in TABLE1_CASES if not c.expect_mono_cnc][:3]
+
+
+def table1_row_names(smoke: bool, *, reorder: str = "off") -> list[str]:
+    """Every row name a run with these settings would emit.
+
+    This is the single source of truth the ``--only``/``--skip``
+    nothing-matched guard checks against: a variant row that a smoke
+    run (or an explicit ``--reorder`` run) suppresses must not count as
+    selectable, or a filtered run could write an empty artifact with a
+    success exit code.
+    """
+    from repro.bench.suite import TABLE1_BENCH_ONLY_CASES, TABLE1_CASES
+
+    names = [case.name for case in _table1_base_cases(smoke)]
+    if not smoke:
+        in_suite = {c.name for c in TABLE1_CASES}
+        if reorder == "off":
+            names += [
+                f"{n}@auto" for n in TABLE1_REORDER_VARIANTS if n in in_suite
+            ]
+        names += [f"{n}@shards2" for n in TABLE1_SHARD_VARIANTS if n in in_suite]
+        names += [f"{n}@batch8" for n in TABLE1_BATCH_VARIANTS if n in in_suite]
+        names += [f"{case.name}@batch8" for case in TABLE1_BENCH_ONLY_CASES]
+    return names
+
+
 def run_table1_bench(
-    smoke: bool, *, reorder: str = "off", gc_mode: str = "static"
+    smoke: bool,
+    *,
+    reorder: str = "off",
+    gc_mode: str = "static",
+    select: Callable[[str, str], bool] = _accept_all,
 ) -> list[dict]:
     from repro.bench.suite import TABLE1_CASES
 
-    cases = [c for c in TABLE1_CASES if not c.expect_mono_cnc] if smoke else TABLE1_CASES
-    if smoke:
-        cases = cases[:3]
+    cases = _table1_base_cases(smoke)
     rows = [
         _run_table1_case(case, reorder=reorder, gc_mode=gc_mode, row_name=case.name)
         for case in cases
+        if select("table1", case.name)
     ]
     if not smoke:
         # Paper-scale @auto rows: the same instances with GC-triggered
@@ -524,29 +664,69 @@ def run_table1_bench(
         by_name = {c.name: c for c in TABLE1_CASES}
         for name in TABLE1_REORDER_VARIANTS:
             case = by_name.get(name)
+            row_name = f"{name}@auto"
             if case is None or reorder != "off":
                 continue  # an explicit --reorder run already covers these
+            if not select("table1", row_name):
+                continue
             rows.append(
                 _run_table1_case(
                     case,
                     reorder="auto",
                     gc_mode="adaptive",
-                    row_name=f"{name}@auto",
+                    row_name=row_name,
                 )
             )
         # Sharded-runtime rows: the partitioned flow on a 2-worker pool,
         # interpretable against the base row via meta.cpu_count.
         for name in TABLE1_SHARD_VARIANTS:
             case = by_name.get(name)
-            if case is None:
+            row_name = f"{name}@shards2"
+            if case is None or not select("table1", row_name):
                 continue
             rows.append(
                 _run_table1_case(
                     case,
                     reorder=reorder,
                     gc_mode=gc_mode,
-                    row_name=f"{name}@shards2",
+                    row_name=row_name,
                     shards=2,
+                )
+            )
+        # Frontier-batched rows: BFS order, batches of 8 — the sibling
+        # grouping that makes the incremental completion memo pay.
+        for name in TABLE1_BATCH_VARIANTS:
+            case = by_name.get(name)
+            row_name = f"{name}@batch8"
+            if case is None or not select("table1", row_name):
+                continue
+            rows.append(
+                _run_table1_case(
+                    case,
+                    reorder=reorder,
+                    gc_mode=gc_mode,
+                    row_name=row_name,
+                    frontier="bfs",
+                    batch=8,
+                )
+            )
+        # Bench-only rows (too slow for the per-case identity tests):
+        # recorded through the batched engine, which is what makes their
+        # completion-memo structure visible in the artifact.
+        from repro.bench.suite import TABLE1_BENCH_ONLY_CASES
+
+        for case in TABLE1_BENCH_ONLY_CASES:
+            row_name = f"{case.name}@batch8"
+            if not select("table1", row_name):
+                continue
+            rows.append(
+                _run_table1_case(
+                    case,
+                    reorder=reorder,
+                    gc_mode=gc_mode,
+                    row_name=row_name,
+                    frontier="bfs",
+                    batch=8,
                 )
             )
     return rows
@@ -557,30 +737,49 @@ def run_table1_bench(
 # --------------------------------------------------------------------- #
 
 
-def list_workloads() -> str:
+def list_workloads(
+    select: Callable[[str, str], bool] = _accept_all,
+) -> str:
     """Human-readable listing of every workload and variant, unrun.
 
     ``repro bench --list`` prints this: kernel workloads with their full
     and smoke sizes, and Table 1 cases with the ``@auto`` (dynamic
-    reordering) and ``@shards2`` (sharded runtime) variant rows the full
-    run records alongside them.
+    reordering), ``@shards2`` (sharded runtime) and ``@batch8``
+    (frontier-batched engine) variant rows the full run records
+    alongside them.  ``select`` (built from ``--only``/``--skip``)
+    restricts the listing the same way it restricts a run.
     """
     from repro.bench.suite import TABLE1_CASES
 
     lines = ["kernel workloads (name, full n, smoke n):"]
     for name, _fn, full_n, smoke_n in KERNEL_WORKLOADS:
+        if not select("kernel", name):
+            continue
         lines.append(f"  kernel/{name:28s} n={full_n:<5d} smoke n={smoke_n}")
     lines.append("")
     lines.append("table1 cases (solver, partitioned vs monolithic):")
     for case in TABLE1_CASES:
+        if not select("table1", case.name):
+            continue
         variants = []
         if case.name in TABLE1_REORDER_VARIANTS:
             variants.append(f"{case.name}@auto")
         if case.name in TABLE1_SHARD_VARIANTS:
             variants.append(f"{case.name}@shards2")
+        if case.name in TABLE1_BATCH_VARIANTS:
+            variants.append(f"{case.name}@batch8")
         suffix = f"  (+ variants: {', '.join(variants)})" if variants else ""
         cnc = "  [mono expected CNC]" if case.expect_mono_cnc else ""
         lines.append(f"  table1/{case.name:14s} {case.paper_row}{cnc}{suffix}")
+    from repro.bench.suite import TABLE1_BENCH_ONLY_CASES
+
+    for case in TABLE1_BENCH_ONLY_CASES:
+        row_name = f"{case.name}@batch8"
+        if not select("table1", row_name):
+            continue
+        lines.append(
+            f"  table1/{row_name:14s} {case.paper_row}  [bench-only row]"
+        )
     return "\n".join(lines)
 
 
@@ -681,12 +880,31 @@ def format_markdown_diff(
     # Surface both environments: shard-variant deltas (``@shards2`` vs
     # ``@shards1``) are only meaningful relative to the core counts.
     base_meta = baseline.get("meta", {})
+    cur_cpus, cur_python = os.cpu_count(), platform.python_version()
+    base_cpus = base_meta.get("cpu_count")
+    base_python = base_meta.get("python")
     lines.append(
-        f"Environment: cpus={os.cpu_count()}, "
-        f"python={platform.python_version()} "
-        f"(baseline: cpus={base_meta.get('cpu_count', '?')}, "
-        f"python={base_meta.get('python', '?')})"
+        f"Environment: cpus={cur_cpus}, "
+        f"python={cur_python} "
+        f"(baseline: cpus={base_cpus if base_cpus is not None else '?'}, "
+        f"python={base_python if base_python is not None else '?'})"
     )
+    mismatches = []
+    if base_cpus is not None and base_cpus != cur_cpus:
+        mismatches.append(
+            f"cpu_count differs (baseline {base_cpus}, current {cur_cpus})"
+        )
+    if base_python is not None and base_python != cur_python:
+        mismatches.append(
+            f"python differs (baseline {base_python}, current {cur_python})"
+        )
+    if mismatches:
+        lines.append(
+            "> ⚠️ **environment mismatch:** "
+            + "; ".join(mismatches)
+            + " — wall-clock ratios and especially the sharded "
+            "(`@shardsN`) deltas are not comparable across these runs."
+        )
     if medians:
         lines.append(
             f"Median slowdown: **{medians[0]:.2f}x** "
@@ -778,9 +996,20 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--only",
-        choices=("kernel", "table1"),
         default=None,
-        help="run a single suite",
+        help=(
+            "comma-separated glob(s) of workloads to run, matched against "
+            "'suite/name', the bare name and the bare suite — e.g. "
+            "'kernel', 'table1/rand*', '*@shards*' (default: everything)"
+        ),
+    )
+    parser.add_argument(
+        "--skip",
+        default=None,
+        help=(
+            "comma-separated glob(s) of workloads to exclude (applied "
+            "after --only; same matching rules)"
+        ),
     )
     parser.add_argument(
         "--baseline",
@@ -807,19 +1036,24 @@ def main(argv: list[str] | None = None) -> int:
         help="GC tuning mode for the table1 solver runs",
     )
     args = parser.parse_args(argv)
+    select = make_workload_filter(args.only, args.skip)
     if args.list:
-        print(list_workloads())
+        print(list_workloads(select))
         return 0
     args.out_dir.mkdir(parents=True, exist_ok=True)
     repeats = args.repeats if args.repeats is not None else (2 if args.smoke else 5)
+    filtered = bool(args.only or args.skip)
 
     rc = 0
-    if args.only in (None, "kernel"):
+    run_kernel_suite = any(
+        select("kernel", name) for name, *_ in KERNEL_WORKLOADS
+    )
+    if run_kernel_suite:
         print("== kernel benchmarks ==", flush=True)
-        kernel_results = run_kernel(args.smoke, repeats)
+        kernel_results = run_kernel(args.smoke, repeats, select)
         payload = {
             "schema": SCHEMA_KERNEL,
-            "meta": meta(args.smoke),
+            "meta": meta(args.smoke, filtered=filtered),
             "results": kernel_results,
         }
         out = args.out_dir / "BENCH_kernel.json"
@@ -838,17 +1072,29 @@ def main(argv: list[str] | None = None) -> int:
             if failures:
                 rc = 1
 
-    if args.only in (None, "table1"):
+    run_table1_suite = any(
+        select("table1", name)
+        for name in table1_row_names(args.smoke, reorder=args.reorder)
+    )
+    if run_table1_suite:
         print("== table1 benchmarks ==", flush=True)
-        table1_rows = run_table1_bench(args.smoke, reorder=args.reorder, gc_mode=args.gc)
+        table1_rows = run_table1_bench(
+            args.smoke, reorder=args.reorder, gc_mode=args.gc, select=select
+        )
         payload = {
             "schema": SCHEMA_TABLE1,
-            "meta": meta(args.smoke, reorder=args.reorder, gc=args.gc),
+            "meta": meta(
+                args.smoke, reorder=args.reorder, gc=args.gc, filtered=filtered
+            ),
             "results": table1_rows,
         }
         out = args.out_dir / "BENCH_table1.json"
         out.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {out}")
+
+    if not run_kernel_suite and not run_table1_suite:
+        print("no workloads match --only/--skip; nothing run", file=sys.stderr)
+        return 2
 
     return rc
 

@@ -72,6 +72,24 @@ def _build_parser() -> argparse.ArgumentParser:
             "(1 = in-process; N≥2 shards the partition clusters)"
         ),
     )
+    solve.add_argument(
+        "--frontier",
+        default="dfs",
+        # Literal (not repro.eqn.subset.STRATEGIES) to keep the parser
+        # import-light; test_cli pins the two in lockstep.
+        choices=("dfs", "bfs", "size"),
+        help="frontier ordering strategy of the subset construction",
+    )
+    solve.add_argument(
+        "--batch",
+        type=int,
+        default=1,
+        help=(
+            "subset states expanded per batch (1 = classic worklist; "
+            "larger batches pipeline sharded image computations and "
+            "share completion work between sibling subsets)"
+        ),
+    )
     solve.add_argument("--no-verify", action="store_true", help="skip formal checks")
     solve.add_argument("--kiss-out", help="write the CSF as KISS2 to this file")
     solve.add_argument("--dot-out", help="write the CSF as Graphviz dot")
@@ -162,13 +180,28 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         reorder=args.reorder,
         gc=args.gc,
         shards=args.shards,
+        frontier=args.frontier,
+        batch=args.batch,
     )
     print(result.summary())
     if result.stats is not None:
         print(
             f"  subsets={result.stats.subsets} edges={result.stats.edges} "
-            f"peak_nodes={result.stats.peak_nodes}"
+            f"batches={result.stats.batches} peak_nodes={result.stats.peak_nodes}"
         )
+        memo_hits = result.stats.extra.get("completion_memo_hits")
+        if memo_hits:
+            print(
+                f"  completion memo: hits={memo_hits} "
+                f"misses={result.stats.extra.get('completion_memo_misses', 0)}"
+            )
+        if "psi_serializations" in result.stats.extra:
+            print(
+                f"  shard transfers: psi_serializations="
+                f"{result.stats.extra['psi_serializations']} "
+                f"(max per subset "
+                f"{result.stats.extra['psi_serializations_max']})"
+            )
     mgr_stats = result.problem.manager.stats
     if mgr_stats["gc_runs"] or mgr_stats["reorder_runs"]:
         print(

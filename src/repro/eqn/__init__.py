@@ -35,7 +35,13 @@ from repro.eqn.solver import (
     solve_equation,
     solve_latch_split,
 )
-from repro.eqn.subset import SubsetEdge, SubsetStats, subset_construct
+from repro.eqn.subset import (
+    STRATEGIES,
+    FrontierScheduler,
+    SubsetEdge,
+    SubsetStats,
+    subset_construct,
+)
 from repro.eqn.verify import (
     VerificationReport,
     compose_with_fixed,
@@ -45,8 +51,10 @@ from repro.eqn.verify import (
 
 __all__ = [
     "EquationProblem",
+    "FrontierScheduler",
     "Implementation",
     "METHODS",
+    "STRATEGIES",
     "MonolithicOracle",
     "PartitionedOracle",
     "SolveResult",

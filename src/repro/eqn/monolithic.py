@@ -26,7 +26,7 @@ from __future__ import annotations
 from repro.bdd.cube import split_by_vars
 from repro.bdd.manager import FALSE, TRUE, BddManager
 from repro.eqn.problem import EquationProblem
-from repro.eqn.subset import SubsetEdge
+from repro.eqn.subset import SubsetEdge, expand_batch_pinned
 
 
 class MonolithicOracle:
@@ -132,6 +132,22 @@ class MonolithicOracle:
         return self.mgr.apply_and(psi, dc) == FALSE
 
     def expand(self, psi: int) -> tuple[list[SubsetEdge], int]:
+        """Single-item adapter over :meth:`expand_batch`."""
+        return self.expand_batch([psi])[0]
+
+    def expand_batch(
+        self, psis: list[int]
+    ) -> list[tuple[list[SubsetEdge], int]]:
+        """Expand a frontier batch against the hidden relation.
+
+        The monolithic flow has no cross-subset work to share — each
+        expansion is one fused ``and_exists`` against ``TS`` — so the
+        batch is the shared pinned loop, safe under opportunistic
+        collection however the kernel evolves.
+        """
+        return expand_batch_pinned(self.mgr, psis, self._expand_one)
+
+    def _expand_one(self, psi: int) -> tuple[list[SubsetEdge], int]:
         mgr = self.mgr
         # P_ψ(u,v,ns) = ∃cs [ TS ∧ ψ ] — one fused and_exists against the
         # hidden relation; the kernel's short-circuiting core quantifies

@@ -24,6 +24,24 @@ ablation: a DC1 flag variable is threaded through the image as one more
 partition ``dc' ≡ (dc ∨ ¬C)``, non-conforming subsets are expanded like
 any others, and prefix-closure removes them at the end.
 
+Incremental completion
+----------------------
+
+``Q_ψ`` is recomputed for every subset in the classic flow, yet for a
+fixed output ``j`` it only depends on the **cofactor class** of ψ with
+respect to the support of its image parts: state variables that feed
+neither the ``u`` functions nor ``¬C_j`` can be quantified out of ψ
+first, and ``Q^j_ψ = Q^j_{∃R_j.ψ}``.  The oracle memoizes the per-output
+images under that projection key, so sibling subsets that differ only in
+latches irrelevant to an output share one image computation — in a
+frontier batch the duplicates are deduplicated *before* any work is
+scheduled.  Memo keys and values are pinned against garbage collection
+(and therefore survive in-place reordering); hits/misses are reported
+through :meth:`PartitionedOracle.run_stats`.
+
+Sharded batching
+----------------
+
 ``shards=N`` (N ≥ 2) distributes the oracle's image computations over a
 :class:`~repro.shard.pool.ShardPool` of worker processes, each owning
 its own shard manager: the ``P_ψ`` image runs as a cluster-sharded
@@ -33,6 +51,16 @@ shards, partial images joined in this manager), and the per-output
 across the shards and OR-joined.  Both joins are exact, so the sharded
 oracle is result-identical to ``shards=1`` (which keeps today's
 in-process path, bit for bit).
+
+Subset states are **shard-resident**: when a frontier batch arrives
+(:meth:`PartitionedOracle.expand_batch`), each new ψ is serialized
+exactly once and ``retain``-ed in every worker's resident registry;
+every P/Q image of the batch then names ψ by its coordinator-keyed
+handle, and the handles are ``release``-d when the batch completes.
+All commands of a batch are submitted before any reply is collected
+(the :class:`~repro.shard.pool.ShardPool` pipelining contract), so the
+workers overlap their image computations across the whole batch instead
+of one ψ at a time.
 """
 
 from __future__ import annotations
@@ -44,7 +72,7 @@ from repro.bdd.io import dump_nodes, load_nodes
 from repro.bdd.manager import FALSE, BddManager
 from repro.symb.image import image_partitioned, image_with_plan, plan_image
 from repro.eqn.problem import EquationProblem
-from repro.eqn.subset import SubsetEdge
+from repro.eqn.subset import SubsetEdge, expand_batch_pinned
 
 
 class PartitionedOracle:
@@ -107,6 +135,24 @@ class PartitionedOracle:
         # Interned quantification set for the per-expansion ∃ns domain
         # computation (revalidates lazily across dynamic reordering).
         self.ns_qs = mgr.quant_set(self.ns_vars)
+        # Incremental completion: per-output projection sets and memo
+        # tables.  R_j = state variables feeding neither the u functions
+        # nor ¬C_j; ∃R_j.ψ is the memo key for output j's Q image.
+        self.memo_hits = 0
+        self.memo_misses = 0
+        self._q_memo: list[dict[int, int]] = [dict() for _ in self.nonconf]
+        self._q_proj: list[object | None] = []
+        # Projecting over plain product cs variables only is sound in
+        # both modes: the DC1 flag of the no-trim ablation is not in
+        # all_cs_vars(), so a flagged ψ is never projected onto a
+        # flag-free class.
+        cs_set = set(problem.all_cs_vars())
+        for nc in self.nonconf:
+            supp: set[int] = set()
+            for part in [*self.u_parts, nc]:
+                supp |= mgr.support(part)
+            drop = sorted(cs_set - supp)
+            self._q_proj.append(mgr.quant_set(drop) if drop else None)
         # Every ψ is a function of the product cs variables, so the
         # quantification schedules can be computed once and reused for
         # every subset expansion; plan_image interns every retire set as
@@ -116,6 +162,12 @@ class PartitionedOracle:
         self._pool = None
         self._p_sharded = None
         self._q_remote: list[tuple[int, int]] = []
+        # Shard-resident subset states: ψ edge -> worker handle for the
+        # batch in flight, plus the transfer instrumentation the
+        # acceptance tests assert on (each ψ serialized exactly once).
+        self._psi_handles: dict[int, int] = {}
+        self._psi_serialized: dict[int, int] = {}
+        self._resident_peak = 0
         if shards > 1:
             from repro.shard import ShardPool, ShardedImage
             from repro.shard.plan import load_parts, make_plan
@@ -188,7 +240,9 @@ class PartitionedOracle:
         The subset driver pins these, which also makes them safe across
         GC-triggered in-place reordering: sifting preserves all pinned
         edges, and the reusable image plans stay valid because their
-        retire sets are variable indices, not levels.
+        retire sets are variable indices, not levels.  Completion-memo
+        entries are created later and pin themselves as they are
+        inserted.
         """
         roots = [*self.u_parts, *self.t_parts, *self.nonconf, self.init_cube]
         if self.p_plan is not None:
@@ -210,6 +264,52 @@ class PartitionedOracle:
         dc = self.mgr.var_node(self.problem.dc_var)
         return self.mgr.apply_and(psi, dc) == FALSE
 
+    def run_stats(self) -> dict:
+        """Oracle instrumentation merged into ``SubsetStats.extra``."""
+        stats = {
+            "completion_memo_hits": self.memo_hits,
+            "completion_memo_misses": self.memo_misses,
+        }
+        if self._pool is not None:
+            counts = self._psi_serialized
+            stats["psi_serializations"] = sum(counts.values())
+            stats["psi_serializations_max"] = max(counts.values(), default=0)
+            stats["psi_resident_peak"] = self._resident_peak
+            stats["pool_op_counts"] = dict(self._pool.op_counts)
+        return stats
+
+    # -- the incremental completion step ------------------------------- #
+
+    def _q_key(self, j: int, psi: int) -> int:
+        """Memo key for output ``j``: ψ projected onto relevant latches."""
+        proj = self._q_proj[j]
+        return psi if proj is None else self.mgr.exists(psi, proj)
+
+    def _q_insert(self, j: int, key: int, value: int) -> int:
+        """Record ``Q^j`` for a cofactor class; pins both edges."""
+        mgr = self.mgr
+        mgr.ref(key)
+        mgr.ref(value)
+        self._q_memo[j][key] = value
+        return value
+
+    def _q_output(self, j: int, psi: int) -> int:
+        """``Q^j_ψ`` through the memo (in-process, scheduled flow)."""
+        mgr = self.mgr
+        key = self._q_key(j, psi)
+        hit = self._q_memo[j].get(key)
+        if hit is not None:
+            self.memo_hits += 1
+            return hit
+        self.memo_misses += 1
+        plan, leftover = self.q_plans[j]
+        # Imaging the projection rather than ψ itself is the incremental
+        # step: the irrelevant latches are already gone from the
+        # constraint, and the result is identical by construction.
+        with mgr.protect(key):
+            img = image_with_plan(mgr, plan, leftover, key, gc=True)
+        return self._q_insert(j, key, img)
+
     def non_conformance(self, psi: int) -> int:
         """``Q_ψ(u,v)``, computed one output at a time."""
         mgr = self.mgr
@@ -219,6 +319,8 @@ class PartitionedOracle:
                 return FALSE
             # Submit every per-output image before collecting anything:
             # the shards compute their outputs' images concurrently.
+            # (Direct calls ship a snapshot; the batched expansion path
+            # uses the resident-handle protocol instead.)
             blob = dump_nodes(mgr, [psi])
             for shard, plan_id in self._q_remote:
                 self._pool.submit(shard, ("image", plan_id, blob))
@@ -228,12 +330,12 @@ class PartitionedOracle:
                 q = mgr.apply_or(q, q_j)
             return q
         if self.q_plans is not None:
-            for plan, leftover in self.q_plans:
+            for j in range(len(self.nonconf)):
                 # The accumulator must survive collections triggered
                 # inside the next image fold.
                 with mgr.protect(q):
-                    img = image_with_plan(mgr, plan, leftover, psi, gc=True)
-                q = mgr.apply_or(q, img)
+                    q_j = self._q_output(j, psi)
+                q = mgr.apply_or(q, q_j)
             return q
         for nc in self.nonconf:
             q = mgr.apply_or(
@@ -249,12 +351,19 @@ class PartitionedOracle:
         return q
 
     def close(self) -> None:
-        """Shut down the shard pool, if any (idempotent; ``shards=1`` no-op)."""
+        """Release memo pins and shut down the shard pool (idempotent)."""
+        mgr = self.mgr
+        for memo in self._q_memo:
+            for key, value in memo.items():
+                mgr.deref(key)
+                mgr.deref(value)
+            memo.clear()
         if self._pool is not None:
             self._pool.close()
             self._pool = None
             self._p_sharded = None
             self._q_remote = []
+            self._psi_handles.clear()
 
     def successor_image(self, psi: int) -> int:
         """``P_ψ(u,v,ns)`` — the partitioned image of ψ."""
@@ -271,7 +380,21 @@ class PartitionedOracle:
             schedule=False,
         )
 
+    # -- expansion ------------------------------------------------------ #
+
     def expand(self, psi: int) -> tuple[list[SubsetEdge], int]:
+        """Single-item adapter over :meth:`expand_batch`."""
+        return self.expand_batch([psi])[0]
+
+    def expand_batch(
+        self, psis: list[int]
+    ) -> list[tuple[list[SubsetEdge], int]]:
+        """Expand a frontier batch (the driver's batched oracle protocol)."""
+        if self._pool is not None:
+            return self._expand_batch_sharded(psis)
+        return expand_batch_pinned(self.mgr, psis, self._expand_one)
+
+    def _expand_one(self, psi: int) -> tuple[list[SubsetEdge], int]:
         mgr = self.mgr
         # ψ and the successor image must survive collections triggered
         # inside the image folds (everything after the last fold runs
@@ -282,16 +405,25 @@ class PartitionedOracle:
                 with mgr.protect(p):
                     q = self.non_conformance(psi)
         if self.trim:
-            p_good = mgr.apply_diff(p, q)
-            edges = [
-                SubsetEdge(cond=cond, successor=mgr.rename(leaf, self.rename))
-                for leaf, cond in split_by_vars(mgr, p_good, self.uv_vars).items()
-            ]
-            domain = mgr.exists(p, self.ns_qs)
-            dca = mgr.apply_diff(mgr.apply_not(q), domain)
-            return edges, dca
-        # Ablation: no trimming — every class is expanded; acceptance of
-        # the successor is decided by its DC1 flag.
+            return self._finish_trim(p, q)
+        return self._finish_notrim(p)
+
+    def _finish_trim(self, p: int, q: int) -> tuple[list[SubsetEdge], int]:
+        """Edges + DCA condition from ``P_ψ`` and ``Q_ψ`` (GC-free tail)."""
+        mgr = self.mgr
+        p_good = mgr.apply_diff(p, q)
+        edges = [
+            SubsetEdge(cond=cond, successor=mgr.rename(leaf, self.rename))
+            for leaf, cond in split_by_vars(mgr, p_good, self.uv_vars).items()
+        ]
+        domain = mgr.exists(p, self.ns_qs)
+        dca = mgr.apply_diff(mgr.apply_not(q), domain)
+        return edges, dca
+
+    def _finish_notrim(self, p: int) -> tuple[list[SubsetEdge], int]:
+        """Ablation: no trimming — every class is expanded; acceptance of
+        the successor is decided by its DC1 flag."""
+        mgr = self.mgr
         edges = []
         for leaf, cond in split_by_vars(mgr, p, self.uv_vars).items():
             successor = mgr.rename(leaf, self.rename)
@@ -303,5 +435,117 @@ class PartitionedOracle:
                 )
             )
         domain = mgr.exists(p, self.ns_qs)
-        dca = mgr.apply_not(domain)
-        return edges, dca
+        return edges, mgr.apply_not(domain)
+
+    # -- the sharded batched expansion ---------------------------------- #
+
+    def _expand_batch_sharded(
+        self, psis: list[int]
+    ) -> list[tuple[list[SubsetEdge], int]]:
+        """Expand a batch on the shard pool with resident ψ handles.
+
+        Wire discipline (per shard pipe, strictly FIFO): ``retain`` the
+        batch's new subset states, submit every P image, submit every
+        deduplicated Q image, submit the ``release`` — *then* collect
+        the replies in the same order.  The coordinator never collects
+        before the whole batch is submitted, so all workers compute
+        concurrently across the entire batch; and no coordinator-side
+        garbage collection can run in here (none of the joins collect),
+        so the per-ψ intermediates are safe as plain locals.
+        """
+        mgr = self.mgr
+        pool = self._pool
+        nshards = pool.num_shards
+        n_out = len(self.nonconf)
+
+        # 1. Residency: each new ψ is serialized exactly once and
+        #    retained in every worker's resident registry.
+        retained: list[int] = []
+        for psi in psis:
+            if psi in self._psi_handles:
+                continue
+            handle = pool.new_handle()
+            blob = dump_nodes(mgr, [psi])
+            self._psi_serialized[psi] = self._psi_serialized.get(psi, 0) + 1
+            for k in range(nshards):
+                pool.submit(k, ("retain", handle, blob))
+            self._psi_handles[psi] = handle
+            retained.append(handle)
+        self._resident_peak = max(self._resident_peak, len(self._psi_handles))
+        handles = [self._psi_handles[psi] for psi in psis]
+
+        # 2. P images, pipelined over the whole batch.
+        collect_p = self._p_sharded.submit_resident(list(zip(handles, psis)))
+
+        # 3. Q images, deduplicated through the completion memo: a batch
+        #    submits one remote image per *new* cofactor class.
+        q_vals: list[list[int]] = [[FALSE] * n_out for _ in psis]
+        q_submitted: list[tuple[int, list[tuple[int, list[int]]]]] = []
+        if self.trim and n_out:
+            for j in range(n_out):
+                memo = self._q_memo[j]
+                misses: list[tuple[int, list[int]]] = []
+                miss_handles: list[int] = []
+                by_key: dict[int, list[int]] = {}
+                for i, psi in enumerate(psis):
+                    key = self._q_key(j, psi)
+                    hit = memo.get(key)
+                    if hit is not None:
+                        self.memo_hits += 1
+                        q_vals[i][j] = hit
+                        continue
+                    group = by_key.get(key)
+                    if group is not None:
+                        # A sibling in this batch already scheduled this
+                        # cofactor class.
+                        self.memo_hits += 1
+                        group.append(i)
+                        continue
+                    self.memo_misses += 1
+                    group = [i]
+                    by_key[key] = group
+                    misses.append((key, group))
+                    miss_handles.append(handles[i])
+                if misses:
+                    shard, plan_id = self._q_remote[j]
+                    pool.submit(shard, ("expand_batch", plan_id, miss_handles))
+                    q_submitted.append((j, misses))
+
+        # 4. Release: every subset state is expanded exactly once, so
+        #    its resident handle dies with this batch.  (The driver's
+        #    seen-table guarantees unique batches; dedup anyway so a
+        #    direct caller repeating a ψ cannot double-release.)
+        unique_handles = list(dict.fromkeys(handles))
+        for k in range(nshards):
+            pool.submit(k, ("release", unique_handles))
+        for psi in dict.fromkeys(psis):
+            del self._psi_handles[psi]
+
+        # -- collect, in per-pipe submission order ---------------------- #
+        for _handle in retained:
+            for k in range(nshards):
+                pool.collect(k)
+        p_results = collect_p()
+        for j, misses in q_submitted:
+            shard, _plan_id = self._q_remote[j]
+            snaps = pool.collect(shard)
+            for (key, idxs), snap in zip(misses, snaps):
+                (q_j,) = load_nodes(mgr, snap)
+                self._q_insert(j, key, q_j)
+                for i in idxs:
+                    q_vals[i][j] = q_j
+        for k in range(nshards):
+            pool.collect(k)
+
+        # -- assemble per-ψ results (GC-free) --------------------------- #
+        results: list[tuple[list[SubsetEdge], int]] = []
+        for i in range(len(psis)):
+            p = p_results[i]
+            if self.trim:
+                q = FALSE
+                for j in range(n_out):
+                    q = mgr.apply_or(q, q_vals[i][j])
+                results.append(self._finish_trim(p, q))
+            else:
+                results.append(self._finish_notrim(p))
+        return results

@@ -68,6 +68,8 @@ def solve_equation(
     trim: bool = True,
     shards: int = 1,
     shard_opts: dict | None = None,
+    frontier: str = "dfs",
+    batch: int = 1,
 ) -> SolveResult:
     """Solve a built problem with the chosen flow.
 
@@ -95,6 +97,17 @@ def solve_equation(
     shard_opts:
         Worker-manager knobs forwarded to the pool (``gc``, ``reorder``,
         ``max_nodes``).
+    frontier:
+        Frontier ordering strategy of the subset driver (``"dfs"`` —
+        the classic worklist, ``"bfs"``, ``"size"``; see
+        :class:`repro.eqn.subset.FrontierScheduler`).
+    batch:
+        Subset states expanded per ``expand_batch`` call (``1`` — the
+        classic one-ψ-at-a-time loop).  Larger batches pipeline the
+        sharded oracle's image computations across the pool and let the
+        completion memo deduplicate sibling subsets; the solved language
+        (and the CSF) is identical for every setting, only subset
+        discovery order can differ.
     """
     if method not in METHODS:
         raise EquationError(f"unknown method {method!r}; choose from {METHODS}")
@@ -127,7 +140,9 @@ def solve_equation(
     else:
         oracle = MonolithicOracle(problem, trim=trim)
     try:
-        solution, stats = subset_construct(oracle, problem, limit=limit)
+        solution, stats = subset_construct(
+            oracle, problem, limit=limit, strategy=frontier, batch_size=batch
+        )
     finally:
         closer = getattr(oracle, "close", None)
         if closer is not None:
@@ -140,7 +155,13 @@ def solve_equation(
         csf=csf,
         seconds=watch.elapsed(),
         stats=stats,
-        options={"schedule": schedule, "trim": trim, "shards": shards},
+        options={
+            "schedule": schedule,
+            "trim": trim,
+            "shards": shards,
+            "frontier": frontier,
+            "batch": batch,
+        },
     )
 
 
@@ -157,6 +178,8 @@ def solve_latch_split(
     gc: str = "static",
     shards: int = 1,
     shard_opts: dict | None = None,
+    frontier: str = "dfs",
+    batch: int = 1,
 ) -> SolveResult:
     """Split ``net``, then solve for the CSF of the moved latches.
 
@@ -182,6 +205,8 @@ def solve_latch_split(
         trim=trim,
         shards=shards,
         shard_opts=shard_opts,
+        frontier=frontier,
+        batch=batch,
     )
 
 

@@ -19,18 +19,41 @@ a :class:`TransitionOracle` for the outgoing structure of each subset:
 The partitioned and monolithic flows differ *only* in how their oracle
 computes ``P_ψ`` and ``Q_ψ`` — which is exactly the paper's experimental
 comparison.
+
+Frontier batching
+-----------------
+
+The driver is split into a **frontier scheduler** and a **batched oracle
+protocol**.  The scheduler (:class:`FrontierScheduler`) owns the pending
+subset states and slices them into batches under a pluggable ordering
+strategy (``dfs`` — the classic worklist, ``bfs`` — level order,
+``size`` — smallest-ψ-first); deduplication against the seen-ψ table
+happens before a state ever enters the frontier, so a batch never
+contains the same ψ twice.  Oracles that implement
+``expand_batch(psis) -> [(edges, dca), ...]`` receive whole batches —
+the partitioned oracle uses this to pipeline all of a batch's image
+computations across its shard pool and to share completion-condition
+work between sibling subsets; oracles exposing only the single-item
+``expand`` are driven one ψ at a time regardless of ``batch_size``
+(batching an oracle that cannot pin intermediate results across sibling
+expansions would be unsound under opportunistic GC).
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Protocol
 
-from repro.bdd.manager import FALSE, TRUE
+from repro.bdd.manager import FALSE, TRUE, BddManager
 from repro.errors import EquationError
 from repro.automata.automaton import Automaton
 from repro.eqn.problem import EquationProblem
 from repro.util.limits import ResourceLimit
+
+#: Frontier orderings accepted by :class:`FrontierScheduler`.
+STRATEGIES = ("dfs", "bfs", "size")
 
 
 @dataclass
@@ -54,12 +77,125 @@ class TransitionOracle(Protocol):
     def expand(self, psi: int) -> tuple[list[SubsetEdge], int]:
         """Outgoing edges of ψ plus the DCA completion condition."""
 
+    def expand_batch(
+        self, psis: list[int]
+    ) -> list[tuple[list[SubsetEdge], int]]:
+        """Expand a whole frontier batch; one ``expand`` result per ψ.
+
+        Optional (checked with ``getattr``).  Implementations must keep
+        every already-produced edge label and successor alive across the
+        remaining expansions of the batch (the driver pins them only
+        after the batch returns); both solver oracles do this.
+        """
+
     def live_roots(self) -> list[int]:
         """BDDs the oracle needs alive across garbage collections.
 
         Optional (checked with ``getattr``); oracles without it simply
         disable opportunistic garbage collection in the driver.
         """
+
+    def run_stats(self) -> dict:
+        """Oracle-side instrumentation merged into ``SubsetStats.extra``.
+
+        Optional (checked with ``getattr``); the partitioned oracle
+        reports completion-memo hit rates and, when sharded, ψ-transfer
+        and pool command counters.
+        """
+
+
+class FrontierScheduler:
+    """Pending subset states, ordered by a pluggable strategy.
+
+    The scheduler only *orders* the frontier; deduplication is the
+    caller's job (the driver's seen-ψ table guards ``push``), which
+    keeps every ψ in the frontier unique — a batch can never contain
+    duplicates.
+
+    Strategies
+    ----------
+    ``dfs``
+        Last-in-first-out — with ``batch_size=1`` this is exactly the
+        classic worklist order of the unbatched driver.
+    ``bfs``
+        First-in-first-out level order; batches then group sibling
+        subsets discovered by the same expansions, which is what makes
+        the completion-condition memo hit across a batch.
+    ``size``
+        Smallest ψ (by BDD node count, measured when the state enters
+        the frontier) first: cheap subsets expand early, which keeps
+        the manager small while the seen-table fills with the easy
+        states.
+    """
+
+    def __init__(self, mgr: BddManager, strategy: str = "dfs") -> None:
+        if strategy not in STRATEGIES:
+            raise EquationError(
+                f"unknown frontier strategy {strategy!r}; choose from {STRATEGIES}"
+            )
+        self.mgr = mgr
+        self.strategy = strategy
+        self._pending: deque[int] = deque()
+        # size strategy: a heap of (push-time size, seq, ψ).  Sizing at
+        # push keeps take() at O(log n) per ψ instead of re-walking
+        # every pending DAG per batch; ties break by insertion order.
+        self._heap: list[tuple[int, int, int]] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        if self.strategy == "size":
+            return len(self._heap)
+        return len(self._pending)
+
+    def push(self, psi: int) -> None:
+        """Add a (new, deduplicated) subset state to the frontier."""
+        if self.strategy == "size":
+            heappush(self._heap, (self.mgr.size(psi), self._seq, psi))
+            self._seq += 1
+            return
+        self._pending.append(psi)
+
+    def take(self, batch_size: int) -> list[int]:
+        """Remove and return the next batch (at most ``batch_size`` ψ)."""
+        if self.strategy == "size":
+            k = min(max(1, batch_size), len(self._heap))
+            return [heappop(self._heap)[2] for _ in range(k)]
+        k = min(max(1, batch_size), len(self._pending))
+        if self.strategy == "bfs":
+            return [self._pending.popleft() for _ in range(k)]
+        return [self._pending.pop() for _ in range(k)]
+
+
+def expand_batch_pinned(
+    mgr: BddManager,
+    psis: list[int],
+    expand_one,
+) -> list[tuple[list[SubsetEdge], int]]:
+    """Map ``expand_one`` over a batch, pinning sibling results.
+
+    The shared in-process half of the oracles' ``expand_batch``
+    contract: a later expansion's image folds may collect garbage, and
+    the driver only pins what it stores *after* the whole batch
+    returns, so every already-produced edge label, successor and DCA
+    condition is ref'd while the rest of the batch runs (and deref'd
+    before returning — nothing between the return and the driver's own
+    pinning can trigger a collection).
+    """
+    out: list[tuple[list[SubsetEdge], int]] = []
+    held: list[int] = []
+    try:
+        for psi in psis:
+            edges, dca = expand_one(psi)
+            out.append((edges, dca))
+            if len(psis) > 1:
+                for edge in edges:
+                    held.append(mgr.ref(edge.cond))
+                    held.append(mgr.ref(edge.successor))
+                held.append(mgr.ref(dca))
+    finally:
+        for f in held:
+            mgr.deref(f)
+    return out
 
 
 @dataclass
@@ -69,6 +205,7 @@ class SubsetStats:
     subsets: int = 0
     edges: int = 0
     dca_edges: int = 0
+    batches: int = 0
     peak_nodes: int = 0
     extra: dict = field(default_factory=dict)
 
@@ -78,6 +215,8 @@ def subset_construct(
     problem: EquationProblem,
     *,
     limit: ResourceLimit | None = None,
+    strategy: str = "dfs",
+    batch_size: int = 1,
 ) -> tuple[Automaton, SubsetStats]:
     """Run the modified subset construction and build the solution.
 
@@ -86,9 +225,25 @@ def subset_construct(
     accepting and ``DCA`` is the accepting completion state) plus run
     statistics.  With a no-trim oracle, non-accepting subset states are
     produced and must be removed by ``prefix_close`` afterwards.
+
+    ``strategy`` picks the frontier ordering (see
+    :class:`FrontierScheduler`) and ``batch_size`` how many subset
+    states are handed to the oracle per ``expand_batch`` call.  The
+    defaults (``"dfs"``, ``1``) reproduce the classic one-ψ-at-a-time
+    worklist bit for bit.  Whatever the settings, the *set* of subsets,
+    edges and the extracted CSF are identical — only discovery order
+    (and therefore state numbering) can differ between batch sizes.
+
+    The wall-clock budget is checked once per batch (a batch is the
+    oracle's atomic unit of work), so with ``batch_size > 1`` a
+    ``max_seconds`` abort can overshoot by up to one batch of
+    expansions — the price of pipelining; budget-critical CNC runs
+    should keep the default batch size.
     """
     mgr = problem.manager
     budget = limit if limit is not None else ResourceLimit.unlimited()
+    if batch_size < 1:
+        raise EquationError(f"batch_size must be >= 1, got {batch_size}")
     aut = Automaton(mgr, tuple(problem.uv_names()))
     stats = SubsetStats()
 
@@ -96,7 +251,7 @@ def subset_construct(
     if psi0 == FALSE:
         raise EquationError("initial subset state is empty")
     ids: dict[int, int] = {}
-    worklist: list[int] = []
+    frontier = FrontierScheduler(mgr, strategy)
 
     # Everything that must survive a kernel garbage collection is pinned
     # as it is created: the oracle's relation parts/plans, every subset ψ
@@ -121,36 +276,49 @@ def subset_construct(
         if sid is None:
             sid = aut.add_state(f"q{len(ids)}", accepting=accepting)
             ids[psi] = sid
-            worklist.append(psi)
+            frontier.push(psi)
             stats.subsets += 1
             if gc_enabled:
                 mgr.ref(psi)
         return sid
 
     subset_id(psi0, oracle.is_accepting(psi0))
+    expand_batch = getattr(oracle, "expand_batch", None)
+    # Oracles without the batch protocol cannot pin intermediates across
+    # sibling expansions, so they are driven one ψ at a time.
+    effective_batch = batch_size if expand_batch is not None else 1
     dca_id: int | None = None
-    while worklist:
+    while frontier:
         budget.check_time()
-        psi = worklist.pop()
-        src = ids[psi]
-        edges, dca_cond = oracle.expand(psi)
-        for edge in edges:
-            dst = subset_id(edge.successor, edge.accepting)
-            aut.add_edge(src, dst, edge.cond)
-            if gc_enabled and edge.cond != FALSE:
-                # Pin the *stored* label: add_edge merges parallel edges
-                # with OR, so the bucket value is what must stay alive.
-                mgr.ref(aut.edges[src][dst])
-            stats.edges += 1
-        if dca_cond != FALSE:
-            if dca_id is None:
-                dca_id = aut.add_state("DCA", accepting=True)
-                aut.add_edge(dca_id, dca_id, TRUE)
-            aut.add_edge(src, dca_id, dca_cond)
-            if gc_enabled:
-                mgr.ref(aut.edges[src][dca_id])
-            stats.dca_edges += 1
+        batch = frontier.take(effective_batch)
+        if expand_batch is not None:
+            results = expand_batch(batch)
+        else:
+            results = [oracle.expand(psi) for psi in batch]
+        stats.batches += 1
+        for psi, (edges, dca_cond) in zip(batch, results):
+            src = ids[psi]
+            for edge in edges:
+                dst = subset_id(edge.successor, edge.accepting)
+                aut.add_edge(src, dst, edge.cond)
+                if gc_enabled and edge.cond != FALSE:
+                    # Pin the *stored* label: add_edge merges parallel
+                    # edges with OR, so the bucket value is what must
+                    # stay alive.
+                    mgr.ref(aut.edges[src][dst])
+                stats.edges += 1
+            if dca_cond != FALSE:
+                if dca_id is None:
+                    dca_id = aut.add_state("DCA", accepting=True)
+                    aut.add_edge(dca_id, dca_id, TRUE)
+                aut.add_edge(src, dca_id, dca_cond)
+                if gc_enabled:
+                    mgr.ref(aut.edges[src][dca_id])
+                stats.dca_edges += 1
         stats.peak_nodes = max(stats.peak_nodes, len(mgr))
         if gc_enabled:
             mgr.maybe_collect_garbage()
+    run_stats = getattr(oracle, "run_stats", None)
+    if run_stats is not None:
+        stats.extra.update(run_stats())
     return aut, stats

@@ -60,7 +60,7 @@ and split mode otherwise.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
 
 from repro.bdd.io import dump_nodes, load_nodes
@@ -312,13 +312,16 @@ class ShardedImage:
             mgr, partials, 1, self._shared, schedule=True
         )
 
-    def _slices(self, constraint: int) -> list[int]:
+    def _slice_pairs(self, constraint: int) -> list[tuple[int, dict[str, int]]]:
         """Disjoint cofactor slices of ``constraint``, one per shard.
 
         Splits on the topmost constraint variables actually in the
         support, binary-tree style, until there are enough slices (or no
         split variable is left).  The slices OR back to the constraint
-        exactly, so the join is lossless.
+        exactly, so the join is lossless.  Each slice is returned with
+        its defining assignment (variable *name* -> 0/1), so a worker
+        holding the constraint can rebuild the slice without the slice
+        BDD ever crossing the wire (the resident-handle protocol).
         """
         mgr = self.mgr
         support = mgr.support(constraint)
@@ -326,18 +329,26 @@ class ShardedImage:
             (v for v in self._split_candidates if v in support),
             key=mgr.var_level,
         )
-        slices = [constraint]
+        slices: list[tuple[int, dict[str, int]]] = [(constraint, {})]
         for var in splitters:
             if len(slices) >= self.pool.num_shards:
                 break
             pos, neg = mgr.var_node(var), mgr.nvar_node(var)
-            nxt = []
-            for s in slices:
+            name = mgr.var_name(var)
+            nxt: list[tuple[int, dict[str, int]]] = []
+            for s, spec in slices:
                 lo = mgr.apply_and(s, neg)
                 hi = mgr.apply_and(s, pos)
-                nxt.extend(x for x in (lo, hi) if x != FALSE)
+                if lo != FALSE:
+                    nxt.append((lo, {**spec, name: 0}))
+                if hi != FALSE:
+                    nxt.append((hi, {**spec, name: 1}))
             slices = nxt
         return slices
+
+    def _slices(self, constraint: int) -> list[int]:
+        """The slice BDDs alone (the snapshot-shipping split path)."""
+        return [edge for edge, _ in self._slice_pairs(constraint)]
 
     def _run_split(self, constraint: int) -> int:
         mgr = self.mgr
@@ -354,6 +365,100 @@ class ShardedImage:
             (img,) = load_nodes(mgr, self.pool.collect(shard))
             result = mgr.apply_or(result, img)
         return result
+
+    # -- the resident-handle batched protocol --------------------------- #
+
+    def submit_resident(
+        self, items: Sequence[tuple[int, int]]
+    ) -> Callable[[], list[int]]:
+        """Submit a batch of images over **shard-resident** constraints.
+
+        ``items`` is a list of ``(handle, constraint)`` pairs: the
+        handle names the constraint in every worker's resident registry
+        (the caller must have ``retain``-ed it there first), and the
+        coordinator-side edge is used only for slice planning — no
+        snapshot is shipped.  Every worker command is submitted
+        immediately; the returned closure collects the replies (in the
+        ShardPool FIFO order) and joins them, one result per item.
+        Splitting submit from collect lets callers pipeline further
+        commands — e.g. the per-output ``Q_ψ`` images of the same batch
+        — behind these before blocking on any reply.
+
+        The join math is identical to :meth:`run`, so the batched
+        resident path is result-identical to the in-process image.
+        """
+        if self.mode == "cluster":
+            return self._submit_resident_cluster(items)
+        return self._submit_resident_split(items)
+
+    def _submit_resident_cluster(
+        self, items: Sequence[tuple[int, int]]
+    ) -> Callable[[], list[int]]:
+        handles = [handle for handle, _ in items]
+        for shard, plan_id in zip(self._shards, self._plan_ids):
+            self.pool.submit(shard, ("expand_batch", plan_id, handles))
+
+        def collect() -> list[int]:
+            mgr = self.mgr
+            per_shard = [self.pool.collect(shard) for shard in self._shards]
+            results: list[int] = []
+            for i in range(len(items)):
+                partials = []
+                dead = False
+                for snaps in per_shard:
+                    (partial,) = load_nodes(mgr, snaps[i])
+                    if partial == FALSE:
+                        dead = True
+                        break
+                    partials.append(partial)
+                if dead:
+                    results.append(FALSE)
+                    continue
+                results.append(
+                    image_partitioned(
+                        mgr, partials, 1, self._shared, schedule=True
+                    )
+                )
+            return results
+
+        return collect
+
+    def _submit_resident_split(
+        self, items: Sequence[tuple[int, int]]
+    ) -> Callable[[], list[int]]:
+        num = len(self._shards)
+        per_shard_items: list[list[tuple[int, dict[str, int]]]] = [
+            [] for _ in range(num)
+        ]
+        owners: list[list[int]] = [[] for _ in range(num)]
+        cursor = 0
+        for i, (handle, constraint) in enumerate(items):
+            for _, spec in self._slice_pairs(constraint):
+                pos = cursor % num
+                cursor += 1
+                per_shard_items[pos].append((handle, spec))
+                owners[pos].append(i)
+        submitted: list[int] = []
+        for pos in range(num):
+            if not per_shard_items[pos]:
+                continue
+            self.pool.submit(
+                self._shards[pos],
+                ("expand_batch", self._plan_ids[pos], per_shard_items[pos]),
+            )
+            submitted.append(pos)
+
+        def collect() -> list[int]:
+            mgr = self.mgr
+            results = [FALSE] * len(items)
+            for pos in submitted:
+                snaps = self.pool.collect(self._shards[pos])
+                for i, snap in zip(owners[pos], snaps):
+                    (img,) = load_nodes(mgr, snap)
+                    results[i] = mgr.apply_or(results[i], img)
+            return results
+
+        return collect
 
     def worker_stats(self) -> list[dict]:
         """Per-shard manager statistics for the shards this image uses."""

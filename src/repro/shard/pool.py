@@ -16,6 +16,7 @@ abandoned pool can never outlive the coordinator.
 from __future__ import annotations
 
 import multiprocessing as mp
+from collections import Counter
 from collections.abc import Sequence
 
 from repro.errors import ReproError
@@ -70,6 +71,11 @@ class ShardPool:
         self._pending = [0] * num_shards
         self._next_handle = 0
         self._closed = False
+        #: Commands submitted so far, keyed by op name.  The transfer
+        #: accounting of the batched subset engine asserts on these
+        #: (e.g. one ``retain`` per shard per subset state and not one
+        #: snapshot per expansion).
+        self.op_counts: Counter = Counter()
         try:
             for _ in range(num_shards):
                 parent, child = ctx.Pipe(duplex=True)
@@ -105,6 +111,7 @@ class ShardPool:
         except (OSError, BrokenPipeError) as exc:
             raise ShardError(f"shard {shard} is gone: {exc}") from exc
         self._pending[shard] += 1
+        self.op_counts[msg[0]] += 1
 
     def collect(self, shard: int):
         """Receive one pending reply from ``shard`` (FIFO order)."""

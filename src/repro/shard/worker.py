@@ -21,9 +21,29 @@ Commands
 ``("load", handle, snapshot)``
     Load a snapshot (first root) into the registry under ``handle``.
 ``("dump", handle)``
-    Reply with the snapshot of a registered function.
+    Reply with the snapshot of a registered function (plain registry
+    first, then the resident registry).
 ``("free", handles)``
     Deref and drop registry entries.
+``("retain", handle, snapshot)``
+    Make a function **shard-resident**: load the snapshot into the
+    resident registry under ``handle`` with reference count 1 — or, if
+    the handle is already resident, just bump its count (``snapshot``
+    may then be ``None``).  Resident entries are pinned with ``mgr.ref``
+    so they survive worker-side garbage collection and in-place
+    reordering; the reply is the new count.  This is how the subset
+    driver's ψ snapshots cross the wire exactly once per subset.
+``("release", handles)``
+    Drop one reference from each resident handle; an entry whose count
+    reaches zero is deref'd and forgotten.  Replies with the number of
+    entries actually freed.
+``("expand_batch", plan_id, items)``
+    Run a plan against a batch of resident constraints and reply with
+    the list of result snapshots.  Each item is either a resident
+    handle (the constraint itself) or a ``(handle, spec)`` pair, where
+    ``spec`` maps variable *names* to 0/1 — the worker then images the
+    cofactor slice ``resident ∧ cube(spec)`` (split-mode sharding
+    without re-shipping the constraint).
 ``("conjoin", handle, handles)``
     Store the conjunction of the named functions under ``handle``.
 ``("and_exists", handle, h1, h2, var_names)``
@@ -40,6 +60,9 @@ Commands
     Reply with a small dict of manager statistics.
 ``("gc",)``
     Force a collection; reply with the reclaimed count.
+``("sift",)``
+    Force one in-place sifting pass (handles, resident entries and
+    plans all keep their edges); reply with swap/size counters.
 ``("shutdown",)``
     Acknowledge and exit the loop.
 """
@@ -66,6 +89,9 @@ class _WorkerState:
         )
         self.handles: dict[int, int] = {}
         self.plans: dict[int, tuple] = {}
+        # Resident registry: handle -> [edge, refcount].  Entries are
+        # pinned against worker GC/reordering until released.
+        self.resident: dict[int, list] = {}
 
     # Each handler returns the reply payload. ------------------------------ #
 
@@ -85,13 +111,66 @@ class _WorkerState:
         self._store(handle, edge)
 
     def op_dump(self, handle: int) -> dict:
-        return dump_nodes(self.mgr, [self.handles[handle]])
+        edge = self.handles.get(handle)
+        if edge is None:
+            edge = self.resident[handle][0]
+        return dump_nodes(self.mgr, [edge])
 
     def op_free(self, handles: list[int]) -> None:
         for handle in handles:
             edge = self.handles.pop(handle, None)
             if edge is not None:
                 self.mgr.deref(edge)
+
+    def op_retain(self, handle: int, snapshot: dict | None = None) -> int:
+        entry = self.resident.get(handle)
+        if entry is not None:
+            entry[1] += 1
+            return entry[1]
+        if snapshot is None:
+            raise ReproError(
+                f"retain: handle {handle} is not resident and no snapshot given"
+            )
+        (edge,) = load_nodes(self.mgr, snapshot)
+        self.mgr.ref(edge)
+        self.resident[handle] = [edge, 1]
+        return 1
+
+    def op_release(self, handles: list[int]) -> int:
+        freed = 0
+        for handle in handles:
+            entry = self.resident.get(handle)
+            if entry is None:
+                continue
+            entry[1] -= 1
+            if entry[1] <= 0:
+                self.mgr.deref(entry[0])
+                del self.resident[handle]
+                freed += 1
+        return freed
+
+    def op_expand_batch(self, plan_id: int, items: list) -> list[dict]:
+        mgr = self.mgr
+        plan, leftover, _parts = self.plans[plan_id]
+        out: list[dict] = []
+        for item in items:
+            if isinstance(item, (tuple, list)):
+                handle, spec = item
+                constraint = self.resident[handle][0]
+                if spec:
+                    cube = mgr.cube(
+                        {mgr.var_index(name): int(bit) for name, bit in spec.items()}
+                    )
+                    constraint = mgr.apply_and(constraint, cube)
+            else:
+                constraint = self.resident[item][0]
+            with mgr.protect(constraint):
+                result = image_with_plan(mgr, plan, leftover, constraint, gc=True)
+            # Snapshot immediately: the result edge itself is a per-call
+            # intermediate that the next collection may reclaim.
+            out.append(dump_nodes(mgr, [result]))
+        mgr.maybe_collect_garbage()
+        return out
 
     def op_conjoin(self, handle: int, handles: list[int]) -> None:
         mgr = self.mgr
@@ -146,11 +225,23 @@ class _WorkerState:
             "reorder_runs": stats["reorder_runs"],
             "max_nodes": self.mgr.max_nodes,
             "handles": len(self.handles),
+            "resident": len(self.resident),
             "plans": len(self.plans),
         }
 
     def op_gc(self) -> int:
         return self.mgr.collect_garbage()
+
+    def op_sift(self) -> dict:
+        from repro.bdd.reorder import sift
+
+        result = sift(self.mgr)
+        return {
+            "swaps": result.swaps,
+            "size_before": result.size_before,
+            "size_after": result.size_after,
+            "vars_sifted": result.vars_sifted,
+        }
 
 
 def worker_main(conn, config: dict) -> None:
@@ -166,12 +257,16 @@ def worker_main(conn, config: dict) -> None:
         "load": state.op_load,
         "dump": state.op_dump,
         "free": state.op_free,
+        "retain": state.op_retain,
+        "release": state.op_release,
+        "expand_batch": state.op_expand_batch,
         "conjoin": state.op_conjoin,
         "and_exists": state.op_and_exists,
         "plan": state.op_plan,
         "image": state.op_image,
         "stats": state.op_stats,
         "gc": state.op_gc,
+        "sift": state.op_sift,
     }
     while True:
         try:

@@ -153,3 +153,37 @@ class TestGeneratorsSplitCleanly:
             {n: rng.randint(0, 1) for n in net.inputs} for _ in range(20)
         ]
         assert back.simulate(stim) == net.simulate(stim)
+
+
+class TestTwinRings:
+    def test_shape(self) -> None:
+        net = circuits.twin_rings(16, 4)
+        assert net.num_latches == 20
+        assert list(net.inputs) == ["ena", "enb"]
+        assert list(net.outputs) == ["qa", "qb"]
+
+    def test_rings_are_independent(self) -> None:
+        """Stepping one ring's enable must leave the other ring frozen."""
+        net = circuits.twin_rings(4, 3)
+        state = net.initial_state()
+        for _ in range(5):
+            _, state = net.step(state, {"ena": 1, "enb": 0})
+        assert all(state[f"b{k}"] == 0 for k in range(3))
+        assert any(state[f"a{k}"] == 1 for k in range(4))
+
+    def test_each_ring_is_a_johnson_counter(self) -> None:
+        """Ring a alone must walk the 2n-state Johnson cycle."""
+        net = circuits.twin_rings(3, 2)
+        state = net.initial_state()
+        seen = []
+        for _ in range(6):
+            seen.append(tuple(state[f"a{k}"] for k in range(3)))
+            _, state = net.step(state, {"ena": 1, "enb": 0})
+        assert len(set(seen)) == 6  # 2n distinct states
+        assert tuple(state[f"a{k}"] for k in range(3)) == seen[0]
+
+    def test_too_small_rejected(self) -> None:
+        with pytest.raises(NetworkError):
+            circuits.twin_rings(1, 4)
+        with pytest.raises(NetworkError):
+            circuits.twin_rings(4, 1)

@@ -89,3 +89,23 @@ class TestHarness:
         for name in ("s510", "s208", "s298", "s349", "s444", "s526"):
             assert name in PAPER_TABLE1
         assert PAPER_TABLE1.count("CNC") == 2
+
+
+class TestBiggerRows:
+    def test_rand20_is_a_twenty_latch_row(self) -> None:
+        case = case_by_name("rand20")
+        net = case.network()
+        assert net.num_latches >= 20
+        assert case.expect_mono_cnc
+
+    def test_bench_only_cases_are_not_in_the_identity_suite(self) -> None:
+        from repro.bench.suite import TABLE1_BENCH_ONLY_CASES
+
+        suite_names = {case.name for case in TABLE1_CASES}
+        for case in TABLE1_BENCH_ONLY_CASES:
+            assert case.name not in suite_names
+            net = case.network()
+            net.validate()
+            assert net.num_latches >= 20
+            missing = set(case.x_latches) - set(net.latches)
+            assert not missing

@@ -79,6 +79,46 @@ def test_sharded_solve_full_table1_identical(case) -> None:
     # Deterministic expansion ⇒ structurally identical solutions.
     assert sharded.solution.state_names == base.solution.state_names
     assert sharded.solution.edges == base.solution.edges
+    # ψ-handle accounting: each subset state crossed the wire exactly
+    # once (one serialization, one retain per shard, one release each).
+    extra = sharded.stats.extra
+    assert extra["psi_serializations_max"] == 1
+    assert extra["psi_serializations"] == sharded.stats.subsets
+    ops = extra["pool_op_counts"]
+    assert ops["retain"] == sharded.stats.subsets * 2
+    assert ops["release"] >= sharded.stats.batches
+    assert ops.get("image", 0) == 0  # no snapshot-shipping expansions
+    assert ops.get("dump", 0) == 0
+
+
+@pytest.mark.parametrize("case", TABLE1_CASES, ids=[c.name for c in TABLE1_CASES])
+def test_sharded_batched_full_table1_identical(case) -> None:
+    """The batched sharded flow vs ``--shards 1`` over the full suite.
+
+    At matched frontier settings the two runs are structurally
+    identical; against the classic dfs@1 run the counts and the
+    language still coincide (only state numbering may differ).
+    """
+    prob = build_latch_split_problem(
+        case.network(), list(case.x_latches), max_nodes=case.max_nodes
+    )
+    classic = solve_equation(prob, method="partitioned")
+    base = solve_equation(prob, method="partitioned", frontier="bfs", batch=4)
+    sharded = solve_equation(
+        prob, method="partitioned", shards=2, frontier="bfs", batch=4
+    )
+    assert sharded.stats.subsets == base.stats.subsets == classic.stats.subsets
+    assert sharded.stats.edges == base.stats.edges == classic.stats.edges
+    assert sharded.csf_states == base.csf_states == classic.csf_states
+    assert sharded.solution.state_names == base.solution.state_names
+    assert sharded.solution.edges == base.solution.edges
+    # Transfer accounting again, now with real batches in flight.
+    extra = sharded.stats.extra
+    assert extra["psi_serializations_max"] == 1
+    assert extra["psi_serializations"] == sharded.stats.subsets
+    assert extra["pool_op_counts"]["retain"] == sharded.stats.subsets * 2
+    # Batching packs the same subsets into fewer oracle round trips.
+    assert sharded.stats.batches <= base.stats.subsets
 
 
 @pytest.mark.parametrize(

@@ -24,6 +24,11 @@ class TestListWorkloads:
         assert "rand14@auto" in listing
         assert "johnson12@shards2" in listing
         assert "reach@shards2" in listing
+        assert "johnson12@batch8" in listing
+        assert "rand20@batch8" in listing
+        assert "solve@batch8" in listing
+        assert "twin16x4@batch8" in listing
+        assert "[bench-only row]" in listing
 
     def test_cli_flag_runs_nothing(self, tmp_path, capsys) -> None:
         rc = driver.main(["--list", "--out-dir", str(tmp_path)])
@@ -38,6 +43,125 @@ class TestListWorkloads:
 
         assert main(["bench", "--list"]) == 0
         assert "table1 cases" in capsys.readouterr().out
+
+
+class TestWorkloadFilter:
+    def test_no_patterns_accepts_everything(self) -> None:
+        accept = driver.make_workload_filter(None, None)
+        assert accept("kernel", "rename")
+        assert accept("table1", "rand20")
+
+    def test_only_suite_name_keeps_whole_suite(self) -> None:
+        accept = driver.make_workload_filter("kernel", None)
+        assert accept("kernel", "rename")
+        assert not accept("table1", "s27")
+
+    def test_only_full_path_glob(self) -> None:
+        accept = driver.make_workload_filter("table1/rand*", None)
+        assert accept("table1", "rand14")
+        assert accept("table1", "rand20")
+        assert not accept("table1", "s27")
+        assert not accept("kernel", "rename")
+
+    def test_bare_name_glob_matches_across_suites(self) -> None:
+        accept = driver.make_workload_filter("*@shards*", None)
+        assert accept("kernel", "reach@shards2")
+        assert accept("table1", "johnson12@shards2")
+        assert not accept("kernel", "rename")
+
+    def test_skip_wins_over_only(self) -> None:
+        accept = driver.make_workload_filter("kernel", "kernel/rename")
+        assert accept("kernel", "xor_parity")
+        assert not accept("kernel", "rename")
+
+    def test_comma_separated_patterns(self) -> None:
+        accept = driver.make_workload_filter("rename,xor_parity", None)
+        assert accept("kernel", "rename")
+        assert accept("kernel", "xor_parity")
+        assert not accept("kernel", "and_or_chain")
+
+    def test_skip_only(self) -> None:
+        accept = driver.make_workload_filter(None, "table1")
+        assert accept("kernel", "rename")
+        assert not accept("table1", "s27")
+
+
+class TestFilteredRuns:
+    def test_only_runs_single_kernel_workload(self, tmp_path, capsys) -> None:
+        rc = driver.main(
+            [
+                "--smoke",
+                "--only",
+                "kernel/rename",
+                "--out-dir",
+                str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        payload = json.loads((tmp_path / "BENCH_kernel.json").read_text())
+        assert [r["name"] for r in payload["results"]] == ["rename"]
+        assert payload["meta"]["filtered"] is True
+        # The table1 suite was skipped entirely: no file written.
+        assert not (tmp_path / "BENCH_table1.json").exists()
+
+    def test_skip_can_drop_table1(self, tmp_path) -> None:
+        rc = driver.main(
+            [
+                "--smoke",
+                "--only",
+                "kernel/rename,kernel/xor_parity",
+                "--skip",
+                "*parity*",
+                "--out-dir",
+                str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        payload = json.loads((tmp_path / "BENCH_kernel.json").read_text())
+        assert [r["name"] for r in payload["results"]] == ["rename"]
+
+    def test_nothing_matching_is_an_error(self, tmp_path, capsys) -> None:
+        rc = driver.main(
+            ["--smoke", "--only", "no-such-workload", "--out-dir", str(tmp_path)]
+        )
+        assert rc == 2
+        assert "nothing run" in capsys.readouterr().err
+        assert list(tmp_path.iterdir()) == []
+
+    def test_smoke_suppressed_variant_rows_are_not_selectable(
+        self, tmp_path, capsys
+    ) -> None:
+        """A smoke run never emits @batch8/@auto/@shards2 rows, so
+        selecting only one of them must error instead of writing an
+        empty artifact with exit 0."""
+        rc = driver.main(
+            ["--smoke", "--only", "rand20@batch8", "--out-dir", str(tmp_path)]
+        )
+        assert rc == 2
+        assert list(tmp_path.iterdir()) == []
+        # The same selection in full mode *is* a planned row.
+        assert "rand20@batch8" in driver.table1_row_names(False)
+        assert "rand20@batch8" not in driver.table1_row_names(True)
+
+    def test_reorder_run_suppresses_auto_variants(self) -> None:
+        names_off = driver.table1_row_names(False, reorder="off")
+        names_auto = driver.table1_row_names(False, reorder="auto")
+        assert "rand14@auto" in names_off
+        assert "rand14@auto" not in names_auto
+
+    def test_row_names_match_listing(self) -> None:
+        """Every planned full-run row appears in the --list output."""
+        listing = driver.list_workloads()
+        for name in driver.table1_row_names(False):
+            base = name.split("@")[0]
+            assert base in listing
+
+    def test_list_respects_filters(self, capsys) -> None:
+        assert driver.main(["--list", "--only", "table1/rand*"]) == 0
+        out = capsys.readouterr().out
+        assert "rand14" in out
+        assert "s27" not in out
+        assert "and_or_chain" not in out
 
 
 class TestMeta:
@@ -77,6 +201,39 @@ class TestDiffEnvironmentLine:
         path.write_text(json.dumps({"results": []}))
         md = driver.format_markdown_diff([], path, 1.5)
         assert "cpus=?" in md
+        assert "environment mismatch" not in md
+
+    def test_diff_warns_on_environment_mismatch(self, tmp_path) -> None:
+        """cpu_count / python drift earns an explicit warning line, so
+        shard-variant deltas are never misread across machines."""
+        baseline = {
+            "meta": {"cpu_count": 64, "python": "3.99.0"},
+            "results": [],
+        }
+        path = tmp_path / "base.json"
+        path.write_text(json.dumps(baseline))
+        md = driver.format_markdown_diff([], path, 1.5)
+        assert "⚠️" in md
+        assert "environment mismatch" in md
+        assert "cpu_count differs (baseline 64" in md
+        assert "python differs (baseline 3.99.0" in md
+        assert "@shardsN" in md
+
+    def test_diff_no_warning_when_environment_matches(self, tmp_path) -> None:
+        import os
+        import platform
+
+        baseline = {
+            "meta": {
+                "cpu_count": os.cpu_count(),
+                "python": platform.python_version(),
+            },
+            "results": [],
+        }
+        path = tmp_path / "base.json"
+        path.write_text(json.dumps(baseline))
+        md = driver.format_markdown_diff([], path, 1.5)
+        assert "environment mismatch" not in md
 
 
 class TestShimDeprecation:

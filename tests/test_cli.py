@@ -115,6 +115,62 @@ class TestSolve:
         assert code == 0
         assert "csf_states=7" in capsys.readouterr().out
 
+    def test_solve_batched_frontier(self, blif_file, capsys) -> None:
+        code = main(
+            [
+                "solve",
+                "--blif",
+                blif_file,
+                "--x-latches",
+                "G6",
+                "--frontier",
+                "bfs",
+                "--batch",
+                "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "csf_states=7" in out
+        assert "batches=" in out
+        assert "True" in out  # verification still passes
+
+    def test_solve_sharded_batched(self, blif_file, capsys) -> None:
+        code = main(
+            [
+                "solve",
+                "--blif",
+                blif_file,
+                "--x-latches",
+                "G6",
+                "--shards",
+                "2",
+                "--batch",
+                "4",
+                "--frontier",
+                "size",
+                "--no-verify",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "csf_states=7" in out
+        # The ψ-transfer accounting is printed for sharded runs.
+        assert "psi_serializations" in out
+
+    def test_frontier_choices_match_strategies(self) -> None:
+        """The CLI's literal --frontier choices must track STRATEGIES."""
+        from repro.cli import _build_parser
+        from repro.eqn.subset import STRATEGIES
+
+        parser = _build_parser()
+        subparsers = parser._subparsers._group_actions[0]
+        solve = subparsers.choices["solve"]
+        (action,) = [
+            a for a in solve._actions if "--frontier" in a.option_strings
+        ]
+        assert tuple(action.choices) == STRATEGIES
+
     def test_version_flag(self, capsys) -> None:
         with pytest.raises(SystemExit) as excinfo:
             main(["--version"])
