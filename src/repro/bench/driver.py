@@ -47,7 +47,7 @@ from repro.symb.reach import network_reachable_states
 REPO_ROOT = Path(__file__).resolve().parents[3]
 
 SCHEMA_KERNEL = "repro-bench-kernel/2"
-SCHEMA_TABLE1 = "repro-bench-table1/4"
+SCHEMA_TABLE1 = "repro-bench-table1/5"
 
 #: Table 1 cases re-run with ``--reorder auto`` as dedicated ``@auto``
 #: rows: the paper-scale instances where dynamic reordering is the
@@ -539,6 +539,7 @@ def _run_table1_case(
     from repro.eqn.problem import build_latch_split_problem
     from repro.eqn.solver import solve_equation
     from repro.errors import ReproError
+    from repro.serve.keys import solve_cache_key
     from repro.util.limits import ResourceLimit
 
     net = case.network()
@@ -556,6 +557,20 @@ def _run_table1_case(
     # Only the partitioned flow shards; @shardsN rows skip the baseline.
     methods = ("partitioned",) if shards > 1 else ("partitioned", "monolithic")
     for method in methods:
+        # The same canonical problem hash the serve cache keys on: a row
+        # and a served solve of the identical (circuit, split, flags)
+        # combination carry the same key, making cached-vs-cold latency
+        # comparisons attributable row by row.
+        key = solve_cache_key(
+            net,
+            list(case.x_latches),
+            method=method,
+            reorder=reorder,
+            gc=gc_mode,
+            shards=shards if method == "partitioned" else 1,
+            frontier=frontier,
+            batch=batch,
+        )
         limit = ResourceLimit(max_seconds=case.max_seconds, max_nodes=case.max_nodes)
         gc.collect()
         t0 = time.perf_counter()
@@ -576,13 +591,14 @@ def _run_table1_case(
                 batch=batch,
             )
         except ReproError:
-            row["methods"][method] = {"cnc": True}
+            row["methods"][method] = {"cnc": True, "cache_key": key}
             print(f"  table1/{row_name:14s} {method:12s} CNC", flush=True)
             continue
         elapsed = time.perf_counter() - t0
         mgr_stats = problem.manager.stats
         row["methods"][method] = {
             "cnc": False,
+            "cache_key": key,
             "wall_s": round(elapsed, 4),
             "csf_states": result.csf_states,
             "subsets": result.stats.subsets if result.stats else None,

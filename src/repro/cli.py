@@ -8,6 +8,9 @@ Subcommands::
     repro-lang-eqn reach  --blif FILE
     repro-lang-eqn bench  [--smoke] [--baseline F] [...]
     repro-lang-eqn stg    --blif FILE [--kiss-out F] [--dot-out F]
+    repro-lang-eqn serve  --cache-dir DIR [--host H] [--port P]
+    repro-lang-eqn submit --blif FILE --x-latches a,b [--url U] [...]
+    repro-lang-eqn jobs   [--url U] [--job ID] [--cancel ID] [--shutdown]
 
 ``solve`` computes the CSF of the selected latches of a BLIF circuit
 (optionally synthesising a replacement circuit with ``--implement-out``)
@@ -15,7 +18,9 @@ and can export the result as KISS2/DOT; ``table1`` reproduces the
 paper's experiment; ``info`` prints circuit statistics; ``reach`` runs
 symbolic reachability; ``bench`` runs the recorded benchmark suites
 (all flags forwarded to :mod:`repro.bench.driver`); ``stg`` extracts
-the state transition graph.
+the state transition graph; ``serve`` runs the persistent job server
+(:mod:`repro.serve`) with its content-addressed solve cache, and
+``submit`` / ``jobs`` are its clients.
 """
 
 from __future__ import annotations
@@ -143,6 +148,75 @@ def _build_parser() -> argparse.ArgumentParser:
         "bench",
         help="run the benchmark suites (wraps benchmarks/run_all.py)",
         add_help=False,
+    )
+
+    serve = sub.add_parser("serve", help="run the persistent job server")
+    serve.add_argument(
+        "--cache-dir",
+        required=True,
+        help="root of the content-addressed result cache",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642)
+    serve.add_argument(
+        "--max-entries",
+        type=int,
+        default=None,
+        help="LRU-evict cached results beyond this count (default: unbounded)",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+
+    submit = sub.add_parser("submit", help="submit a solve to a running server")
+    submit.add_argument("--url", default="http://127.0.0.1:8642")
+    submit.add_argument("--blif", required=True, help="input circuit (BLIF)")
+    submit.add_argument(
+        "--x-latches",
+        required=True,
+        help="comma-separated latch output names moved to the unknown",
+    )
+    submit.add_argument(
+        "--method",
+        default="partitioned",
+        choices=("partitioned", "monolithic"),
+    )
+    submit.add_argument("--max-seconds", type=float, default=None)
+    submit.add_argument("--max-nodes", type=int, default=None)
+    submit.add_argument("--reorder", default="off", choices=("off", "auto", "sift"))
+    submit.add_argument("--gc", default="static", choices=("static", "adaptive"))
+    submit.add_argument("--shards", type=int, default=1)
+    submit.add_argument("--frontier", default="dfs", choices=("dfs", "bfs", "size"))
+    submit.add_argument("--batch", type=int, default=1)
+    submit.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        help="persist a resumable frontier checkpoint every N batches",
+    )
+    submit.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="ignore any persisted checkpoint for this problem",
+    )
+    submit.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="print the job id and return without polling",
+    )
+    submit.add_argument(
+        "--kiss-out", help="write the resulting CSF as KISS2 to this file"
+    )
+
+    jobs = sub.add_parser("jobs", help="inspect or control a running server")
+    jobs.add_argument("--url", default="http://127.0.0.1:8642")
+    jobs.add_argument("--job", help="show one job (with its event stream)")
+    jobs.add_argument("--cancel", metavar="ID", help="cancel a job")
+    jobs.add_argument(
+        "--cache", action="store_true", help="show cache statistics"
+    )
+    jobs.add_argument(
+        "--shutdown", action="store_true", help="gracefully stop the server"
     )
 
     stg = sub.add_parser("stg", help="extract the state transition graph")
@@ -310,6 +384,125 @@ def _cmd_reach(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.server import serve
+
+    return serve(
+        args.host,
+        args.port,
+        cache_dir=args.cache_dir,
+        max_entries=args.max_entries,
+        verbose=args.verbose,
+    )
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServeClient
+
+    with open(args.blif, encoding="utf-8") as handle:
+        blif_text = handle.read()
+    body = {
+        "blif": blif_text,
+        "x_latches": [name for name in args.x_latches.split(",") if name],
+        "method": args.method,
+        "reorder": args.reorder,
+        "gc": args.gc,
+        "shards": args.shards,
+        "frontier": args.frontier,
+        "batch": args.batch,
+    }
+    if args.max_seconds is not None:
+        body["max_seconds"] = args.max_seconds
+    if args.max_nodes is not None:
+        body["max_nodes"] = args.max_nodes
+    if args.checkpoint_every:
+        body["checkpoint_every"] = args.checkpoint_every
+    if args.no_resume:
+        body["resume"] = False
+    client = ServeClient(args.url)
+    job = client.submit(body)
+    print(f"{job['id']}: {job['status']} (cache_key {job['cache_key'][:16]}…)")
+    if args.no_wait:
+        return 0
+
+    def on_event(event: dict) -> None:
+        kind = event.get("type")
+        if kind == "progress":
+            print(
+                f"  batch {event['batches']}: subsets={event['subsets']} "
+                f"edges={event['edges']} frontier={event['frontier']} "
+                f"live_nodes={event['live_nodes']}"
+            )
+        elif kind == "checkpoint":
+            print(f"  checkpoint @ batch {event['batches']} persisted")
+        elif kind == "resume":
+            print(f"  resumed from checkpoint @ batch {event['batches']}")
+        elif kind == "cache_hit":
+            print("  served from cache")
+
+    done = client.wait(job["id"], on_event=on_event)
+    if done["status"] != "done":
+        print(f"{job['id']}: {done['status']}: {done.get('error') or ''}")
+        return 1
+    result = client.result(job["id"])
+    source = "cache" if result["cached"] else "solver"
+    print(
+        f"{job['id']}: done csf_states={result['csf_states']} "
+        f"time={result['seconds']:.3f}s ({source})"
+    )
+    if args.kiss_out:
+        with open(args.kiss_out, "w", encoding="utf-8") as handle:
+            handle.write(result["kiss"])
+        print(f"  CSF written to {args.kiss_out} (KISS2)")
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServeClient
+
+    client = ServeClient(args.url)
+    if args.cancel:
+        job = client.cancel(args.cancel)
+        print(f"{job['id']}: cancel requested (status {job['status']})")
+        return 0
+    if args.shutdown:
+        client.shutdown()
+        print("server shutting down")
+        return 0
+    if args.cache:
+        stats = client.cache()
+        print(
+            f"cache: {stats['entries']} entries, {stats['bytes']} bytes, "
+            f"{stats['checkpoints']} checkpoints "
+            f"(max_entries={stats['max_entries']})"
+        )
+        return 0
+    if args.job:
+        job = client.job(args.job)
+        print(
+            f"{job['id']}: {job['status']} cached={job['cached']} "
+            f"resumed={job['resumed']} events={job['events']}"
+        )
+        if job.get("error"):
+            print(f"  error: {job['error']}")
+        if job.get("result"):
+            print(f"  result: {job['result']}")
+        for event in client.events(args.job)["events"]:
+            print(f"  [{event['seq']}] {event}")
+        return 0
+    listing = client.jobs()
+    if not listing:
+        print("no jobs")
+        return 0
+    for job in listing:
+        summary = job.get("result") or {}
+        print(
+            f"{job['id']}: {job['status']} cached={job['cached']} "
+            f"csf_states={summary.get('csf_states', '-')}"
+        )
+    return 0
+
+
 def _cmd_stg(args: argparse.Namespace) -> int:
     from repro.network.blif import read_blif
     from repro.automata.ops import complete
@@ -351,6 +544,9 @@ def main(argv: list[str] | None = None) -> int:
         "table1": _cmd_table1,
         "info": _cmd_info,
         "reach": _cmd_reach,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "jobs": _cmd_jobs,
         "stg": _cmd_stg,
     }
     return handlers[args.command](args)

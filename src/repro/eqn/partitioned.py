@@ -70,6 +70,7 @@ from collections.abc import Mapping
 from repro.bdd.cube import split_by_vars
 from repro.bdd.io import dump_nodes, load_nodes
 from repro.bdd.manager import FALSE, BddManager
+from repro.errors import EquationError
 from repro.symb.image import image_partitioned, image_with_plan, plan_image
 from repro.eqn.problem import EquationProblem
 from repro.eqn.subset import SubsetEdge, expand_batch_pinned
@@ -86,6 +87,7 @@ class PartitionedOracle:
         trim: bool = True,
         shards: int = 1,
         shard_opts: Mapping[str, object] | None = None,
+        pool: "object | None" = None,
     ) -> None:
         self.problem = problem
         self.schedule = schedule
@@ -168,24 +170,34 @@ class PartitionedOracle:
         self._psi_handles: dict[int, int] = {}
         self._psi_serialized: dict[int, int] = {}
         self._resident_peak = 0
+        # A caller-owned pool (the job server reuses one warm pool across
+        # jobs, resetting it between solves) is borrowed, not owned:
+        # ``close`` leaves it running for the next job.
+        self._owns_pool = pool is None
         if shards > 1:
             from repro.shard import ShardPool, ShardedImage
             from repro.shard.plan import load_parts, make_plan
 
             self.p_plan = None
             self.q_plans = None
-            # Workers inherit the coordinator's node budget and runtime
-            # policies unless shard_opts overrides them: the CNC
-            # mechanism (max_nodes) must bound the shard managers too,
-            # or an exploding conjunction would grow unchecked in a
-            # worker the resource limit cannot see.
-            opts = {
-                "max_nodes": mgr.max_nodes,
-                "gc": mgr.gc_policy.mode,
-                "reorder": mgr.reorder_policy.mode,
-            }
-            opts.update(shard_opts or {})
-            pool = ShardPool(shards, mgr.var_order(), **opts)
+            if pool is None:
+                # Workers inherit the coordinator's node budget and
+                # runtime policies unless shard_opts overrides them: the
+                # CNC mechanism (max_nodes) must bound the shard managers
+                # too, or an exploding conjunction would grow unchecked
+                # in a worker the resource limit cannot see.
+                opts = {
+                    "max_nodes": mgr.max_nodes,
+                    "gc": mgr.gc_policy.mode,
+                    "reorder": mgr.reorder_policy.mode,
+                }
+                opts.update(shard_opts or {})
+                pool = ShardPool(shards, mgr.var_order(), **opts)
+            elif pool.num_shards != shards:
+                raise EquationError(
+                    f"external pool has {pool.num_shards} shards, "
+                    f"solve requested {shards}"
+                )
             self._pool = pool
             try:
                 # P_ψ: partition clusters across the shards, joined here.
@@ -351,7 +363,12 @@ class PartitionedOracle:
         return q
 
     def close(self) -> None:
-        """Release memo pins and shut down the shard pool (idempotent)."""
+        """Release memo pins and shut down the shard pool (idempotent).
+
+        A borrowed pool (``pool=`` passed at construction) is left
+        running: its owner resets it (clearing worker-side plans and
+        resident registries) before the next solve.
+        """
         mgr = self.mgr
         for memo in self._q_memo:
             for key, value in memo.items():
@@ -359,7 +376,8 @@ class PartitionedOracle:
                 mgr.deref(value)
             memo.clear()
         if self._pool is not None:
-            self._pool.close()
+            if self._owns_pool:
+                self._pool.close()
             self._pool = None
             self._p_sharded = None
             self._q_remote = []

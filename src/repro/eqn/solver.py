@@ -70,6 +70,12 @@ def solve_equation(
     shard_opts: dict | None = None,
     frontier: str = "dfs",
     batch: int = 1,
+    pool=None,
+    progress=None,
+    cancel=None,
+    checkpoint=None,
+    checkpoint_every: int = 0,
+    resume: dict | None = None,
 ) -> SolveResult:
     """Solve a built problem with the chosen flow.
 
@@ -108,6 +114,17 @@ def solve_equation(
         completion memo deduplicate sibling subsets; the solved language
         (and the CSF) is identical for every setting, only subset
         discovery order can differ.
+    pool:
+        Optional pre-warmed :class:`~repro.shard.pool.ShardPool` to
+        borrow instead of forking a fresh one (the job server reuses one
+        pool across jobs).  Must already be reset to this problem's
+        variable order and have ``shards`` workers; it is left running
+        when the solve finishes.
+    progress / cancel / checkpoint / checkpoint_every / resume:
+        Serving hooks forwarded to
+        :func:`~repro.eqn.subset.subset_construct` (per-batch progress
+        events, cooperative cancellation, resumable frontier
+        checkpoints).  Symbolic flows only.
     """
     if method not in METHODS:
         raise EquationError(f"unknown method {method!r}; choose from {METHODS}")
@@ -136,12 +153,22 @@ def solve_equation(
             trim=trim,
             shards=shards,
             shard_opts=shard_opts,
+            pool=pool,
         )
     else:
         oracle = MonolithicOracle(problem, trim=trim)
     try:
         solution, stats = subset_construct(
-            oracle, problem, limit=limit, strategy=frontier, batch_size=batch
+            oracle,
+            problem,
+            limit=limit,
+            strategy=frontier,
+            batch_size=batch,
+            progress=progress,
+            cancel=cancel,
+            checkpoint=checkpoint,
+            checkpoint_every=checkpoint_every,
+            resume=resume,
         )
     finally:
         closer = getattr(oracle, "close", None)
@@ -180,6 +207,12 @@ def solve_latch_split(
     shard_opts: dict | None = None,
     frontier: str = "dfs",
     batch: int = 1,
+    pool=None,
+    progress=None,
+    cancel=None,
+    checkpoint=None,
+    checkpoint_every: int = 0,
+    resume: dict | None = None,
 ) -> SolveResult:
     """Split ``net``, then solve for the CSF of the moved latches.
 
@@ -207,6 +240,12 @@ def solve_latch_split(
         shard_opts=shard_opts,
         frontier=frontier,
         batch=batch,
+        pool=pool,
+        progress=progress,
+        cancel=cancel,
+        checkpoint=checkpoint,
+        checkpoint_every=checkpoint_every,
+        resume=resume,
     )
 
 

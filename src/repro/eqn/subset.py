@@ -42,18 +42,23 @@ expansions would be unsound under opportunistic GC).
 from __future__ import annotations
 
 from collections import deque
+from collections.abc import Callable
 from dataclasses import dataclass, field
 from heapq import heappop, heappush
 from typing import Protocol
 
+from repro.bdd.io import dump_nodes, load_nodes
 from repro.bdd.manager import FALSE, TRUE, BddManager
-from repro.errors import EquationError
+from repro.errors import EquationError, SolveCancelled
 from repro.automata.automaton import Automaton
 from repro.eqn.problem import EquationProblem
 from repro.util.limits import ResourceLimit
 
 #: Frontier orderings accepted by :class:`FrontierScheduler`.
 STRATEGIES = ("dfs", "bfs", "size")
+
+#: Version tag of the subset-construction checkpoint snapshot format.
+CHECKPOINT_FORMAT = "repro-subset-ckpt/1"
 
 
 @dataclass
@@ -165,6 +170,19 @@ class FrontierScheduler:
             return [self._pending.popleft() for _ in range(k)]
         return [self._pending.pop() for _ in range(k)]
 
+    def pending(self) -> list[int]:
+        """The pending ψ in push order (checkpointing, no removal).
+
+        Re-pushing the returned list into a fresh scheduler of the same
+        strategy reproduces the frontier exactly: ``dfs``/``bfs`` keep
+        insertion order in the deque, and ``size`` re-derives its keys
+        at push time (node counts are stable across a dump/load
+        round-trip, so the heap order survives too).
+        """
+        if self.strategy == "size":
+            return [psi for _, _, psi in sorted(self._heap, key=lambda t: t[1])]
+        return list(self._pending)
+
 
 def expand_batch_pinned(
     mgr: BddManager,
@@ -210,6 +228,120 @@ class SubsetStats:
     extra: dict = field(default_factory=dict)
 
 
+def _construction_snapshot(
+    mgr: BddManager,
+    aut: Automaton,
+    ids: dict[int, int],
+    frontier: FrontierScheduler,
+    stats: SubsetStats,
+    dca_id: int | None,
+) -> dict:
+    """Serialise the in-flight construction into one resumable dict.
+
+    Everything the driver owns goes into the snapshot — discovered
+    subsets (with their ψ), automaton edges, the pending frontier in
+    push order, and the driver-side counters.  All BDDs travel as a
+    single :func:`~repro.bdd.io.dump_nodes` blob so shared structure is
+    stored once; references into the blob are root indices.  The
+    oracle's completion memo is deliberately *not* captured: it is a
+    pure cache and repopulates lazily after a resume.
+    """
+    psi_by_sid = {sid: psi for psi, sid in ids.items()}
+    roots: list[int] = []
+    root_of_psi: dict[int, int] = {}
+    states: list[list] = []
+    for sid in range(aut.num_states):
+        psi = psi_by_sid.get(sid)
+        if psi is None:
+            states.append([aut.state_names[sid], sid in aut.accepting, None])
+        else:
+            root_of_psi[psi] = len(roots)
+            states.append(
+                [aut.state_names[sid], sid in aut.accepting, len(roots)]
+            )
+            roots.append(psi)
+    edges: list[list[int]] = []
+    for src, bucket in enumerate(aut.edges):
+        for dst, label in bucket.items():
+            edges.append([src, dst, len(roots)])
+            roots.append(label)
+    return {
+        "format": CHECKPOINT_FORMAT,
+        "strategy": frontier.strategy,
+        "variables": list(aut.variables),
+        "states": states,
+        "initial": aut.initial,
+        "dca_id": dca_id,
+        "edges": edges,
+        "frontier": [root_of_psi[psi] for psi in frontier.pending()],
+        "stats": {
+            "subsets": stats.subsets,
+            "edges": stats.edges,
+            "dca_edges": stats.dca_edges,
+            "batches": stats.batches,
+            "peak_nodes": stats.peak_nodes,
+        },
+        "nodes": dump_nodes(mgr, roots),
+    }
+
+
+def _restore_construction(
+    mgr: BddManager,
+    aut: Automaton,
+    ids: dict[int, int],
+    frontier: FrontierScheduler,
+    stats: SubsetStats,
+    snapshot: dict,
+    *,
+    gc_enabled: bool,
+) -> int | None:
+    """Rebuild driver state from a :func:`_construction_snapshot` dict.
+
+    Mutates the (freshly constructed, empty) ``aut``/``ids``/``frontier``
+    /``stats`` in place and returns the restored ``dca_id``.  GC pins
+    mirror what the live construction would hold at the same point:
+    every ψ and every stored edge label.
+    """
+    if snapshot.get("format") != CHECKPOINT_FORMAT:
+        raise EquationError(
+            f"unsupported checkpoint format {snapshot.get('format')!r} "
+            f"(expected {CHECKPOINT_FORMAT!r})"
+        )
+    if list(snapshot["variables"]) != list(aut.variables):
+        raise EquationError(
+            "checkpoint alphabet does not match this problem: "
+            f"{snapshot['variables']} != {list(aut.variables)}"
+        )
+    if snapshot["strategy"] != frontier.strategy:
+        raise EquationError(
+            f"checkpoint was taken with frontier strategy "
+            f"{snapshot['strategy']!r}; resume with the same strategy"
+        )
+    roots = load_nodes(mgr, snapshot["nodes"])
+    for name, accepting, ref in snapshot["states"]:
+        sid = aut.add_state(name, accepting=accepting)
+        if ref is not None:
+            psi = roots[ref]
+            ids[psi] = sid
+            if gc_enabled:
+                mgr.ref(psi)
+    aut.initial = snapshot["initial"]
+    for src, dst, ref in snapshot["edges"]:
+        label = roots[ref]
+        aut.add_edge(src, dst, label)
+        if gc_enabled and label != FALSE:
+            mgr.ref(aut.edges[src][dst])
+    for ref in snapshot["frontier"]:
+        frontier.push(roots[ref])
+    saved = snapshot["stats"]
+    stats.subsets = saved["subsets"]
+    stats.edges = saved["edges"]
+    stats.dca_edges = saved["dca_edges"]
+    stats.batches = saved["batches"]
+    stats.peak_nodes = saved["peak_nodes"]
+    return snapshot["dca_id"]
+
+
 def subset_construct(
     oracle: TransitionOracle,
     problem: EquationProblem,
@@ -217,6 +349,11 @@ def subset_construct(
     limit: ResourceLimit | None = None,
     strategy: str = "dfs",
     batch_size: int = 1,
+    progress: Callable[[dict], None] | None = None,
+    cancel: Callable[[], bool] | None = None,
+    checkpoint: Callable[[dict], None] | None = None,
+    checkpoint_every: int = 0,
+    resume: dict | None = None,
 ) -> tuple[Automaton, SubsetStats]:
     """Run the modified subset construction and build the solution.
 
@@ -239,6 +376,31 @@ def subset_construct(
     ``max_seconds`` abort can overshoot by up to one batch of
     expansions — the price of pipelining; budget-critical CNC runs
     should keep the default batch size.
+
+    Serving hooks (all optional, all observed at batch boundaries —
+    the only points where no oracle pipeline is in flight and the
+    manager holds no unpinned intermediates):
+
+    ``progress``
+        Called after every batch with a flat event dict (counters from
+        :class:`SubsetStats`, frontier length, live/peak node counts
+        and, when the oracle exposes them, memo and GC/reorder stats).
+    ``cancel``
+        Polled before every batch; returning true raises
+        :class:`~repro.errors.SolveCancelled`, which unwinds through
+        the caller's ``finally`` blocks so oracle and pool teardown
+        always run.
+    ``checkpoint`` / ``checkpoint_every``
+        Every ``checkpoint_every`` batches (while the frontier is
+        non-empty), ``checkpoint`` receives a resumable snapshot dict
+        (:data:`CHECKPOINT_FORMAT`) capturing subsets, edges, frontier
+        and counters with all BDDs in one packed
+        :func:`~repro.bdd.io.dump_nodes` blob.
+    ``resume``
+        A snapshot from a previous run: the construction restarts from
+        its frontier instead of ψ0.  The snapshot must come from the
+        same problem and frontier strategy; the restored initial ψ is
+        checked against ``oracle.initial()``.
     """
     mgr = problem.manager
     budget = limit if limit is not None else ResourceLimit.unlimited()
@@ -282,13 +444,25 @@ def subset_construct(
                 mgr.ref(psi)
         return sid
 
-    subset_id(psi0, oracle.is_accepting(psi0))
+    dca_id: int | None = None
+    if resume is None:
+        subset_id(psi0, oracle.is_accepting(psi0))
+    else:
+        dca_id = _restore_construction(
+            mgr, aut, ids, frontier, stats, resume, gc_enabled=gc_enabled
+        )
+        if ids.get(psi0) != aut.initial:
+            raise EquationError(
+                "checkpoint does not match this problem: restored initial "
+                "subset differs from the oracle's ψ0"
+            )
     expand_batch = getattr(oracle, "expand_batch", None)
     # Oracles without the batch protocol cannot pin intermediates across
     # sibling expansions, so they are driven one ψ at a time.
     effective_batch = batch_size if expand_batch is not None else 1
-    dca_id: int | None = None
     while frontier:
+        if cancel is not None and cancel():
+            raise SolveCancelled("solve cancelled at batch boundary")
         budget.check_time()
         batch = frontier.take(effective_batch)
         if expand_batch is not None:
@@ -318,7 +492,45 @@ def subset_construct(
         stats.peak_nodes = max(stats.peak_nodes, len(mgr))
         if gc_enabled:
             mgr.maybe_collect_garbage()
+        if progress is not None:
+            progress(_progress_event(mgr, oracle, stats, frontier))
+        if (
+            checkpoint is not None
+            and checkpoint_every > 0
+            and stats.batches % checkpoint_every == 0
+            and frontier
+        ):
+            checkpoint(
+                _construction_snapshot(mgr, aut, ids, frontier, stats, dca_id)
+            )
     run_stats = getattr(oracle, "run_stats", None)
     if run_stats is not None:
         stats.extra.update(run_stats())
     return aut, stats
+
+
+def _progress_event(
+    mgr: BddManager,
+    oracle: TransitionOracle,
+    stats: SubsetStats,
+    frontier: FrontierScheduler,
+) -> dict:
+    """One per-batch progress event (the serve stream's payload)."""
+    event = {
+        "batches": stats.batches,
+        "subsets": stats.subsets,
+        "edges": stats.edges,
+        "dca_edges": stats.dca_edges,
+        "frontier": len(frontier),
+        "live_nodes": len(mgr),
+        "peak_nodes": stats.peak_nodes,
+    }
+    for key in ("memo_hits", "memo_misses"):
+        value = getattr(oracle, key, None)
+        if value is not None:
+            event[key] = value
+    mgr_stats = mgr.stats
+    for key in ("gc_runs", "reorder_runs"):
+        if key in mgr_stats:
+            event[key] = mgr_stats[key]
+    return event

@@ -62,9 +62,17 @@ class Table1Row:
 HEADERS = ["Name", "i/o/cs", "Fcs/Xcs", "States(X)", "Part,s", "Mono,s", "Ratio"]
 
 
-def run_method(case: SplitCase, method: str) -> tuple[float | None, int | None]:
-    """Run one flow under the case budget; ``(None, None)`` on CNC."""
-    net = case.network()
+def run_method(
+    case: SplitCase, method: str, net=None
+) -> tuple[float | None, int | None]:
+    """Run one flow under the case budget; ``(None, None)`` on CNC.
+
+    ``net`` lets callers that already parsed the case's circuit (the
+    row loop builds it for the header columns) share it instead of
+    re-elaborating the netlist once per flow.
+    """
+    if net is None:
+        net = case.network()
     limit = ResourceLimit(max_seconds=case.max_seconds, max_nodes=case.max_nodes)
     watch = Stopwatch()
     try:
@@ -84,9 +92,9 @@ def run_case(case: SplitCase, *, methods: Sequence[str] = ("partitioned", "monol
     part_seconds = mono_seconds = None
     part_states = mono_states = None
     if "partitioned" in methods:
-        part_seconds, part_states = run_method(case, "partitioned")
+        part_seconds, part_states = run_method(case, "partitioned", net)
     if "monolithic" in methods:
-        mono_seconds, mono_states = run_method(case, "monolithic")
+        mono_seconds, mono_states = run_method(case, "monolithic", net)
     if part_states is not None and mono_states is not None:
         if part_states != mono_states:
             raise ReproError(

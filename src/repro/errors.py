@@ -41,6 +41,20 @@ class TimeLimit(ReproError):
         self.seconds = seconds
 
 
+class SolveCancelled(ReproError):
+    """Raised when a solve is cancelled through its cancellation hook.
+
+    The job server (:mod:`repro.serve`) sets a per-job cancel flag that
+    the subset driver polls at every batch boundary; like the resource
+    budgets, cancellation unwinds through the normal exception path so
+    ``finally`` blocks (oracle close, pool release) always run.
+    """
+
+
+class ServeError(ReproError):
+    """Raised for invalid job specs or server-side failures in :mod:`repro.serve`."""
+
+
 class NetworkError(ReproError):
     """Raised for malformed or inconsistent sequential networks."""
 

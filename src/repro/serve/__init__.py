@@ -1,0 +1,60 @@
+"""Long-lived job service over the language-equation solver.
+
+``repro serve`` turns the one-shot CLI into a persistent service: jobs
+(netlist + split + flags) arrive over HTTP, run through
+:func:`repro.eqn.solver.solve_equation` on a single solver thread with
+a warm :class:`~repro.shard.pool.ShardPool`, and land in a
+content-addressed result cache — a repeat submission answers from the
+cache without touching a BDD manager or a shard worker.
+
+The pieces (each its own module, composable without the HTTP layer):
+
+:mod:`repro.serve.keys`
+    Canonical job specs and the SHA-256 cache key.
+:mod:`repro.serve.payload`
+    Cached result payloads (automata in the packed ``dump_nodes`` wire
+    format).
+:mod:`repro.serve.store`
+    The content-addressed store (atomic writes, LRU eviction) plus the
+    checkpoint side-store.
+:mod:`repro.serve.jobs`
+    Job lifecycle and the thread-safe registry with per-job event
+    streams.
+:mod:`repro.serve.executor`
+    The single solver thread and the warm-pool management.
+:mod:`repro.serve.server`
+    The stdlib HTTP server and its JSON API.
+:mod:`repro.serve.client`
+    The ``urllib`` client used by ``repro submit`` / ``repro jobs``.
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.executor import SolveExecutor
+from repro.serve.jobs import Job, JobRegistry
+from repro.serve.keys import cache_key, job_spec, solve_cache_key
+from repro.serve.payload import (
+    dump_automaton,
+    dump_result,
+    load_automaton,
+    load_result,
+)
+from repro.serve.server import ServeApp, make_server, serve
+from repro.serve.store import ResultStore
+
+__all__ = [
+    "Job",
+    "JobRegistry",
+    "ResultStore",
+    "ServeApp",
+    "ServeClient",
+    "SolveExecutor",
+    "cache_key",
+    "dump_automaton",
+    "dump_result",
+    "job_spec",
+    "load_automaton",
+    "load_result",
+    "make_server",
+    "serve",
+    "solve_cache_key",
+]

@@ -1,0 +1,120 @@
+"""Client for the job server (stdlib ``urllib`` — no dependencies).
+
+Used by the ``repro submit`` / ``repro jobs`` subcommands and by the
+end-to-end tests; importable directly for scripting::
+
+    from repro.serve.client import ServeClient
+
+    client = ServeClient("http://127.0.0.1:8642")
+    job = client.submit({"blif": blif_text, "x_latches": ["v6", "v7"]})
+    done = client.wait(job["id"])
+    print(client.result(job["id"])["csf_states"])
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.errors import ServeError
+
+#: Job states that will never change again (polling can stop).
+_TERMINAL = ("done", "failed", "cancelled")
+
+
+class ServeClient:
+    """Thin JSON-over-HTTP wrapper around one server's API."""
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- one call per endpoint ----------------------------------------- #
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def cache(self) -> dict:
+        return self._request("GET", "/cache")
+
+    def submit(self, body: dict) -> dict:
+        return self._request("POST", "/jobs", body)
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def events(self, job_id: str, since: int = 0) -> dict:
+        return self._request("GET", f"/jobs/{job_id}/events?since={since}")
+
+    def result(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def shutdown(self) -> dict:
+        return self._request("POST", "/shutdown")
+
+    # -- conveniences -------------------------------------------------- #
+
+    def wait(
+        self,
+        job_id: str,
+        *,
+        poll: float = 0.05,
+        timeout: float | None = None,
+        on_event=None,
+    ) -> dict:
+        """Poll until the job is terminal, streaming events on the way.
+
+        ``on_event`` (when given) is called once per fresh event — this
+        is what renders the live progress line of ``repro submit``.
+        Raises :class:`~repro.errors.ServeError` on timeout.
+        """
+        cursor = 0
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            if on_event is not None:
+                batch = self.events(job_id, since=cursor)
+                for event in batch["events"]:
+                    on_event(event)
+                cursor = batch["next"]
+            job = self.job(job_id)
+            if job["status"] in _TERMINAL:
+                if on_event is not None:
+                    batch = self.events(job_id, since=cursor)
+                    for event in batch["events"]:
+                        on_event(event)
+                return job
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServeError(f"timed out waiting for {job_id}")
+            time.sleep(poll)
+
+    # ------------------------------------------------------------------ #
+
+    def _request(self, method: str, path: str, body: dict | None = None):
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read().decode("utf-8")).get("error")
+            except Exception:
+                detail = str(exc)
+            raise ServeError(f"{method} {path} failed: {detail}") from exc
+        except urllib.error.URLError as exc:
+            raise ServeError(
+                f"cannot reach server at {self.base_url}: {exc.reason}"
+            ) from exc

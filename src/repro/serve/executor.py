@@ -1,0 +1,230 @@
+"""The single solver thread behind the job server.
+
+BDD managers are not thread-safe, so solves are strictly serialised:
+one daemon thread drains a queue of jobs and runs them through
+:func:`repro.eqn.solver.solve_equation` one at a time.  The HTTP layer
+stays fully concurrent — status, event polling, cancellation and cache
+hits never wait on the solver.
+
+The executor owns the **warm shard pool**: the first sharded job forks
+the worker processes, and every later job with the same ``--shards``
+reuses them through :meth:`~repro.shard.pool.ShardPool.reset` (worker
+managers are rebuilt in-process; no fork, no re-import).  Jobs with a
+different shard count close and re-fork the pool; in-process jobs
+(``shards=1``) leave it untouched.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import traceback
+
+from repro.errors import ReproError, SolveCancelled
+from repro.serve.jobs import Job, JobRegistry
+from repro.serve.payload import dump_result
+from repro.serve.store import ResultStore
+
+
+class SolveExecutor:
+    """Serialised job runner with a reusable shard pool."""
+
+    def __init__(
+        self,
+        registry: JobRegistry,
+        store: ResultStore,
+        *,
+        batch_hook=None,
+    ) -> None:
+        self.registry = registry
+        self.store = store
+        #: Test seam: called as ``batch_hook(job, event)`` after every
+        #: progress event, from the solver thread.  The e2e cancellation
+        #: test blocks here mid-solve, cancels over HTTP, then releases.
+        self.batch_hook = batch_hook
+        self._queue: "queue.Queue[Job | None]" = queue.Queue()
+        self._pool = None
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-serve-executor", daemon=True
+        )
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        if not self._started:
+            self._started = True
+            self._thread.start()
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Drain-stop: finish queued jobs, close the pool, join."""
+        if self._started:
+            self._queue.put(None)
+            self._thread.join(timeout=timeout)
+        self._close_pool()
+
+    def enqueue(self, job: Job) -> None:
+        self._queue.put(job)
+
+    @property
+    def pool(self):
+        """The warm pool (tests assert on its ``op_counts``)."""
+        return self._pool
+
+    # ------------------------------------------------------------------ #
+
+    def _loop(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                break
+            try:
+                self._run(job)
+            except BaseException:  # pragma: no cover - belt and braces
+                self.registry.set_status(
+                    job, "failed", error=traceback.format_exc()
+                )
+
+    def _run(self, job: Job) -> None:
+        if job.cancel_event.is_set():
+            self.registry.set_status(job, "cancelled")
+            return
+        cached = self.store.get(job.key)
+        if cached is not None:
+            # A twin of this job finished while it sat in the queue.
+            job.cached = True
+            job.summary = _result_summary(cached, cached=True)
+            self.registry.set_status(job, "done")
+            return
+        self.registry.set_status(job, "running")
+        try:
+            payload = self._solve(job)
+        except SolveCancelled:
+            self.registry.set_status(job, "cancelled")
+            return
+        except ReproError as exc:
+            self.registry.set_status(
+                job, "failed", error=f"{type(exc).__name__}: {exc}"
+            )
+            return
+        except Exception:
+            self.registry.set_status(job, "failed", error=traceback.format_exc())
+            return
+        self.store.put(job.key, payload)
+        self.store.drop_checkpoint(job.key)
+        job.summary = _result_summary(payload, cached=False)
+        self.registry.set_status(job, "done")
+
+    # ------------------------------------------------------------------ #
+
+    def _solve(self, job: Job) -> dict:
+        from repro.eqn.problem import build_problem
+        from repro.eqn.solver import solve_equation
+        from repro.network.blif import parse_blif
+        from repro.network.transform import latch_split
+        from repro.util.limits import ResourceLimit
+
+        spec, options = job.spec, job.options
+        net = parse_blif(spec["blif"])
+        split = latch_split(net, spec["x_latches"], u_signals=spec["u_signals"])
+        max_nodes = options.get("max_nodes")
+        problem = build_problem(
+            split,
+            max_nodes=max_nodes,
+            reorder=spec["reorder"],
+            gc=spec["gc"],
+        )
+        limit = None
+        if options.get("max_seconds") is not None or max_nodes is not None:
+            limit = ResourceLimit(
+                max_seconds=options.get("max_seconds"), max_nodes=max_nodes
+            )
+
+        def on_progress(event: dict) -> None:
+            self.registry.add_event(job, {"type": "progress", **event})
+            if self.batch_hook is not None:
+                self.batch_hook(job, event)
+
+        def on_checkpoint(snapshot: dict) -> None:
+            self.store.put_checkpoint(job.key, snapshot)
+            self.registry.add_event(
+                job,
+                {
+                    "type": "checkpoint",
+                    "batches": snapshot["stats"]["batches"],
+                    "subsets": snapshot["stats"]["subsets"],
+                    "frontier": len(snapshot["frontier"]),
+                },
+            )
+
+        resume = None
+        if options.get("resume", True):
+            resume = self.store.get_checkpoint(job.key)
+            if resume is not None:
+                job.resumed = True
+                self.registry.add_event(
+                    job,
+                    {
+                        "type": "resume",
+                        "batches": resume["stats"]["batches"],
+                        "subsets": resume["stats"]["subsets"],
+                    },
+                )
+        pool = None
+        if spec["method"] == "partitioned" and spec["shards"] > 1:
+            pool = self._ensure_pool(problem.manager, spec["shards"])
+        result = solve_equation(
+            problem,
+            method=spec["method"],
+            limit=limit,
+            schedule=spec["schedule"],
+            trim=spec["trim"],
+            shards=spec["shards"],
+            frontier=spec["frontier"],
+            batch=spec["batch"],
+            pool=pool,
+            progress=on_progress,
+            cancel=job.cancel_event.is_set,
+            checkpoint=on_checkpoint if options.get("checkpoint_every") else None,
+            checkpoint_every=int(options.get("checkpoint_every") or 0),
+            resume=resume,
+        )
+        return dump_result(result, cache_key=job.key)
+
+    def _ensure_pool(self, mgr, shards: int):
+        """Reset the warm pool for this problem, re-forking when needed."""
+        from repro.shard.pool import ShardError, ShardPool
+
+        opts = {
+            "max_nodes": mgr.max_nodes,
+            "gc": mgr.gc_policy.mode,
+            "reorder": mgr.reorder_policy.mode,
+        }
+        if self._pool is not None and self._pool.num_shards == shards:
+            try:
+                self._pool.reset(mgr.var_order(), **opts)
+                return self._pool
+            except ShardError:
+                # A worker died since the last job; fall through and
+                # re-fork the whole pool.
+                self._close_pool()
+        else:
+            self._close_pool()
+        self._pool = ShardPool(shards, mgr.var_order(), **opts)
+        return self._pool
+
+    def _close_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+
+def _result_summary(payload: dict, *, cached: bool) -> dict:
+    """The small JSON block the status endpoint shows for a done job."""
+    return {
+        "csf_states": payload["csf_states"],
+        "seconds": payload["seconds"],
+        "cached": cached,
+        "method": payload["method"],
+        "cache_key": payload["cache_key"],
+    }

@@ -1,0 +1,128 @@
+"""Canonical job specs and content-addressed cache keys.
+
+The serve cache and the bench driver share one definition of "the same
+problem": a **job spec** — the circuit, the split and every solver flag
+that can influence the produced automaton or its stats — normalised
+into a canonical dict and hashed with SHA-256.  Two submissions collide
+on the cache exactly when their specs hash equal.
+
+What is part of the key
+-----------------------
+
+* the circuit, as **canonical BLIF bytes**: the input text is parsed
+  and re-emitted by :func:`repro.network.blif.write_blif`, so
+  whitespace, cover-row order and comment differences between
+  textually distinct but structurally identical netlists vanish;
+* the split (``x_latches``, ``u_signals``) and the flow (``method``);
+* every solver flag: ``schedule``, ``trim``, ``reorder``, ``gc``,
+  ``shards``, ``frontier``, ``batch``.
+
+Flags like ``--reorder`` or ``--shards`` provably do not change the
+solved language — but they are hashed anyway, for three reasons.
+First, byte-reproducibility is the conservative contract: ``frontier``
+and ``batch`` change subset discovery order and therefore state
+*numbering*, so a cached automaton from a different setting would not
+be byte-identical to a cold solve.  Second, the cached payload carries
+the run's statistics (memo hit rates, GC/reorder counters, shard
+transfer counts); attributing a ``--shards 4`` stats block to a
+``--shards 1`` query would silently corrupt benchmark comparisons.
+Third, the bench driver tags every BENCH_table1 row with its
+``cache_key``, and cached-vs-cold latency comparisons are only
+attributable when variant rows (which differ exactly in these flags)
+get distinct keys.
+
+What is *not* part of the key
+-----------------------------
+
+Resource budgets (``max_seconds``, ``max_nodes``) and serving knobs
+(``checkpoint_every``, resume requests) — they bound *whether* a solve
+completes, never what it produces.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections.abc import Sequence
+
+from repro.errors import ServeError
+
+#: Version tag of the canonical spec layout (bump on field changes).
+SPEC_FORMAT = "repro-serve-spec/1"
+
+#: Solver-flag fields of a spec, with their defaults.
+FLAG_DEFAULTS = {
+    "method": "partitioned",
+    "schedule": True,
+    "trim": True,
+    "reorder": "off",
+    "gc": "static",
+    "shards": 1,
+    "frontier": "dfs",
+    "batch": 1,
+}
+
+
+def canonical_blif(blif: "str | object") -> str:
+    """Canonical BLIF text of a circuit (text or ``Network``).
+
+    Parsing and re-emitting makes the bytes independent of the
+    formatting of the submitted text; a :class:`~repro.network.netlist.Network`
+    is emitted directly.
+    """
+    from repro.network.blif import parse_blif, write_blif
+
+    if isinstance(blif, str):
+        return write_blif(parse_blif(blif))
+    return write_blif(blif)
+
+
+def job_spec(
+    blif: "str | object",
+    x_latches: Sequence[str],
+    *,
+    u_signals: Sequence[str] | None = None,
+    **flags,
+) -> dict:
+    """Build the canonical spec dict for one solve.
+
+    ``blif`` may be BLIF text or a parsed ``Network``.  Unknown flag
+    names raise :class:`~repro.errors.ServeError` (a misspelled flag
+    silently falling back to its default would alias distinct problems
+    onto one cache entry).
+    """
+    unknown = set(flags) - set(FLAG_DEFAULTS)
+    if unknown:
+        raise ServeError(f"unknown solver flags in job spec: {sorted(unknown)}")
+    spec = {
+        "format": SPEC_FORMAT,
+        "blif": canonical_blif(blif),
+        "x_latches": sorted(x_latches),
+        "u_signals": sorted(u_signals) if u_signals is not None else None,
+    }
+    for name, default in FLAG_DEFAULTS.items():
+        spec[name] = flags.get(name, default)
+    return spec
+
+
+def cache_key(spec: dict) -> str:
+    """SHA-256 hex digest of a canonical spec.
+
+    The spec is serialised as minified JSON with sorted keys, so the
+    digest is stable across Python versions and dict insertion orders.
+    """
+    encoded = json.dumps(
+        spec, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+    return hashlib.sha256(encoded.encode("ascii")).hexdigest()
+
+
+def solve_cache_key(
+    blif: "str | object",
+    x_latches: Sequence[str],
+    *,
+    u_signals: Sequence[str] | None = None,
+    **flags,
+) -> str:
+    """One-call spec + hash (what the bench driver tags its rows with)."""
+    return cache_key(job_spec(blif, x_latches, u_signals=u_signals, **flags))

@@ -1,0 +1,151 @@
+"""The content-addressed result store (and checkpoint side-store).
+
+Layout (everything under one cache root)::
+
+    <root>/results/<k[:2]>/<key>.pkl     # pickled result payloads
+    <root>/checkpoints/<key>.pkl         # latest mid-solve checkpoint
+
+Payloads are pickled because they contain packed ``array('q')`` columns
+(the :func:`repro.bdd.io.dump_nodes` wire format); pickling keeps them
+at a few bytes per BDD node.  Writes are atomic (temp file + rename in
+the same directory), so a killed server never leaves a torn entry — a
+partial temp file is simply ignored and overwritten by the next solve.
+
+Eviction is LRU by file mtime: every :meth:`ResultStore.get` touches
+the entry, and :meth:`ResultStore.put` evicts the stalest entries when
+``max_entries`` is exceeded.  Only trust the cache directory as far as
+you trust its writers — pickles execute code when loaded, so the store
+must never be pointed at an untrusted directory.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+#: Hex-digest shape of valid store keys (defensive: keys become paths).
+_KEY_CHARS = set("0123456789abcdef")
+
+
+def _check_key(key: str) -> str:
+    if not key or set(key) - _KEY_CHARS:
+        raise ValueError(f"malformed cache key {key!r}")
+    return key
+
+
+class ResultStore:
+    """Content-addressed payload store with LRU eviction."""
+
+    def __init__(self, root: "str | Path", *, max_entries: int | None = None):
+        self.root = Path(root)
+        self.results_dir = self.root / "results"
+        self.checkpoints_dir = self.root / "checkpoints"
+        self.max_entries = max_entries
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+        self.checkpoints_dir.mkdir(parents=True, exist_ok=True)
+
+    # -- results ------------------------------------------------------- #
+
+    def path_for(self, key: str) -> Path:
+        key = _check_key(key)
+        return self.results_dir / key[:2] / f"{key}.pkl"
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def get(self, key: str) -> dict | None:
+        """Load a payload (and refresh its LRU position); None on miss."""
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        try:
+            os.utime(path)
+        except OSError:  # pragma: no cover - entry evicted mid-read
+            pass
+        return payload
+
+    def put(self, key: str, payload: dict) -> Path:
+        """Atomically store a payload, then evict beyond ``max_entries``."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self._atomic_write(path, payload)
+        if self.max_entries is not None:
+            self.evict(self.max_entries)
+        return path
+
+    def keys(self) -> list[str]:
+        """Stored keys, most recently used first."""
+        entries = sorted(
+            self.results_dir.glob("*/*.pkl"),
+            key=lambda p: p.stat().st_mtime,
+            reverse=True,
+        )
+        return [p.stem for p in entries]
+
+    def evict(self, keep: int) -> int:
+        """Delete all but the ``keep`` most recently used entries."""
+        victims = self.keys()[max(0, keep):]
+        for key in victims:
+            try:
+                self.path_for(key).unlink()
+            except FileNotFoundError:  # pragma: no cover - racing eviction
+                pass
+        return len(victims)
+
+    # -- checkpoints --------------------------------------------------- #
+
+    def checkpoint_path(self, key: str) -> Path:
+        return self.checkpoints_dir / f"{_check_key(key)}.pkl"
+
+    def put_checkpoint(self, key: str, snapshot: dict) -> Path:
+        """Atomically persist the latest mid-solve checkpoint for a key."""
+        path = self.checkpoint_path(key)
+        self._atomic_write(path, snapshot)
+        return path
+
+    def get_checkpoint(self, key: str) -> dict | None:
+        try:
+            with open(self.checkpoint_path(key), "rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            return None
+
+    def drop_checkpoint(self, key: str) -> None:
+        try:
+            self.checkpoint_path(key).unlink()
+        except FileNotFoundError:
+            pass
+
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _atomic_write(path: Path, payload: dict) -> None:
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{path.stem}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def stats(self) -> dict:
+        """Entry counts and on-disk size (the ops page's cache block)."""
+        entries = list(self.results_dir.glob("*/*.pkl"))
+        checkpoints = list(self.checkpoints_dir.glob("*.pkl"))
+        return {
+            "entries": len(entries),
+            "bytes": sum(p.stat().st_size for p in entries),
+            "checkpoints": len(checkpoints),
+            "max_entries": self.max_entries,
+        }

@@ -146,6 +146,31 @@ class ShardPool:
         """Per-shard manager statistics (live nodes, GC runs, ...)."""
         return self.broadcast(("stats",))
 
+    def reset(self, var_names: Sequence[str], **config) -> None:
+        """Reset every worker for a new job without restarting processes.
+
+        Each worker rebuilds its manager from its spawn config with
+        ``config`` (``gc`` / ``reorder`` / ``max_nodes``) merged on top,
+        dropping all handles, resident entries and plans, then declares
+        ``var_names`` as the fresh variable order.  Pending replies are
+        drained first so a reset after a failed or cancelled job cannot
+        interleave with stale traffic.  The op counters keep
+        accumulating across jobs (callers snapshot-and-diff them).
+        """
+        if self._closed:
+            raise ShardError("ShardPool is closed")
+        for shard in range(self.num_shards):
+            while self._pending[shard] > 0:
+                try:
+                    self._conns[shard].recv()
+                except (EOFError, OSError) as exc:
+                    raise ShardError(
+                        f"shard {shard} died before reset: {exc}"
+                    ) from exc
+                self._pending[shard] -= 1
+        self.broadcast(("reset", dict(config)))
+        self.broadcast(("vars", list(var_names)))
+
     # ------------------------------------------------------------------ #
 
     def close(self) -> None:

@@ -56,6 +56,13 @@ Commands
 ``("image", plan_id, snapshot)``
     Run the plan against the constraint in ``snapshot`` (with
     opportunistic GC) and reply with the result snapshot.
+``("reset", overrides)``
+    Tear down the shard manager and rebuild it from the spawn config
+    (with ``overrides`` merged on top): all handles, resident entries
+    and plans are dropped and the variable table is empty again —
+    ``("vars", ...)`` must run before the next load.  This is how the
+    job server reuses one warm pool of processes across solves without
+    paying fork/spawn per job.
 ``("stats",)``
     Reply with a small dict of manager statistics.
 ``("gc",)``
@@ -82,6 +89,10 @@ class _WorkerState:
     """Manager + registries behind one worker's command loop."""
 
     def __init__(self, config: dict) -> None:
+        self.config = dict(config)
+        self._build(self.config)
+
+    def _build(self, config: dict) -> None:
         self.mgr = BddManager(
             max_nodes=config.get("max_nodes"),
             gc_policy=GcPolicy(mode=config.get("gc", "static")),
@@ -216,6 +227,20 @@ class _WorkerState:
         mgr.maybe_collect_garbage([*parts, result])
         return out
 
+    def op_reset(self, overrides: dict | None = None) -> int:
+        """Rebuild the manager from the spawn config (+ overrides).
+
+        Dropping the whole manager (instead of freeing registries one by
+        one) guarantees no state leaks between jobs: node table,
+        computed table, variable order and policies all start fresh.
+        Returns the number of variables afterwards (always 0 — the next
+        job's ``vars`` command declares its own order).
+        """
+        config = dict(self.config)
+        config.update(overrides or {})
+        self._build(config)
+        return self.mgr.num_vars
+
     def op_stats(self) -> dict:
         stats = self.mgr.stats
         return {
@@ -264,6 +289,7 @@ def worker_main(conn, config: dict) -> None:
         "and_exists": state.op_and_exists,
         "plan": state.op_plan,
         "image": state.op_image,
+        "reset": state.op_reset,
         "stats": state.op_stats,
         "gc": state.op_gc,
         "sift": state.op_sift,

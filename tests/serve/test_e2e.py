@@ -1,0 +1,206 @@
+"""End-to-end serve tests over a real HTTP server.
+
+The server runs in-process (``ThreadingHTTPServer`` on an ephemeral
+port) with the real executor thread and, for the sharded tests, a real
+fork-based :class:`~repro.shard.pool.ShardPool` — so the acceptance
+claim is tested literally: a repeated solve answers from the
+content-addressed cache with **zero** shard image operations, asserted
+on ``ShardPool.op_counts``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.bench import S27_BLIF
+from repro.errors import ServeError
+from repro.serve import ServeApp, ServeClient
+from repro.serve.server import make_server
+
+X = ["G6", "G7"]
+SHARDED = {"blif": S27_BLIF, "x_latches": X, "shards": 2, "batch": 4}
+
+
+class ServerFixture:
+    def __init__(self, tmp_path, **app_kwargs):
+        self.app = ServeApp(str(tmp_path / "cache"), **app_kwargs)
+        self.server = make_server("127.0.0.1", 0, app=self.app)
+        host, port = self.server.server_address[:2]
+        self.client = ServeClient(f"http://{host}:{port}", timeout=30)
+        self.thread = threading.Thread(
+            target=self.server.serve_forever, daemon=True
+        )
+        self.thread.start()
+
+    def close(self):
+        self.server.shutdown()
+        self.server.server_close()
+        self.app.close()
+        self.thread.join(timeout=10)
+
+
+@pytest.fixture()
+def served(tmp_path):
+    fixture = ServerFixture(tmp_path)
+    yield fixture
+    fixture.close()
+
+
+class TestSubmitToResult:
+    def test_submit_progress_events_result(self, served) -> None:
+        job = served.client.submit(SHARDED)
+        assert job["status"] in ("queued", "running", "done")
+        assert job["cached"] is False
+        done = served.client.wait(job["id"], timeout=60)
+        assert done["status"] == "done"
+        events = served.client.events(job["id"])["events"]
+        kinds = [e["type"] for e in events]
+        assert "progress" in kinds
+        progress = [e for e in events if e["type"] == "progress"]
+        # The stream carries the run's live counters, monotonically.
+        assert [e["seq"] for e in events] == list(range(1, len(events) + 1))
+        assert progress[-1]["frontier"] == 0
+        assert progress[-1]["subsets"] >= progress[0]["subsets"]
+        assert "live_nodes" in progress[0] and "memo_hits" in progress[0]
+        result = served.client.result(job["id"])
+        assert result["csf_states"] == 7  # s27's known CSF size
+        assert result["cached"] is False
+        assert result["kiss"].startswith(".i")
+
+    def test_events_cursor_pagination(self, served) -> None:
+        job = served.client.submit(SHARDED)
+        served.client.wait(job["id"], timeout=60)
+        first = served.client.events(job["id"], since=0)
+        assert first["next"] == len(first["events"])
+        rest = served.client.events(job["id"], since=first["next"])
+        assert rest["events"] == []
+        tail = served.client.events(job["id"], since=first["next"] - 2)
+        assert len(tail["events"]) == 2
+
+    def test_bad_split_fails_cleanly(self, served) -> None:
+        job = served.client.submit({"blif": S27_BLIF, "x_latches": ["nope"]})
+        done = served.client.wait(job["id"], timeout=60)
+        assert done["status"] == "failed"
+        assert "nope" in done["error"]
+        # The server survives a failed job.
+        assert served.client.health()["ok"] is True
+
+    def test_malformed_submit_is_a_client_error(self, served) -> None:
+        with pytest.raises(ServeError, match="missing 'x_latches'"):
+            served.client.submit({"blif": S27_BLIF})
+        with pytest.raises(ServeError, match="unknown solver flags"):
+            served.client.submit(
+                {"blif": S27_BLIF, "x_latches": X, "bach": 8}
+            )
+
+
+class TestCacheHit:
+    def test_repeat_solve_hits_cache_with_zero_shard_ops(self, served) -> None:
+        first = served.client.submit(SHARDED)
+        served.client.wait(first["id"], timeout=60)
+        pool = served.app.executor.pool
+        assert pool is not None  # the sharded solve forked the pool
+        ops_before = dict(pool.op_counts)
+        assert ops_before.get("expand_batch", 0) > 0  # cold solve used it
+        second = served.client.submit(SHARDED)
+        # Born done: the cache answered in the submit path.
+        assert second["status"] == "done"
+        assert second["cached"] is True
+        assert dict(pool.op_counts) == ops_before  # ZERO new shard ops
+        r1 = served.client.result(first["id"])
+        r2 = served.client.result(second["id"])
+        assert r2["kiss"] == r1["kiss"]  # identical CSF, byte for byte
+        assert r2["cached"] is True
+
+    def test_different_flags_do_not_hit(self, served) -> None:
+        first = served.client.submit(SHARDED)
+        served.client.wait(first["id"], timeout=60)
+        other = served.client.submit({**SHARDED, "frontier": "bfs"})
+        assert other["cached"] is False
+        done = served.client.wait(other["id"], timeout=60)
+        assert done["status"] == "done"
+        # Same language even though the key differs.
+        assert (
+            served.client.result(other["id"])["csf_states"]
+            == served.client.result(first["id"])["csf_states"]
+        )
+
+    def test_cache_survives_server_restart(self, tmp_path) -> None:
+        one = ServerFixture(tmp_path)
+        try:
+            job = one.client.submit(SHARDED)
+            one.client.wait(job["id"], timeout=60)
+            kiss = one.client.result(job["id"])["kiss"]
+        finally:
+            one.close()
+        two = ServerFixture(tmp_path)
+        try:
+            job2 = two.client.submit(SHARDED)
+            assert job2["cached"] is True
+            assert two.client.result(job2["id"])["kiss"] == kiss
+            assert two.app.executor.pool is None  # never touched a worker
+        finally:
+            two.close()
+
+
+class TestCancellation:
+    def test_cancel_mid_solve_leaves_pool_reusable(self, tmp_path) -> None:
+        paused = threading.Event()
+        release = threading.Event()
+        state = {"armed": True}
+
+        def hook(job, event):
+            if state["armed"]:
+                paused.set()
+                release.wait(timeout=30)
+
+        fixture = ServerFixture(tmp_path, batch_hook=hook)
+        try:
+            client, app = fixture.client, fixture.app
+            job = client.submit({**SHARDED, "batch": 1})
+            assert paused.wait(timeout=30)  # solver is mid-run, blocked
+            client.cancel(job["id"])
+            state["armed"] = False
+            release.set()
+            done = client.wait(job["id"], timeout=60)
+            assert done["status"] == "cancelled"
+            assert job["cache_key"] not in app.store  # no result cached
+            # The warm pool survived the unwound solve and serves the
+            # next job through a reset, not a re-fork.
+            pool = app.executor.pool
+            assert pool is not None
+            procs_before = [p.pid for p in pool._procs]
+            job2 = client.submit(SHARDED)
+            done2 = client.wait(job2["id"], timeout=60)
+            assert done2["status"] == "done"
+            assert [p.pid for p in app.executor.pool._procs] == procs_before
+        finally:
+            release.set()
+            fixture.close()
+
+    def test_cancel_queued_job_never_runs(self, tmp_path) -> None:
+        paused = threading.Event()
+        release = threading.Event()
+
+        def hook(job, event):
+            paused.set()
+            release.wait(timeout=30)
+
+        fixture = ServerFixture(tmp_path, batch_hook=hook)
+        try:
+            blocker = fixture.client.submit({**SHARDED, "batch": 1})
+            assert paused.wait(timeout=30)
+            queued = fixture.client.submit(
+                {"blif": S27_BLIF, "x_latches": ["G5"]}
+            )
+            fixture.client.cancel(queued["id"])
+            release.set()
+            fixture.client.wait(blocker["id"], timeout=60)
+            done = fixture.client.wait(queued["id"], timeout=60)
+            assert done["status"] == "cancelled"
+            assert done["started_at"] is None  # it never reached the solver
+        finally:
+            release.set()
+            fixture.close()

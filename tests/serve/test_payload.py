@@ -1,0 +1,108 @@
+"""Result payloads: dump/load round-trips, including hypothesis sweeps.
+
+The cache answers with what :func:`repro.serve.payload.load_result`
+rebuilds, so these round-trips *are* the cache's correctness story:
+every edge label must survive bit-for-bit (same minterms), the
+structure must survive exactly (same states/edges/accepting/initial),
+and a payload loaded into a fresh manager must behave like the
+original automaton.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.automaton import Automaton
+from repro.automata.kiss import write_kiss
+from repro.bdd.manager import BddManager
+from repro.bench import S27_BLIF
+from repro.errors import ServeError
+from repro.eqn.solver import solve_latch_split
+from repro.network.blif import parse_blif
+from repro.serve.payload import (
+    PAYLOAD_FORMAT,
+    dump_automaton,
+    dump_result,
+    load_automaton,
+    load_result,
+)
+from tests.strategies import DEFAULT_VARS, bdd_minterms, expressions
+
+VARS = list(DEFAULT_VARS)
+
+
+def random_automaton(label_exprs, accepting_bits) -> Automaton:
+    mgr = BddManager()
+    mgr.add_vars(VARS)
+    n = len(accepting_bits)
+    aut = Automaton(mgr, tuple(VARS))
+    for i, accepting in enumerate(accepting_bits):
+        aut.add_state(f"q{i}", accepting=accepting)
+    for idx, expr in enumerate(label_exprs):
+        src, dst = idx % n, (idx * 7 + 1) % n
+        aut.add_edge(src, dst, expr.to_bdd(mgr))
+    return aut
+
+
+class TestAutomatonRoundTrip:
+    @given(
+        exprs=st.lists(expressions(VARS, max_leaves=8), min_size=1, max_size=6),
+        accepting=st.lists(st.booleans(), min_size=2, max_size=5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_structure_and_labels_survive(self, exprs, accepting) -> None:
+        aut = random_automaton(exprs, accepting)
+        clone = load_automaton(dump_automaton(aut))  # fresh manager
+        assert clone.state_names == aut.state_names
+        assert clone.accepting == aut.accepting
+        assert clone.initial == aut.initial
+        assert [set(b) for b in clone.edges] == [set(b) for b in aut.edges]
+        for src in range(aut.num_states):
+            for dst, label in aut.edges[src].items():
+                assert bdd_minterms(
+                    clone.manager, clone.edges[src][dst], VARS
+                ) == bdd_minterms(aut.manager, label, VARS)
+
+    @given(
+        exprs=st.lists(expressions(VARS, max_leaves=8), min_size=1, max_size=4),
+        accepting=st.lists(st.booleans(), min_size=2, max_size=4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_load_into_existing_manager(self, exprs, accepting) -> None:
+        aut = random_automaton(exprs, accepting)
+        target = BddManager()
+        target.add_vars(["z9", *VARS])  # different order, extra variable
+        clone = load_automaton(dump_automaton(aut), target)
+        assert clone.manager is target
+        for src in range(aut.num_states):
+            for dst, label in aut.edges[src].items():
+                assert bdd_minterms(
+                    target, clone.edges[src][dst], VARS
+                ) == bdd_minterms(aut.manager, label, VARS)
+
+
+class TestResultRoundTrip:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return solve_latch_split(parse_blif(S27_BLIF), ["G6", "G7"])
+
+    def test_round_trip_preserves_the_csf(self, result) -> None:
+        payload = dump_result(result, cache_key="ab" * 32)
+        assert payload["format"] == PAYLOAD_FORMAT
+        decoded = load_result(payload)
+        assert decoded["csf_states"] == result.csf_states
+        assert write_kiss(decoded["csf"]) == write_kiss(result.csf)
+
+    def test_stats_and_options_travel(self, result) -> None:
+        decoded = load_result(dump_result(result, cache_key=None))
+        assert decoded["stats"]["subsets"] == result.stats.subsets
+        assert decoded["options"] == result.options
+        assert decoded["method"] == result.method
+
+    def test_unknown_format_is_rejected(self, result) -> None:
+        payload = dump_result(result)
+        payload["format"] = "repro-serve-result/999"
+        with pytest.raises(ServeError, match="unknown result payload format"):
+            load_result(payload)

@@ -92,6 +92,48 @@ def test_api_reference_pages_cover_automata_and_eqn() -> None:
         assert directive in eqn
 
 
+def test_api_reference_page_covers_serve() -> None:
+    """The serve layer's mkdocstrings page (the service PR's docs item)."""
+    serve = (DOCS / "api" / "serve.md").read_text()
+    for directive in (
+        "::: repro.serve.keys",
+        "::: repro.serve.payload",
+        "::: repro.serve.store",
+        "::: repro.serve.jobs",
+        "::: repro.serve.executor",
+        "::: repro.serve.server",
+        "::: repro.serve.client",
+    ):
+        assert directive in serve
+
+
+def test_serving_docs_cover_the_operational_surface() -> None:
+    """The prose pages must document what the service actually promises."""
+    serving = (DOCS / "serving.md").read_text()
+    for token in (
+        "cache key",
+        "--reorder",
+        "progress",
+        "checkpoint",
+        "resume",
+        "/jobs",
+        "since=",
+        "repro submit",
+    ):
+        assert token in serving, f"serving.md is missing {token!r}"
+    operations = (DOCS / "operations.md").read_text()
+    for token in (
+        "--cache-dir",
+        "--max-entries",
+        "--shards",
+        "systemd",
+        "LRU",
+        "Troubleshooting",
+        "/healthz",
+    ):
+        assert token in operations, f"operations.md is missing {token!r}"
+
+
 def test_api_reference_modules_exist() -> None:
     """Every ``::: module`` directive must point at an importable module.
 
