@@ -55,7 +55,7 @@ class Automaton:
     # ------------------------------------------------------------------ #
 
     def __post_init__(self) -> None:
-        declared = set(self.manager._name_to_var)
+        declared = set(self.manager.var_order())
         missing = [v for v in self.variables if v not in declared]
         if missing:
             raise AutomatonError(f"alphabet variables not declared: {missing}")

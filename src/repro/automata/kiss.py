@@ -96,7 +96,7 @@ def parse_kiss(text: str, manager: BddManager | None = None) -> Automaton:
         raise AutomatonError(".ilb width does not match .i")
     mgr = manager if manager is not None else BddManager()
     for name in variables:
-        if name not in mgr._name_to_var:
+        if not mgr.has_var(name):
             mgr.add_var(name)
     aut = Automaton(mgr, tuple(variables))
     ids: dict[str, int] = {}

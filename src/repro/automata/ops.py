@@ -181,7 +181,7 @@ def support(aut: Automaton, new_variables: Sequence[str]) -> Automaton:
     mgr = aut.manager
     new_tuple = tuple(new_variables)
     for name in new_tuple:
-        if name not in mgr._name_to_var:
+        if not mgr.has_var(name):
             raise AutomatonError(f"support variable {name!r} not declared")
     hidden = [mgr.var_index(v) for v in aut.variables if v not in new_tuple]
     result = Automaton(mgr, new_tuple)

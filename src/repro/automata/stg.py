@@ -52,7 +52,7 @@ def network_to_automaton(
     mgr = manager if manager is not None else BddManager()
     variables = tuple(net.inputs) + tuple(net.outputs)
     for name in variables:
-        if name not in mgr._name_to_var:
+        if not mgr.has_var(name):
             mgr.add_var(name)
     overlap = set(net.inputs) & set(net.outputs)
     if overlap:

@@ -16,8 +16,22 @@ Public surface:
   :func:`swap_levels`), plus rebuild-based transfer/reordering and
   mark-and-sweep compaction.
 * :mod:`repro.bdd.io` — dot export and JSON (de)serialisation.
+* :mod:`repro.bdd.backends` — the pluggable-backend registry:
+  :func:`create_manager` constructs a manager on any registered
+  :class:`~repro.bdd.backends.protocol.BddBackend` (``"python"`` — the
+  reference kernel here — or the native ``"buddy"`` ctypes adapter),
+  degrading gracefully to pure Python when a native library is absent.
 """
 
+from repro.bdd.backends import (
+    BACKEND_CHOICES,
+    BackendFallbackWarning,
+    BddBackend,
+    available_backends,
+    backend_available,
+    create_manager,
+    register_backend,
+)
 from repro.bdd.cube import (
     iter_cubes,
     iter_minterms,
@@ -46,10 +60,17 @@ from repro.bdd.reorder import (
 )
 
 __all__ = [
+    "BACKEND_CHOICES",
     "FALSE",
     "TRUE",
+    "BackendFallbackWarning",
+    "BddBackend",
     "BddManager",
     "Function",
+    "available_backends",
+    "backend_available",
+    "create_manager",
+    "register_backend",
     "GcPolicy",
     "ReorderPolicy",
     "SiftResult",

@@ -44,7 +44,7 @@ class Function:
     @staticmethod
     def var(manager: BddManager, name: str) -> "Function":
         """The positive literal of ``name`` (declared on first use)."""
-        if name in manager._name_to_var:
+        if manager.has_var(name):
             index = manager.var_index(name)
         else:
             index = manager.add_var(name)

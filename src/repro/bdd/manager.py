@@ -279,6 +279,11 @@ class BddManager:
     #: the ``"auto"`` core decides between recursive and iterative.
     _DEEP_MARGIN = 250
 
+    #: Registry name of this backend (see :mod:`repro.bdd.backends`).
+    #: The pure-Python kernel is the reference implementation of the
+    #: :class:`~repro.bdd.backends.protocol.BddBackend` protocol.
+    backend_name = "python"
+
     def __init__(
         self,
         max_nodes: int | None = None,
@@ -444,6 +449,10 @@ class BddManager:
     def var_index(self, name: str) -> int:
         """Variable index of ``name``; raises ``KeyError`` if undeclared."""
         return self._name_to_var[name]
+
+    def has_var(self, name: str) -> bool:
+        """Whether a variable called ``name`` has been declared."""
+        return name in self._name_to_var
 
     def var_level(self, var: int) -> int:
         """Current level (position in the order) of variable ``var``."""
@@ -2152,6 +2161,43 @@ class BddManager:
     def computed_table_size(self) -> int:
         """Number of live computed-table entries."""
         return len(self._computed)
+
+    def sift_now(
+        self,
+        roots: Iterable[int] = (),
+        *,
+        max_growth: float = 1.2,
+        max_vars: int | None = None,
+    ) -> "SiftResult":
+        """Run one in-place sifting pass immediately.
+
+        Protocol entry point for explicit reordering (the policy-driven
+        path stays inside :meth:`collect_garbage`): delegates to
+        :func:`repro.bdd.reorder.sift`, honouring the reorder block
+        boundaries and keeping every live edge valid.  Returns the
+        :class:`~repro.bdd.reorder.SiftResult`.
+        """
+        from repro.bdd.reorder import sift
+
+        return sift(self, roots, max_growth=max_growth, max_vars=max_vars)
+
+    def dump_nodes(self, roots: Sequence[int]) -> dict:
+        """Snapshot the shared DAG of ``roots`` (``repro-bdd-nodes/1``).
+
+        Protocol method delegating to :func:`repro.bdd.io.dump_nodes`;
+        every backend emits the same packed-array format, which is what
+        makes cross-backend transfer (and the conformance kit's
+        edge-for-edge comparison) possible.
+        """
+        from repro.bdd.io import dump_nodes
+
+        return dump_nodes(self, roots)
+
+    def load_nodes(self, data: Mapping) -> list[int]:
+        """Rebuild a snapshot taken by any backend's ``dump_nodes``."""
+        from repro.bdd.io import load_nodes
+
+        return load_nodes(self, data)
 
     def check(self) -> None:
         """Assert the kernel's structural invariants (slow; for tests).

@@ -46,8 +46,8 @@ from repro.symb.reach import network_reachable_states
 
 REPO_ROOT = Path(__file__).resolve().parents[3]
 
-SCHEMA_KERNEL = "repro-bench-kernel/2"
-SCHEMA_TABLE1 = "repro-bench-table1/5"
+SCHEMA_KERNEL = "repro-bench-kernel/3"
+SCHEMA_TABLE1 = "repro-bench-table1/6"
 
 #: Table 1 cases re-run with ``--reorder auto`` as dedicated ``@auto``
 #: rows: the paper-scale instances where dynamic reordering is the
@@ -66,6 +66,14 @@ TABLE1_SHARD_VARIANTS = ("johnson12",)
 #: sibling subsets, batches of 8 flow through ``expand_batch``, and the
 #: incremental completion memo deduplicates their ``Q_ψ`` work.
 TABLE1_BATCH_VARIANTS = ("johnson12", "rand20")
+
+#: Table 1 cases re-run on the native BuDDy kernel as ``@buddy`` rows —
+#: recorded only when the shared library is actually loadable
+#: (:func:`repro.bdd.backends.backend_available`), never via the
+#: silent pure-Python fallback, so a ``@buddy`` row always measured the
+#: native adapter.  Results are identical by the conformance contract;
+#: only wall clock differs.
+TABLE1_BACKEND_VARIANTS = ("s27", "johnson8")
 
 
 # --------------------------------------------------------------------- #
@@ -375,20 +383,21 @@ def wl_indep_images_shards2(n: int) -> BddManager:
     return _indep_images(n, 2)
 
 
-def _solve_batched(n: int, batch: int) -> BddManager:
+def _solve_batched(n: int, batch: int, backend: str = "python") -> BddManager:
     """A partitioned solve through the frontier-batched subset engine.
 
     The ``@batch1``/``@batch8`` pair isolates the cost/benefit of
     batching on one manager: same instance, same flow, only the
     frontier batch size (and the BFS sibling grouping that makes the
-    completion memo hit) differs.
+    completion memo hit) differs.  The ``@buddy`` variant runs the same
+    ``batch=1`` solve on the native kernel — its twin is ``@batch1``.
     """
     from repro.eqn.problem import build_latch_split_problem
     from repro.eqn.solver import solve_equation
 
     net = circuits.johnson(n)
     x_latches = [f"j{k}" for k in range(1, n, 2)]
-    problem = build_latch_split_problem(net, x_latches)
+    problem = build_latch_split_problem(net, x_latches, backend=backend)
     result = solve_equation(
         problem, method="partitioned", frontier="bfs", batch=batch
     )
@@ -402,6 +411,10 @@ def wl_solve_batch1(n: int) -> BddManager:
 
 def wl_solve_batch8(n: int) -> BddManager:
     return _solve_batched(n, 8)
+
+
+def wl_solve_buddy(n: int):
+    return _solve_batched(n, 1, backend="buddy")
 
 
 KERNEL_WORKLOADS = [
@@ -427,7 +440,27 @@ KERNEL_WORKLOADS = [
     # Frontier-batched subset-engine pair: same solve, batch sizes 1/8.
     ("solve@batch1", wl_solve_batch1, 10, 8),
     ("solve@batch8", wl_solve_batch8, 10, 8),
+    # Backend pair: the @batch1 solve on the native BuDDy kernel.  Runs
+    # only where the shared library loads (see _workload_available);
+    # elsewhere the row is skipped, never silently measured on the
+    # pure-Python fallback.
+    ("solve@buddy", wl_solve_buddy, 10, 8),
 ]
+
+
+def _workload_available(name: str) -> bool:
+    """Whether a kernel workload can run *honestly* on this machine.
+
+    ``@buddy`` rows require the native library: the registry would fall
+    back to pure Python with a warning, and a row labelled ``buddy``
+    that measured the reference kernel would poison every baseline
+    comparison downstream.
+    """
+    if name.endswith("@buddy"):
+        from repro.bdd.backends import backend_available
+
+        return backend_available("buddy")
+    return True
 
 
 def make_workload_filter(
@@ -480,10 +513,17 @@ def run_kernel(
     for name, fn, full_n, smoke_n in KERNEL_WORKLOADS:
         if not select("kernel", name):
             continue
+        if not _workload_available(name):
+            print(
+                f"  kernel/{name:28s} skipped (backend unavailable)",
+                flush=True,
+            )
+            continue
         n = smoke_n if smoke else full_n
         best = None
         stats: dict = {}
         hit_rate = 0.0
+        backend = "python"
         for _ in range(repeats):
             gc.collect()
             t0 = time.perf_counter()
@@ -493,9 +533,11 @@ def run_kernel(
                 best = elapsed
                 stats = mgr.stats
                 hit_rate = mgr.cache_hit_rate()
+                backend = getattr(mgr, "backend_name", "python")
         results.append(
             {
                 "name": name,
+                "backend": backend,
                 "size": n,
                 "wall_s": round(best, 6),
                 "peak_live_nodes": stats.get("peak_live_nodes", 0),
@@ -535,6 +577,7 @@ def _run_table1_case(
     shards: int = 1,
     frontier: str = "dfs",
     batch: int = 1,
+    backend: str = "python",
 ) -> dict:
     from repro.eqn.problem import build_latch_split_problem
     from repro.eqn.solver import solve_equation
@@ -552,6 +595,7 @@ def _run_table1_case(
         "shards": shards,
         "frontier": frontier,
         "batch": batch,
+        "backend": backend,
         "methods": {},
     }
     # Only the partitioned flow shards; @shardsN rows skip the baseline.
@@ -561,6 +605,9 @@ def _run_table1_case(
         # and a served solve of the identical (circuit, split, flags)
         # combination carry the same key, making cached-vs-cold latency
         # comparisons attributable row by row.
+        # ``backend`` is passed so the spec validates it, but it never
+        # reaches the hash: a @buddy row and its base row carry the
+        # same cache_key, because they produce the same bytes.
         key = solve_cache_key(
             net,
             list(case.x_latches),
@@ -570,6 +617,7 @@ def _run_table1_case(
             shards=shards if method == "partitioned" else 1,
             frontier=frontier,
             batch=batch,
+            backend=backend,
         )
         limit = ResourceLimit(max_seconds=case.max_seconds, max_nodes=case.max_nodes)
         gc.collect()
@@ -581,6 +629,7 @@ def _run_table1_case(
                 max_nodes=case.max_nodes,
                 reorder=reorder,
                 gc=gc_mode,
+                backend=backend,
             )
             result = solve_equation(
                 problem,
@@ -634,14 +683,18 @@ def _table1_base_cases(smoke: bool) -> list:
     return [c for c in TABLE1_CASES if not c.expect_mono_cnc][:3]
 
 
-def table1_row_names(smoke: bool, *, reorder: str = "off") -> list[str]:
+def table1_row_names(
+    smoke: bool, *, reorder: str = "off", backend: str = "python"
+) -> list[str]:
     """Every row name a run with these settings would emit.
 
     This is the single source of truth the ``--only``/``--skip``
     nothing-matched guard checks against: a variant row that a smoke
     run (or an explicit ``--reorder`` run) suppresses must not count as
     selectable, or a filtered run could write an empty artifact with a
-    success exit code.
+    success exit code.  ``@buddy`` rows count only where the native
+    library is loadable (and ``backend`` is left at the default — an
+    explicit ``--backend buddy`` run already covers every base row).
     """
     from repro.bench.suite import TABLE1_BENCH_ONLY_CASES, TABLE1_CASES
 
@@ -655,6 +708,10 @@ def table1_row_names(smoke: bool, *, reorder: str = "off") -> list[str]:
         names += [f"{n}@shards2" for n in TABLE1_SHARD_VARIANTS if n in in_suite]
         names += [f"{n}@batch8" for n in TABLE1_BATCH_VARIANTS if n in in_suite]
         names += [f"{case.name}@batch8" for case in TABLE1_BENCH_ONLY_CASES]
+        if backend == "python" and _workload_available("@buddy"):
+            names += [
+                f"{n}@buddy" for n in TABLE1_BACKEND_VARIANTS if n in in_suite
+            ]
     return names
 
 
@@ -663,13 +720,20 @@ def run_table1_bench(
     *,
     reorder: str = "off",
     gc_mode: str = "static",
+    backend: str = "python",
     select: Callable[[str, str], bool] = _accept_all,
 ) -> list[dict]:
     from repro.bench.suite import TABLE1_CASES
 
     cases = _table1_base_cases(smoke)
     rows = [
-        _run_table1_case(case, reorder=reorder, gc_mode=gc_mode, row_name=case.name)
+        _run_table1_case(
+            case,
+            reorder=reorder,
+            gc_mode=gc_mode,
+            row_name=case.name,
+            backend=backend,
+        )
         for case in cases
         if select("table1", case.name)
     ]
@@ -745,6 +809,26 @@ def run_table1_bench(
                     batch=8,
                 )
             )
+        # Native-kernel rows: the same case on the BuDDy adapter, only
+        # where the library actually loads (never the silent fallback),
+        # and only when the run's own backend is the default — an
+        # explicit --backend buddy run already records every base row
+        # natively.
+        if backend == "python" and _workload_available("@buddy"):
+            for name in TABLE1_BACKEND_VARIANTS:
+                case = by_name.get(name)
+                row_name = f"{name}@buddy"
+                if case is None or not select("table1", row_name):
+                    continue
+                rows.append(
+                    _run_table1_case(
+                        case,
+                        reorder=reorder,
+                        gc_mode=gc_mode,
+                        row_name=row_name,
+                        backend="buddy",
+                    )
+                )
     return rows
 
 
@@ -760,8 +844,9 @@ def list_workloads(
 
     ``repro bench --list`` prints this: kernel workloads with their full
     and smoke sizes, and Table 1 cases with the ``@auto`` (dynamic
-    reordering), ``@shards2`` (sharded runtime) and ``@batch8``
-    (frontier-batched engine) variant rows the full run records
+    reordering), ``@shards2`` (sharded runtime), ``@batch8``
+    (frontier-batched engine) and ``@buddy`` (native BDD kernel, only
+    run where the library loads) variant rows the full run records
     alongside them.  ``select`` (built from ``--only``/``--skip``)
     restricts the listing the same way it restricts a run.
     """
@@ -784,6 +869,8 @@ def list_workloads(
             variants.append(f"{case.name}@shards2")
         if case.name in TABLE1_BATCH_VARIANTS:
             variants.append(f"{case.name}@batch8")
+        if case.name in TABLE1_BACKEND_VARIANTS:
+            variants.append(f"{case.name}@buddy")
         suffix = f"  (+ variants: {', '.join(variants)})" if variants else ""
         cnc = "  [mono expected CNC]" if case.expect_mono_cnc else ""
         lines.append(f"  table1/{case.name:14s} {case.paper_row}{cnc}{suffix}")
@@ -813,7 +900,10 @@ def compare_to_baseline(results: list[dict], baseline: dict) -> list[dict]:
     a uniformly slower machine scales every workload alike, so only the
     spread around the median slowdown signals a real regression.
     Sub-millisecond baseline entries are noise-floored (excluded from
-    the median and never failed).
+    the median and never failed).  A row whose BDD backend differs from
+    the baseline's (rows without a recorded backend count as the
+    pure-Python reference) is likewise excluded: a kernel swap is an
+    environment change, not a code regression.
     """
     old = {r["name"]: r for r in baseline.get("results", [])}
     rows: list[dict] = []
@@ -824,13 +914,17 @@ def compare_to_baseline(results: list[dict], baseline: dict) -> list[dict]:
             "name": r["name"],
             "size": r["size"],
             "wall_s": r["wall_s"],
+            "backend": r.get("backend", "python"),
             "base_wall_s": base["wall_s"] if base else None,
+            "base_backend": base.get("backend", "python") if base else None,
             "ratio": None,
             "norm_ratio": None,
             "status": "new",
         }
         if base is not None:
-            if base.get("size") != r["size"]:
+            if base.get("backend", "python") != r.get("backend", "python"):
+                row["status"] = "backend-changed"
+            elif base.get("size") != r["size"]:
                 row["status"] = "size-changed"
             elif base["wall_s"] < 0.001:
                 row["status"] = "sub-ms"
@@ -914,12 +1008,18 @@ def format_markdown_diff(
         mismatches.append(
             f"python differs (baseline {base_python}, current {cur_python})"
         )
+    backend_changed = [r["name"] for r in rows if r["status"] == "backend-changed"]
+    if backend_changed:
+        mismatches.append(
+            "BDD backend differs on: " + ", ".join(backend_changed)
+        )
     if mismatches:
         lines.append(
             "> ⚠️ **environment mismatch:** "
             + "; ".join(mismatches)
             + " — wall-clock ratios and especially the sharded "
-            "(`@shardsN`) deltas are not comparable across these runs."
+            "(`@shardsN`) and cross-backend (`@buddy`) deltas are not "
+            "comparable across these runs."
         )
     if medians:
         lines.append(
@@ -946,6 +1046,11 @@ def format_markdown_diff(
             status = "⚪ sub-ms (noise floor)"
         elif r["status"] == "size-changed":
             status = "⚪ size changed"
+        elif r["status"] == "backend-changed":
+            status = (
+                f"⚪ backend changed "
+                f"({r['base_backend']} → {r['backend']})"
+            )
         else:
             status = "🆕 new workload"
         lines.append(
@@ -1051,6 +1156,16 @@ def main(argv: list[str] | None = None) -> int:
         choices=("static", "adaptive"),
         help="GC tuning mode for the table1 solver runs",
     )
+    parser.add_argument(
+        "--backend",
+        default="python",
+        choices=("python", "buddy"),
+        help=(
+            "BDD kernel for the table1 solver runs (kernel workloads "
+            "pin their own managers; @buddy variant rows run only "
+            "where the native library loads)"
+        ),
+    )
     args = parser.parse_args(argv)
     select = make_workload_filter(args.only, args.skip)
     if args.list:
@@ -1069,7 +1184,10 @@ def main(argv: list[str] | None = None) -> int:
         kernel_results = run_kernel(args.smoke, repeats, select)
         payload = {
             "schema": SCHEMA_KERNEL,
-            "meta": meta(args.smoke, filtered=filtered),
+            # Kernel workloads pin their own managers, so the suite-level
+            # backend is always the reference kernel; per-row ``backend``
+            # fields record what each workload actually ran on.
+            "meta": meta(args.smoke, backend="python", filtered=filtered),
             "results": kernel_results,
         }
         out = args.out_dir / "BENCH_kernel.json"
@@ -1090,17 +1208,27 @@ def main(argv: list[str] | None = None) -> int:
 
     run_table1_suite = any(
         select("table1", name)
-        for name in table1_row_names(args.smoke, reorder=args.reorder)
+        for name in table1_row_names(
+            args.smoke, reorder=args.reorder, backend=args.backend
+        )
     )
     if run_table1_suite:
         print("== table1 benchmarks ==", flush=True)
         table1_rows = run_table1_bench(
-            args.smoke, reorder=args.reorder, gc_mode=args.gc, select=select
+            args.smoke,
+            reorder=args.reorder,
+            gc_mode=args.gc,
+            backend=args.backend,
+            select=select,
         )
         payload = {
             "schema": SCHEMA_TABLE1,
             "meta": meta(
-                args.smoke, reorder=args.reorder, gc=args.gc, filtered=filtered
+                args.smoke,
+                reorder=args.reorder,
+                gc=args.gc,
+                backend=args.backend,
+                filtered=filtered,
             ),
             "results": table1_rows,
         }

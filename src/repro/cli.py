@@ -95,6 +95,18 @@ def _build_parser() -> argparse.ArgumentParser:
             "share completion work between sibling subsets)"
         ),
     )
+    solve.add_argument(
+        "--backend",
+        default="python",
+        # Literal (not repro.bdd.backends.BACKEND_CHOICES) to keep the
+        # parser import-light; test_backends pins the two in lockstep.
+        choices=("python", "buddy"),
+        help=(
+            "BDD kernel (python = pure-Python reference; buddy = native "
+            "ctypes adapter, falls back to python with a warning when "
+            "the shared library is absent); results are identical"
+        ),
+    )
     solve.add_argument("--no-verify", action="store_true", help="skip formal checks")
     solve.add_argument("--kiss-out", help="write the CSF as KISS2 to this file")
     solve.add_argument("--dot-out", help="write the CSF as Graphviz dot")
@@ -139,6 +151,12 @@ def _build_parser() -> argparse.ArgumentParser:
             "worker processes for the image steps "
             "(1 = in-process; N≥2 shards the relation parts)"
         ),
+    )
+    reach.add_argument(
+        "--backend",
+        default="python",
+        choices=("python", "buddy"),
+        help="BDD kernel (see `solve --help`); results are identical",
     )
 
     # ``bench`` forwards everything to repro.bench.driver's own parser
@@ -188,6 +206,15 @@ def _build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--shards", type=int, default=1)
     submit.add_argument("--frontier", default="dfs", choices=("dfs", "bfs", "size"))
     submit.add_argument("--batch", type=int, default=1)
+    submit.add_argument(
+        "--backend",
+        default="python",
+        choices=("python", "buddy"),
+        help=(
+            "BDD kernel the server solves on (a runtime knob: it never "
+            "changes the result or the cache key)"
+        ),
+    )
     submit.add_argument(
         "--checkpoint-every",
         type=int,
@@ -253,6 +280,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         limit=limit,
         reorder=args.reorder,
         gc=args.gc,
+        backend=args.backend,
         shards=args.shards,
         frontier=args.frontier,
         batch=args.batch,
@@ -350,14 +378,15 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 
 def _cmd_reach(args: argparse.Namespace) -> int:
-    from repro.bdd.manager import BddManager
+    from repro.bdd.backends import create_manager
     from repro.bdd.policy import GcPolicy, ReorderPolicy
     from repro.network.bddbuild import build_network_bdds
     from repro.network.blif import read_blif
     from repro.symb.reach import network_reachable_states
 
     net = read_blif(args.blif)
-    mgr = BddManager(
+    mgr = create_manager(
+        args.backend,
         gc_policy=GcPolicy(mode=args.gc),
         reorder_policy=ReorderPolicy(mode=args.reorder),
     )
@@ -411,6 +440,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         "frontier": args.frontier,
         "batch": args.batch,
     }
+    if args.backend != "python":
+        body["backend"] = args.backend
     if args.max_seconds is not None:
         body["max_seconds"] = args.max_seconds
     if args.max_nodes is not None:

@@ -69,7 +69,8 @@ from collections.abc import Mapping
 
 from repro.bdd.cube import split_by_vars
 from repro.bdd.io import dump_nodes, load_nodes
-from repro.bdd.manager import FALSE, BddManager
+from repro.bdd.backends.protocol import BddBackend
+from repro.bdd.manager import FALSE
 from repro.errors import EquationError
 from repro.symb.image import image_partitioned, image_with_plan, plan_image
 from repro.eqn.problem import EquationProblem
@@ -92,7 +93,7 @@ class PartitionedOracle:
         self.problem = problem
         self.schedule = schedule
         self.trim = trim
-        mgr: BddManager = problem.manager
+        mgr: BddBackend = problem.manager
         self.mgr = mgr
 
         # Π_j (u_j ≡ U_j): F's communication outputs.
@@ -190,6 +191,7 @@ class PartitionedOracle:
                     "max_nodes": mgr.max_nodes,
                     "gc": mgr.gc_policy.mode,
                     "reorder": mgr.reorder_policy.mode,
+                    "backend": getattr(mgr, "backend_name", "python"),
                 }
                 opts.update(shard_opts or {})
                 pool = ShardPool(shards, mgr.var_order(), **opts)

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.bdd.manager import BddManager
+from repro.bdd.backends.protocol import BddBackend
 from repro.bdd.policy import GcPolicy, ReorderPolicy
 from repro.errors import EquationError
 from repro.network.bddbuild import build_network_bdds
@@ -35,7 +35,7 @@ from repro.network.netlist import Network
 class EquationProblem:
     """All solver inputs for one ``F ∘ X ⊆ S`` instance."""
 
-    manager: BddManager
+    manager: BddBackend
     split: LatchSplit
     # Letter variable names (alphabet groups), in declaration order.
     i_names: list[str]
@@ -135,6 +135,7 @@ def build_problem(
     max_nodes: int | None = None,
     reorder: str = "off",
     gc: str = "static",
+    backend: str = "python",
 ) -> EquationProblem:
     """Build an :class:`EquationProblem` from a latch split.
 
@@ -146,10 +147,19 @@ def build_problem(
     variables and the state variables, so sifting can never violate the
     letters-above-states requirement of the subset construction's
     cofactor splitting (state variables still reorder freely).
+
+    ``backend`` selects the BDD kernel through
+    :func:`repro.bdd.backends.create_manager` (``"python"`` — the
+    reference — or a native adapter such as ``"buddy"``); every backend
+    produces identical results, so this is purely a speed knob, and an
+    unavailable native backend falls back to pure Python with a warning.
     """
+    from repro.bdd.backends import create_manager
+
     original = split.original
     fixed = split.fixed
-    mgr = BddManager(
+    mgr = create_manager(
+        backend,
         max_nodes=max_nodes,
         gc_policy=GcPolicy(mode=gc),
         reorder_policy=ReorderPolicy(mode=reorder),
@@ -244,7 +254,10 @@ def build_latch_split_problem(
     max_nodes: int | None = None,
     reorder: str = "off",
     gc: str = "static",
+    backend: str = "python",
 ) -> EquationProblem:
     """Latch-split ``net`` and build the equation problem in one call."""
     split = latch_split(net, x_latches, u_signals=u_signals)
-    return build_problem(split, max_nodes=max_nodes, reorder=reorder, gc=gc)
+    return build_problem(
+        split, max_nodes=max_nodes, reorder=reorder, gc=gc, backend=backend
+    )

@@ -203,6 +203,7 @@ def solve_latch_split(
     trim: bool = True,
     reorder: str = "off",
     gc: str = "static",
+    backend: str = "python",
     shards: int = 1,
     shard_opts: dict | None = None,
     frontier: str = "dfs",
@@ -226,10 +227,17 @@ def solve_latch_split(
     long subset constructions sift their state variables in place when
     garbage collections stop reclaiming, without invalidating any of the
     pinned subset/edge BDDs.
+
+    ``backend`` picks the BDD kernel (see
+    :func:`repro.bdd.backends.create_manager`); results are identical on
+    every backend — only wall-clock changes — and shard workers inherit
+    the same backend choice through the pool options.
     """
     split = latch_split(net, x_latches, u_signals=u_signals)
     max_nodes = limit.max_nodes if limit is not None else None
-    problem = build_problem(split, max_nodes=max_nodes, reorder=reorder, gc=gc)
+    problem = build_problem(
+        split, max_nodes=max_nodes, reorder=reorder, gc=gc, backend=backend
+    )
     return solve_equation(
         problem,
         method=method,

@@ -133,6 +133,7 @@ class SolveExecutor:
             max_nodes=max_nodes,
             reorder=spec["reorder"],
             gc=spec["gc"],
+            backend=options.get("backend", "python"),
         )
         limit = None
         if options.get("max_seconds") is not None or max_nodes is not None:
@@ -199,6 +200,7 @@ class SolveExecutor:
             "max_nodes": mgr.max_nodes,
             "gc": mgr.gc_policy.mode,
             "reorder": mgr.reorder_policy.mode,
+            "backend": getattr(mgr, "backend_name", "python"),
         }
         if self._pool is not None and self._pool.num_shards == shards:
             try:

@@ -36,7 +36,15 @@ What is *not* part of the key
 
 Resource budgets (``max_seconds``, ``max_nodes``) and serving knobs
 (``checkpoint_every``, resume requests) — they bound *whether* a solve
-completes, never what it produces.
+completes, never what it produces.  The BDD ``backend`` is excluded for
+the same reason, deliberately and in the *opposite* direction from
+``reorder``/``shards``: backends are required to be byte-identical on
+the wire (the conformance kit enforces canonical snapshots, and the
+differential suite checks byte-identical KISS output per backend), so
+hashing the backend would only split one result across two cache
+entries.  :func:`job_spec` still *validates* the flag — a misspelled
+backend must fail loudly, not alias onto the default — and then drops
+it before hashing.
 """
 
 from __future__ import annotations
@@ -61,6 +69,11 @@ FLAG_DEFAULTS = {
     "frontier": "dfs",
     "batch": 1,
 }
+
+#: Flags a spec accepts (and validates) but never hashes: they are
+#: guaranteed not to change the produced bytes.  ``backend`` picks the
+#: BDD kernel — a pure speed knob under the conformance contract.
+EXCLUDED_FLAGS = ("backend",)
 
 
 def canonical_blif(blif: "str | object") -> str:
@@ -89,8 +102,20 @@ def job_spec(
     ``blif`` may be BLIF text or a parsed ``Network``.  Unknown flag
     names raise :class:`~repro.errors.ServeError` (a misspelled flag
     silently falling back to its default would alias distinct problems
-    onto one cache entry).
+    onto one cache entry).  ``backend`` is accepted and validated but
+    **excluded** from the spec: two submissions differing only in
+    backend are the same problem and must collide on the cache.
     """
+    flags = dict(flags)
+    backend = flags.pop("backend", None)
+    if backend is not None:
+        from repro.bdd.backends import BACKEND_CHOICES
+
+        if backend not in BACKEND_CHOICES:
+            raise ServeError(
+                f"unknown BDD backend {backend!r}; "
+                f"choose from {BACKEND_CHOICES}"
+            )
     unknown = set(flags) - set(FLAG_DEFAULTS)
     if unknown:
         raise ServeError(f"unknown solver flags in job spec: {sorted(unknown)}")

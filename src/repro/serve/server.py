@@ -42,8 +42,10 @@ DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 8642
 
 #: Per-job runtime options accepted alongside the spec fields (none of
-#: these participate in the cache key).
-OPTION_FIELDS = ("max_seconds", "max_nodes", "checkpoint_every", "resume")
+#: these participate in the cache key; ``backend`` is validated by
+#: :func:`~repro.serve.keys.job_spec` and then excluded — backends are
+#: byte-identical, so it is a runtime knob, not part of the problem).
+OPTION_FIELDS = ("max_seconds", "max_nodes", "checkpoint_every", "resume", "backend")
 
 
 class ServeApp:
@@ -81,7 +83,9 @@ class ServeApp:
         if unknown:
             # A typo'd flag must not silently alias onto its default.
             raise ServeError(f"unknown solver flags in job spec: {sorted(unknown)}")
-        flags = {k: body[k] for k in FLAG_DEFAULTS if k in body}
+        # ``backend`` rides along so job_spec validates it, then drops
+        # it from the spec (and therefore from the cache key).
+        flags = {k: body[k] for k in (*FLAG_DEFAULTS, "backend") if k in body}
         spec = job_spec(
             body["blif"],
             body["x_latches"],

@@ -43,6 +43,13 @@ class ShardPool:
         Per-shard manager policies (every worker gets its own
         :class:`~repro.bdd.policy.GcPolicy` /
         :class:`~repro.bdd.policy.ReorderPolicy` instance).
+    backend:
+        BDD backend every shard manager is constructed on
+        (:func:`repro.bdd.backends.create_manager`): a native backend
+        multiplies its speedup by the worker count, and since workers
+        fall back to pure Python independently (with the same one-shot
+        warning), a heterogeneous install still computes identical
+        results.
     start_method:
         ``multiprocessing`` start method; the default ``"fork"`` (cheap,
         no re-import) falls back to the platform default where fork is
@@ -57,6 +64,7 @@ class ShardPool:
         gc: str = "static",
         reorder: str = "off",
         max_nodes: int | None = None,
+        backend: str = "python",
         start_method: str = "fork",
     ) -> None:
         if num_shards < 1:
@@ -65,7 +73,12 @@ class ShardPool:
             ctx = mp.get_context(start_method)
         except ValueError:  # pragma: no cover - non-POSIX fallback
             ctx = mp.get_context()
-        config = {"gc": gc, "reorder": reorder, "max_nodes": max_nodes}
+        config = {
+            "gc": gc,
+            "reorder": reorder,
+            "max_nodes": max_nodes,
+            "backend": backend,
+        }
         self._conns = []
         self._procs = []
         self._pending = [0] * num_shards

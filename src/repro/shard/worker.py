@@ -2,9 +2,11 @@
 
 A worker is spawned by :class:`repro.shard.pool.ShardPool` with a
 connection (one end of a ``multiprocessing.Pipe``) and a config dict.
-It builds its own :class:`~repro.bdd.manager.BddManager` — with its own
-computed table, GC policy and reorder policy, entirely independent of
-the coordinator's — and serves commands until told to shut down.
+It builds its own shard manager — on whichever BDD backend the config
+names (:func:`repro.bdd.backends.create_manager`; a native backend
+multiplies its speedup by the worker count), with its own computed
+table, GC policy and reorder policy, entirely independent of the
+coordinator's — and serves commands until told to shut down.
 
 Every command is a tuple ``(op, *args)``; every reply is ``("ok",
 payload)`` or ``("err", traceback_text)``.  BDDs cross the pipe as
@@ -78,8 +80,7 @@ from __future__ import annotations
 
 import traceback
 
-from repro.bdd.io import dump_nodes, load_nodes
-from repro.bdd.manager import BddManager
+from repro.bdd.backends import create_manager
 from repro.bdd.policy import GcPolicy, ReorderPolicy
 from repro.errors import ReproError
 from repro.symb.image import image_with_plan, plan_image
@@ -93,7 +94,14 @@ class _WorkerState:
         self._build(self.config)
 
     def _build(self, config: dict) -> None:
-        self.mgr = BddManager(
+        # A reset replaces the manager wholesale; backends holding
+        # process-global state (the native adapters) must tear the old
+        # instance down before a new one can claim the library.
+        old_close = getattr(getattr(self, "mgr", None), "close", None)
+        if old_close is not None:
+            old_close()
+        self.mgr = create_manager(
+            config.get("backend", "python"),
             max_nodes=config.get("max_nodes"),
             gc_policy=GcPolicy(mode=config.get("gc", "static")),
             reorder_policy=ReorderPolicy(mode=config.get("reorder", "off")),
@@ -118,14 +126,14 @@ class _WorkerState:
         self.handles[handle] = self.mgr.ref(edge)
 
     def op_load(self, handle: int, snapshot: dict) -> None:
-        (edge,) = load_nodes(self.mgr, snapshot)
+        (edge,) = self.mgr.load_nodes(snapshot)
         self._store(handle, edge)
 
     def op_dump(self, handle: int) -> dict:
         edge = self.handles.get(handle)
         if edge is None:
             edge = self.resident[handle][0]
-        return dump_nodes(self.mgr, [edge])
+        return self.mgr.dump_nodes([edge])
 
     def op_free(self, handles: list[int]) -> None:
         for handle in handles:
@@ -142,7 +150,7 @@ class _WorkerState:
             raise ReproError(
                 f"retain: handle {handle} is not resident and no snapshot given"
             )
-        (edge,) = load_nodes(self.mgr, snapshot)
+        (edge,) = self.mgr.load_nodes(snapshot)
         self.mgr.ref(edge)
         self.resident[handle] = [edge, 1]
         return 1
@@ -179,7 +187,7 @@ class _WorkerState:
                 result = image_with_plan(mgr, plan, leftover, constraint, gc=True)
             # Snapshot immediately: the result edge itself is a per-call
             # intermediate that the next collection may reclaim.
-            out.append(dump_nodes(mgr, [result]))
+            out.append(mgr.dump_nodes([result]))
         mgr.maybe_collect_garbage()
         return out
 
@@ -218,10 +226,10 @@ class _WorkerState:
     def op_image(self, plan_id: int, snapshot: dict) -> dict:
         mgr = self.mgr
         plan, leftover, parts = self.plans[plan_id]
-        (constraint,) = load_nodes(mgr, snapshot)
+        (constraint,) = mgr.load_nodes(snapshot)
         with mgr.protect(constraint):
             result = image_with_plan(mgr, plan, leftover, constraint, gc=True)
-        out = dump_nodes(mgr, [result])
+        out = mgr.dump_nodes([result])
         # The result (and the constraint) are per-call intermediates: let
         # the next growth-armed collection reclaim them.
         mgr.maybe_collect_garbage([*parts, result])
@@ -258,9 +266,7 @@ class _WorkerState:
         return self.mgr.collect_garbage()
 
     def op_sift(self) -> dict:
-        from repro.bdd.reorder import sift
-
-        result = sift(self.mgr)
+        result = self.mgr.sift_now()
         return {
             "swaps": result.swaps,
             "size_before": result.size_before,

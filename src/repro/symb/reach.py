@@ -73,6 +73,7 @@ def reachable_states(
             "max_nodes": mgr.max_nodes,
             "gc": mgr.gc_policy.mode,
             "reorder": mgr.reorder_policy.mode,
+            "backend": getattr(mgr, "backend_name", "python"),
         }
         opts.update(shard_opts or {})
         pool = ShardPool(shards, mgr.var_order(), **opts)

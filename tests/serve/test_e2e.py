@@ -204,3 +204,25 @@ class TestCancellation:
         finally:
             release.set()
             fixture.close()
+
+
+class TestBackendOption:
+    def test_backend_submission_hits_the_backendless_cache(self, served) -> None:
+        """``backend`` is a runtime option: it reaches the executor but
+        never the cache key, so a python-backend resubmission of a
+        previously solved problem is born done."""
+        body = {"blif": S27_BLIF, "x_latches": X}
+        first = served.client.submit(body)
+        served.client.wait(first["id"], timeout=60)
+        second = served.client.submit({**body, "backend": "python"})
+        assert second["cached"] is True
+        assert second["cache_key"] == first["cache_key"]
+        r1 = served.client.result(first["id"])
+        r2 = served.client.result(second["id"])
+        assert r2["kiss"] == r1["kiss"]
+
+    def test_unknown_backend_is_a_client_error(self, served) -> None:
+        with pytest.raises(ServeError, match="unknown BDD backend"):
+            served.client.submit(
+                {"blif": S27_BLIF, "x_latches": X, "backend": "cudd"}
+            )

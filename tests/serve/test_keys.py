@@ -90,3 +90,29 @@ def test_budgets_are_not_part_of_the_spec() -> None:
     # has no such fields at all, so they cannot leak into the key.
     with pytest.raises(ServeError):
         job_spec(S27_BLIF, X, max_seconds=5)
+
+
+class TestBackendExclusion:
+    """The BDD backend is validated but never hashed: backends are
+    byte-identical by the conformance contract, so two submissions
+    differing only in backend are the same problem and must collide."""
+
+    def test_backend_does_not_change_the_key(self) -> None:
+        base = solve_cache_key(S27_BLIF, X)
+        assert solve_cache_key(S27_BLIF, X, backend="python") == base
+        assert solve_cache_key(S27_BLIF, X, backend="buddy") == base
+
+    def test_backend_never_enters_the_spec(self) -> None:
+        spec = job_spec(S27_BLIF, X, backend="buddy")
+        assert "backend" not in spec
+        assert spec == job_spec(S27_BLIF, X)
+
+    def test_excluded_flags_are_declared(self) -> None:
+        from repro.serve.keys import EXCLUDED_FLAGS
+
+        assert "backend" in EXCLUDED_FLAGS
+        assert not set(EXCLUDED_FLAGS) & set(FLAG_DEFAULTS)
+
+    def test_misspelled_backend_is_rejected(self) -> None:
+        with pytest.raises(ServeError, match="unknown BDD backend"):
+            job_spec(S27_BLIF, X, backend="cudd")

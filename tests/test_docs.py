@@ -107,6 +107,35 @@ def test_api_reference_page_covers_serve() -> None:
         assert directive in serve
 
 
+def test_api_reference_page_covers_backends() -> None:
+    """The pluggable-backend layer's mkdocstrings page."""
+    backends = (DOCS / "api" / "backends.md").read_text()
+    for directive in (
+        "::: repro.bdd.backends",
+        "::: repro.bdd.backends.protocol",
+        "::: repro.bdd.backends.buddy",
+        "::: repro.bdd.backends.conformance",
+    ):
+        assert directive in backends
+
+
+def test_backends_docs_cover_the_contract() -> None:
+    """The prose page must document the protocol, adapter and kit."""
+    backends = (DOCS / "backends.md").read_text()
+    for token in (
+        "create_manager",
+        "BddBackend",
+        "--backend",
+        "REPRO_BUDDY_LIB",
+        "BackendFallbackWarning",
+        "register_backend",
+        "missing_ops",
+        "run_conformance_case",
+        "cache key",
+    ):
+        assert token in backends, f"backends.md is missing {token!r}"
+
+
 def test_serving_docs_cover_the_operational_surface() -> None:
     """The prose pages must document what the service actually promises."""
     serving = (DOCS / "serving.md").read_text()
