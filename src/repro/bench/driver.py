@@ -47,7 +47,7 @@ from repro.symb.reach import network_reachable_states
 REPO_ROOT = Path(__file__).resolve().parents[3]
 
 SCHEMA_KERNEL = "repro-bench-kernel/3"
-SCHEMA_TABLE1 = "repro-bench-table1/6"
+SCHEMA_TABLE1 = "repro-bench-table1/7"
 
 #: Table 1 cases re-run with ``--reorder auto`` as dedicated ``@auto``
 #: rows: the paper-scale instances where dynamic reordering is the
@@ -66,6 +66,13 @@ TABLE1_SHARD_VARIANTS = ("johnson12",)
 #: sibling subsets, batches of 8 flow through ``expand_batch``, and the
 #: incremental completion memo deduplicates their ``Q_ψ`` work.
 TABLE1_BATCH_VARIANTS = ("johnson12", "rand20")
+
+#: Table 1 cases re-run with the interleaved product order as
+#: ``@interleave`` rows (the per-latch ``F.cs/F.ns/S.cs/S.ns`` grouping
+#: instead of the stacked all-F-above-all-S layout).  Results are
+#: byte-identical to the base row; only node counts and wall clock
+#: differ — the ordering effect the coupled-split cases live and die by.
+TABLE1_INTERLEAVE_VARIANTS = ("johnson12",)
 
 #: Table 1 cases re-run on the native BuDDy kernel as ``@buddy`` rows —
 #: recorded only when the shared library is actually loadable
@@ -383,7 +390,12 @@ def wl_indep_images_shards2(n: int) -> BddManager:
     return _indep_images(n, 2)
 
 
-def _solve_batched(n: int, batch: int, backend: str = "python") -> BddManager:
+def _solve_batched(
+    n: int,
+    batch: int,
+    backend: str = "python",
+    product_order: str = "stacked",
+) -> BddManager:
     """A partitioned solve through the frontier-batched subset engine.
 
     The ``@batch1``/``@batch8`` pair isolates the cost/benefit of
@@ -391,13 +403,18 @@ def _solve_batched(n: int, batch: int, backend: str = "python") -> BddManager:
     frontier batch size (and the BFS sibling grouping that makes the
     completion memo hit) differs.  The ``@buddy`` variant runs the same
     ``batch=1`` solve on the native kernel — its twin is ``@batch1``.
+    The ``@interleave`` variant runs the ``batch=1`` solve under the
+    interleaved product order — its twin is also ``@batch1``, isolating
+    the pure ordering effect on one instance.
     """
     from repro.eqn.problem import build_latch_split_problem
     from repro.eqn.solver import solve_equation
 
     net = circuits.johnson(n)
     x_latches = [f"j{k}" for k in range(1, n, 2)]
-    problem = build_latch_split_problem(net, x_latches, backend=backend)
+    problem = build_latch_split_problem(
+        net, x_latches, backend=backend, product_order=product_order
+    )
     result = solve_equation(
         problem, method="partitioned", frontier="bfs", batch=batch
     )
@@ -415,6 +432,10 @@ def wl_solve_batch8(n: int) -> BddManager:
 
 def wl_solve_buddy(n: int):
     return _solve_batched(n, 1, backend="buddy")
+
+
+def wl_solve_interleave(n: int) -> BddManager:
+    return _solve_batched(n, 1, product_order="interleaved")
 
 
 KERNEL_WORKLOADS = [
@@ -440,6 +461,9 @@ KERNEL_WORKLOADS = [
     # Frontier-batched subset-engine pair: same solve, batch sizes 1/8.
     ("solve@batch1", wl_solve_batch1, 10, 8),
     ("solve@batch8", wl_solve_batch8, 10, 8),
+    # Product-order pair: the @batch1 solve under the interleaved
+    # product order (identical result bytes; ordering cost only).
+    ("solve@interleave", wl_solve_interleave, 10, 8),
     # Backend pair: the @batch1 solve on the native BuDDy kernel.  Runs
     # only where the shared library loads (see _workload_available);
     # elsewhere the row is skipped, never silently measured on the
@@ -578,6 +602,7 @@ def _run_table1_case(
     frontier: str = "dfs",
     batch: int = 1,
     backend: str = "python",
+    product_order: str = "stacked",
 ) -> dict:
     from repro.eqn.problem import build_latch_split_problem
     from repro.eqn.solver import solve_equation
@@ -596,6 +621,7 @@ def _run_table1_case(
         "frontier": frontier,
         "batch": batch,
         "backend": backend,
+        "product_order": product_order,
         "methods": {},
     }
     # Only the partitioned flow shards; @shardsN rows skip the baseline.
@@ -618,6 +644,7 @@ def _run_table1_case(
             frontier=frontier,
             batch=batch,
             backend=backend,
+            product_order=product_order,
         )
         limit = ResourceLimit(max_seconds=case.max_seconds, max_nodes=case.max_nodes)
         gc.collect()
@@ -630,6 +657,7 @@ def _run_table1_case(
                 reorder=reorder,
                 gc=gc_mode,
                 backend=backend,
+                product_order=product_order,
             )
             result = solve_equation(
                 problem,
@@ -684,7 +712,11 @@ def _table1_base_cases(smoke: bool) -> list:
 
 
 def table1_row_names(
-    smoke: bool, *, reorder: str = "off", backend: str = "python"
+    smoke: bool,
+    *,
+    reorder: str = "off",
+    backend: str = "python",
+    product_order: str = "stacked",
 ) -> list[str]:
     """Every row name a run with these settings would emit.
 
@@ -695,6 +727,9 @@ def table1_row_names(
     success exit code.  ``@buddy`` rows count only where the native
     library is loadable (and ``backend`` is left at the default — an
     explicit ``--backend buddy`` run already covers every base row).
+    ``@interleave`` rows likewise count only under the default
+    ``product_order`` — an explicit ``--product-order interleaved`` run
+    already records every base row interleaved.
     """
     from repro.bench.suite import TABLE1_BENCH_ONLY_CASES, TABLE1_CASES
 
@@ -707,7 +742,18 @@ def table1_row_names(
             ]
         names += [f"{n}@shards2" for n in TABLE1_SHARD_VARIANTS if n in in_suite]
         names += [f"{n}@batch8" for n in TABLE1_BATCH_VARIANTS if n in in_suite]
+        if product_order == "stacked":
+            names += [
+                f"{n}@interleave"
+                for n in TABLE1_INTERLEAVE_VARIANTS
+                if n in in_suite
+            ]
         names += [f"{case.name}@batch8" for case in TABLE1_BENCH_ONLY_CASES]
+        if product_order == "stacked":
+            names += [
+                f"{case.name}@interleave+batch8"
+                for case in TABLE1_BENCH_ONLY_CASES
+            ]
         if backend == "python" and _workload_available("@buddy"):
             names += [
                 f"{n}@buddy" for n in TABLE1_BACKEND_VARIANTS if n in in_suite
@@ -721,6 +767,7 @@ def run_table1_bench(
     reorder: str = "off",
     gc_mode: str = "static",
     backend: str = "python",
+    product_order: str = "stacked",
     select: Callable[[str, str], bool] = _accept_all,
 ) -> list[dict]:
     from repro.bench.suite import TABLE1_CASES
@@ -733,6 +780,7 @@ def run_table1_bench(
             gc_mode=gc_mode,
             row_name=case.name,
             backend=backend,
+            product_order=product_order,
         )
         for case in cases
         if select("table1", case.name)
@@ -755,6 +803,7 @@ def run_table1_bench(
                     reorder="auto",
                     gc_mode="adaptive",
                     row_name=row_name,
+                    product_order=product_order,
                 )
             )
         # Sharded-runtime rows: the partitioned flow on a 2-worker pool,
@@ -771,6 +820,7 @@ def run_table1_bench(
                     gc_mode=gc_mode,
                     row_name=row_name,
                     shards=2,
+                    product_order=product_order,
                 )
             )
         # Frontier-batched rows: BFS order, batches of 8 — the sibling
@@ -788,27 +838,65 @@ def run_table1_bench(
                     row_name=row_name,
                     frontier="bfs",
                     batch=8,
+                    product_order=product_order,
                 )
             )
+        # Interleaved-product-order rows: the same instance with each
+        # S latch grouped next to its F twin.  Recorded only under the
+        # default product order (an explicit --product-order interleaved
+        # run already covers every base row interleaved).
+        if product_order == "stacked":
+            for name in TABLE1_INTERLEAVE_VARIANTS:
+                case = by_name.get(name)
+                row_name = f"{name}@interleave"
+                if case is None or not select("table1", row_name):
+                    continue
+                rows.append(
+                    _run_table1_case(
+                        case,
+                        reorder=reorder,
+                        gc_mode=gc_mode,
+                        row_name=row_name,
+                        product_order="interleaved",
+                    )
+                )
         # Bench-only rows (too slow for the per-case identity tests):
         # recorded through the batched engine, which is what makes their
-        # completion-memo structure visible in the artifact.
+        # completion-memo structure visible in the artifact.  Each case
+        # is recorded stacked *and* interleaved — the pair is the
+        # measurement: the coupled twin-ring rows are where the layouts
+        # genuinely diverge (twin16x4 favours interleaved by ~20% wall;
+        # subset-dominated twin12_8 is near-indifferent), and the
+        # artifact should show both sides on the same machine.
         from repro.bench.suite import TABLE1_BENCH_ONLY_CASES
 
         for case in TABLE1_BENCH_ONLY_CASES:
             row_name = f"{case.name}@batch8"
-            if not select("table1", row_name):
-                continue
-            rows.append(
-                _run_table1_case(
-                    case,
-                    reorder=reorder,
-                    gc_mode=gc_mode,
-                    row_name=row_name,
-                    frontier="bfs",
-                    batch=8,
+            if select("table1", row_name):
+                rows.append(
+                    _run_table1_case(
+                        case,
+                        reorder=reorder,
+                        gc_mode=gc_mode,
+                        row_name=row_name,
+                        frontier="bfs",
+                        batch=8,
+                        product_order=product_order,
+                    )
                 )
-            )
+            row_name = f"{case.name}@interleave+batch8"
+            if product_order == "stacked" and select("table1", row_name):
+                rows.append(
+                    _run_table1_case(
+                        case,
+                        reorder=reorder,
+                        gc_mode=gc_mode,
+                        row_name=row_name,
+                        frontier="bfs",
+                        batch=8,
+                        product_order="interleaved",
+                    )
+                )
         # Native-kernel rows: the same case on the BuDDy adapter, only
         # where the library actually loads (never the silent fallback),
         # and only when the run's own backend is the default — an
@@ -827,6 +915,7 @@ def run_table1_bench(
                         gc_mode=gc_mode,
                         row_name=row_name,
                         backend="buddy",
+                        product_order=product_order,
                     )
                 )
     return rows
@@ -845,10 +934,11 @@ def list_workloads(
     ``repro bench --list`` prints this: kernel workloads with their full
     and smoke sizes, and Table 1 cases with the ``@auto`` (dynamic
     reordering), ``@shards2`` (sharded runtime), ``@batch8``
-    (frontier-batched engine) and ``@buddy`` (native BDD kernel, only
-    run where the library loads) variant rows the full run records
-    alongside them.  ``select`` (built from ``--only``/``--skip``)
-    restricts the listing the same way it restricts a run.
+    (frontier-batched engine), ``@interleave`` (interleaved product
+    order) and ``@buddy`` (native BDD kernel, only run where the
+    library loads) variant rows the full run records alongside them.
+    ``select`` (built from ``--only``/``--skip``) restricts the listing
+    the same way it restricts a run.
     """
     from repro.bench.suite import TABLE1_CASES
 
@@ -869,6 +959,8 @@ def list_workloads(
             variants.append(f"{case.name}@shards2")
         if case.name in TABLE1_BATCH_VARIANTS:
             variants.append(f"{case.name}@batch8")
+        if case.name in TABLE1_INTERLEAVE_VARIANTS:
+            variants.append(f"{case.name}@interleave")
         if case.name in TABLE1_BACKEND_VARIANTS:
             variants.append(f"{case.name}@buddy")
         suffix = f"  (+ variants: {', '.join(variants)})" if variants else ""
@@ -877,12 +969,12 @@ def list_workloads(
     from repro.bench.suite import TABLE1_BENCH_ONLY_CASES
 
     for case in TABLE1_BENCH_ONLY_CASES:
-        row_name = f"{case.name}@batch8"
-        if not select("table1", row_name):
-            continue
-        lines.append(
-            f"  table1/{row_name:14s} {case.paper_row}  [bench-only row]"
-        )
+        for row_name in (f"{case.name}@batch8", f"{case.name}@interleave+batch8"):
+            if not select("table1", row_name):
+                continue
+            lines.append(
+                f"  table1/{row_name:24s} {case.paper_row}  [bench-only row]"
+            )
     return "\n".join(lines)
 
 
@@ -903,9 +995,22 @@ def compare_to_baseline(results: list[dict], baseline: dict) -> list[dict]:
     the median and never failed).  A row whose BDD backend differs from
     the baseline's (rows without a recorded backend count as the
     pure-Python reference) is likewise excluded: a kernel swap is an
-    environment change, not a code regression.
+    environment change, not a code regression.  Sharded (``@shardsN``)
+    rows where one side of the comparison ran on a single-core machine
+    (``meta.cpu_count == 1``) and the other did not are marked
+    ``env-limited`` and excluded too: on one core the worker processes
+    time-slice and the transfer overhead dominates, so the ratio
+    measures the machine, not the code.
     """
     old = {r["name"]: r for r in baseline.get("results", [])}
+    base_cpus = baseline.get("meta", {}).get("cpu_count")
+    cur_cpus = os.cpu_count()
+    shards_env_limited = (
+        base_cpus is not None
+        and cur_cpus is not None
+        and base_cpus != cur_cpus
+        and min(base_cpus, cur_cpus) == 1
+    )
     rows: list[dict] = []
     ratios: dict[str, float] = {}
     for r in results:
@@ -924,6 +1029,10 @@ def compare_to_baseline(results: list[dict], baseline: dict) -> list[dict]:
         if base is not None:
             if base.get("backend", "python") != r.get("backend", "python"):
                 row["status"] = "backend-changed"
+            elif shards_env_limited and "@shards" in r["name"]:
+                row["status"] = "env-limited"
+                row["base_cpus"] = base_cpus
+                row["cur_cpus"] = cur_cpus
             elif base.get("size") != r["size"]:
                 row["status"] = "size-changed"
             elif base["wall_s"] < 0.001:
@@ -1042,6 +1151,11 @@ def format_markdown_diff(
         norm = f"{r['norm_ratio']:.2f}x" if r["norm_ratio"] is not None else "—"
         if r["status"] == "compared":
             status = "🔴 regression" if r["norm_ratio"] > tolerance else "✅"
+        elif r["status"] == "env-limited":
+            status = (
+                f"⚪ environment-limited "
+                f"(cpus {r['base_cpus']} → {r['cur_cpus']})"
+            )
         elif r["status"] == "sub-ms":
             status = "⚪ sub-ms (noise floor)"
         elif r["status"] == "size-changed":
@@ -1166,6 +1280,16 @@ def main(argv: list[str] | None = None) -> int:
             "where the native library loads)"
         ),
     )
+    parser.add_argument(
+        "--product-order",
+        default="stacked",
+        choices=("stacked", "interleaved"),
+        help=(
+            "product variable order for the table1 solver runs "
+            "(@interleave variant rows are recorded only under the "
+            "default stacked order)"
+        ),
+    )
     args = parser.parse_args(argv)
     select = make_workload_filter(args.only, args.skip)
     if args.list:
@@ -1209,7 +1333,10 @@ def main(argv: list[str] | None = None) -> int:
     run_table1_suite = any(
         select("table1", name)
         for name in table1_row_names(
-            args.smoke, reorder=args.reorder, backend=args.backend
+            args.smoke,
+            reorder=args.reorder,
+            backend=args.backend,
+            product_order=args.product_order,
         )
     )
     if run_table1_suite:
@@ -1219,6 +1346,7 @@ def main(argv: list[str] | None = None) -> int:
             reorder=args.reorder,
             gc_mode=args.gc,
             backend=args.backend,
+            product_order=args.product_order,
             select=select,
         )
         payload = {
@@ -1228,6 +1356,7 @@ def main(argv: list[str] | None = None) -> int:
                 reorder=args.reorder,
                 gc=args.gc,
                 backend=args.backend,
+                product_order=args.product_order,
                 filtered=filtered,
             ),
             "results": table1_rows,

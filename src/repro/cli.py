@@ -96,6 +96,17 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     solve.add_argument(
+        "--product-order",
+        default="stacked",
+        choices=("stacked", "interleaved"),
+        help=(
+            "product variable-order policy: stacked keeps all F latch "
+            "pairs above all S pairs; interleaved groups each latch's "
+            "F/S copies together (a node-count lever for tightly "
+            "coupled splits); results are identical"
+        ),
+    )
+    solve.add_argument(
         "--backend",
         default="python",
         # Literal (not repro.bdd.backends.BACKEND_CHOICES) to keep the
@@ -207,6 +218,12 @@ def _build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--frontier", default="dfs", choices=("dfs", "bfs", "size"))
     submit.add_argument("--batch", type=int, default=1)
     submit.add_argument(
+        "--product-order",
+        default="stacked",
+        choices=("stacked", "interleaved"),
+        help="product variable-order policy (part of the cache key)",
+    )
+    submit.add_argument(
         "--backend",
         default="python",
         choices=("python", "buddy"),
@@ -281,6 +298,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         reorder=args.reorder,
         gc=args.gc,
         backend=args.backend,
+        product_order=args.product_order,
         shards=args.shards,
         frontier=args.frontier,
         batch=args.batch,
@@ -440,6 +458,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         "frontier": args.frontier,
         "batch": args.batch,
     }
+    if args.product_order != "stacked":
+        body["product_order"] = args.product_order
     if args.backend != "python":
         body["backend"] = args.backend
     if args.max_seconds is not None:

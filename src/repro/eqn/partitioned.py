@@ -175,6 +175,14 @@ class PartitionedOracle:
         # jobs, resetting it between solves) is borrowed, not owned:
         # ``close`` leaves it running for the next job.
         self._owns_pool = pool is None
+        # Oracle-level shard options are popped before the rest is used
+        # as pool config: ``steal`` (default on) enables the
+        # work-stealing dispatcher for split-mode P batches,
+        # ``sift_parts`` lets each worker sift its resident partition
+        # into its own order profile after plan setup.
+        shard_opts = dict(shard_opts or {})
+        self._steal = bool(shard_opts.pop("steal", True))
+        sift_parts = bool(shard_opts.pop("sift_parts", False))
         if shards > 1:
             from repro.shard import ShardPool, ShardedImage
             from repro.shard.plan import load_parts, make_plan
@@ -193,7 +201,7 @@ class PartitionedOracle:
                     "reorder": mgr.reorder_policy.mode,
                     "backend": getattr(mgr, "backend_name", "python"),
                 }
-                opts.update(shard_opts or {})
+                opts.update(shard_opts)
                 pool = ShardPool(shards, mgr.var_order(), **opts)
             elif pool.num_shards != shards:
                 raise EquationError(
@@ -229,6 +237,17 @@ class PartitionedOracle:
                         cs_support,
                     )
                     self._q_remote.append((k, plan_id))
+                if self._p_sharded.mode == "race":
+                    # Settle the speculative join before any pipelined
+                    # batch traffic: race the two joins on the initial
+                    # subset state and commit the winner.
+                    self._p_sharded.resolve_race(self.init_cube)
+                if sift_parts:
+                    # Per-shard order autonomy: every worker sifts its
+                    # resident partition (parts + plans keep their
+                    # edges) and the pool records the per-shard order
+                    # profiles for reuse across ``reset``.
+                    pool.sift_profiles()
             except BaseException:
                 # Setup failed: reap the workers deterministically
                 # instead of leaving them to __del__ timing.
@@ -290,6 +309,12 @@ class PartitionedOracle:
             stats["psi_serializations_max"] = max(counts.values(), default=0)
             stats["psi_resident_peak"] = self._resident_peak
             stats["pool_op_counts"] = dict(self._pool.op_counts)
+            if self._p_sharded is not None:
+                stats["work_steals"] = self._p_sharded.steals
+                if self._p_sharded.race_outcome is not None:
+                    stats["join_race"] = dict(self._p_sharded.race_outcome)
+            if self._pool.profiles:
+                stats["shard_order_profiles"] = len(self._pool.profiles)
         return stats
 
     # -- the incremental completion step ------------------------------- #
@@ -472,11 +497,21 @@ class PartitionedOracle:
         concurrently across the entire batch; and no coordinator-side
         garbage collection can run in here (none of the joins collect),
         so the per-ψ intermediates are safe as plain locals.
+
+        When the P image is a split-mode join with stealing enabled
+        (the default), the P phase instead runs through the blocking
+        work-stealing dispatcher
+        (:meth:`~repro.shard.plan.ShardedImage.run_resident_batch`),
+        which needs the pipes to itself: the retain acks are collected
+        up front, and the Q/release traffic is pipelined after the P
+        results are in.  The Q dedup, the release discipline and the
+        assembled results are identical either way.
         """
         mgr = self.mgr
         pool = self._pool
         nshards = pool.num_shards
         n_out = len(self.nonconf)
+        stealing = self._steal and self._p_sharded.mode == "split"
 
         # 1. Residency: each new ψ is serialized exactly once and
         #    retained in every worker's resident registry.
@@ -494,8 +529,22 @@ class PartitionedOracle:
         self._resident_peak = max(self._resident_peak, len(self._psi_handles))
         handles = [self._psi_handles[psi] for psi in psis]
 
-        # 2. P images, pipelined over the whole batch.
-        collect_p = self._p_sharded.submit_resident(list(zip(handles, psis)))
+        # 2. P images.  Stealing: drain the retain acks, then let the
+        #    work-stealing dispatcher own the pipes until every P image
+        #    is joined.  Static: submit and collect later, in FIFO order.
+        p_results: list[int] | None = None
+        collect_p = None
+        if stealing:
+            for _handle in retained:
+                for k in range(nshards):
+                    pool.collect(k)
+            p_results = self._p_sharded.run_resident_batch(
+                list(zip(handles, psis))
+            )
+        else:
+            collect_p = self._p_sharded.submit_resident(
+                list(zip(handles, psis))
+            )
 
         # 3. Q images, deduplicated through the completion memo: a batch
         #    submits one remote image per *new* cofactor class.
@@ -542,10 +591,11 @@ class PartitionedOracle:
             del self._psi_handles[psi]
 
         # -- collect, in per-pipe submission order ---------------------- #
-        for _handle in retained:
-            for k in range(nshards):
-                pool.collect(k)
-        p_results = collect_p()
+        if not stealing:
+            for _handle in retained:
+                for k in range(nshards):
+                    pool.collect(k)
+            p_results = collect_p()
         for j, misses in q_submitted:
             shard, _plan_id = self._q_remote[j]
             snaps = pool.collect(shard)

@@ -188,6 +188,7 @@ def solve_equation(
             "shards": shards,
             "frontier": frontier,
             "batch": batch,
+            "product_order": getattr(problem, "product_order", "stacked"),
         },
     )
 
@@ -204,6 +205,7 @@ def solve_latch_split(
     reorder: str = "off",
     gc: str = "static",
     backend: str = "python",
+    product_order: str = "stacked",
     shards: int = 1,
     shard_opts: dict | None = None,
     frontier: str = "dfs",
@@ -232,11 +234,21 @@ def solve_latch_split(
     :func:`repro.bdd.backends.create_manager`); results are identical on
     every backend — only wall-clock changes — and shard workers inherit
     the same backend choice through the pool options.
+
+    ``product_order`` picks the product variable-order policy
+    (``"stacked"`` / ``"interleaved"``, see
+    :func:`repro.eqn.problem.build_problem`); results are identical for
+    both — interleaving is a node-count lever for coupled splits.
     """
     split = latch_split(net, x_latches, u_signals=u_signals)
     max_nodes = limit.max_nodes if limit is not None else None
     problem = build_problem(
-        split, max_nodes=max_nodes, reorder=reorder, gc=gc, backend=backend
+        split,
+        max_nodes=max_nodes,
+        reorder=reorder,
+        gc=gc,
+        backend=backend,
+        product_order=product_order,
     )
     return solve_equation(
         problem,

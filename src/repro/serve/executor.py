@@ -134,6 +134,7 @@ class SolveExecutor:
             reorder=spec["reorder"],
             gc=spec["gc"],
             backend=options.get("backend", "python"),
+            product_order=spec.get("product_order", "stacked"),
         )
         limit = None
         if options.get("max_seconds") is not None or max_nodes is not None:

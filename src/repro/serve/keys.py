@@ -15,7 +15,7 @@ What is part of the key
   textually distinct but structurally identical netlists vanish;
 * the split (``x_latches``, ``u_signals``) and the flow (``method``);
 * every solver flag: ``schedule``, ``trim``, ``reorder``, ``gc``,
-  ``shards``, ``frontier``, ``batch``.
+  ``shards``, ``frontier``, ``batch``, ``product_order``.
 
 Flags like ``--reorder`` or ``--shards`` provably do not change the
 solved language — but they are hashed anyway, for three reasons.
@@ -56,9 +56,14 @@ from collections.abc import Sequence
 from repro.errors import ServeError
 
 #: Version tag of the canonical spec layout (bump on field changes).
-SPEC_FORMAT = "repro-serve-spec/1"
+SPEC_FORMAT = "repro-serve-spec/2"
 
-#: Solver-flag fields of a spec, with their defaults.
+#: Solver-flag fields of a spec, with their defaults.  ``product_order``
+#: is hashed for the same reason ``reorder``/``shards`` are: the
+#: identity tests prove the produced KISS bytes are order-independent,
+#: but the cached stats block (peak nodes, wall time, sift counters) is
+#: not, and the bench driver's ``@interleave`` variant rows need
+#: distinct keys to stay attributable.
 FLAG_DEFAULTS = {
     "method": "partitioned",
     "schedule": True,
@@ -68,6 +73,7 @@ FLAG_DEFAULTS = {
     "shards": 1,
     "frontier": "dfs",
     "batch": 1,
+    "product_order": "stacked",
 }
 
 #: Flags a spec accepts (and validates) but never hashes: they are

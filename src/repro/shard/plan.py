@@ -54,12 +54,35 @@ disjunction,
 so every shard holds *all* parts with a full early-quantification plan,
 the constraint is split into cofactor slices on its top variables, each
 shard images its slices, and the join is a cheap OR.  ``mode="auto"``
-(the default) picks cluster mode when in-shard retirement is possible
-and split mode otherwise.
+(the default) picks cluster mode when in-shard retirement dominates,
+split mode when no retirement is possible — and when the heuristic is
+genuinely unsure (some but not most quantified variables retire
+in-shard) it **races**: both setups are loaded (worker-manager
+canonicity dedups the shared part nodes, so the double load is cheap),
+the first constraint runs through *both* joins, the results are checked
+identical, and the faster join wins the rest of the run
+(:meth:`ShardedImage.resolve_race`).
+
+Work stealing
+-------------
+
+The disjunctive split join is embarrassingly parallel but statically
+dealt slices can still leave a shard idle while a peer grinds through a
+heavy slice.  :meth:`ShardedImage.run_resident_batch` replaces the
+static deal with a **work-stealing dispatcher**: each shard keeps a
+small window of single-slice commands in flight, and whenever its own
+queue drains it steals pending slices from the most-loaded peer.
+Because every subset state is shard-resident on *every* worker
+(the retain protocol), re-dispatching a slice is just a cheap
+``(handle, bits)`` spec — no BDD crosses the wire.  OR is commutative
+and associative and BDDs are canonical, so the joined image is
+identical whatever the final placement and completion order.
 """
 
 from __future__ import annotations
 
+import time
+from collections import deque
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
 
@@ -227,10 +250,10 @@ class ShardedImage:
         *,
         mode: str = "auto",
     ) -> None:
-        if mode not in ("auto", "cluster", "split"):
+        if mode not in ("auto", "cluster", "split", "race"):
             raise ShardError(
                 f"unknown sharded-image mode {mode!r}; "
-                "choose from 'auto', 'cluster', 'split'"
+                "choose from 'auto', 'cluster', 'split', 'race'"
             )
         self.pool = pool
         self.mgr = mgr
@@ -239,37 +262,145 @@ class ShardedImage:
         self.assignment = partition_clusters(
             mgr, parts, pool.num_shards, qvars, csupp
         )
+        #: Slices re-dispatched by the work-stealing batch dispatcher.
+        self.steals = 0
+        #: Timing record of a resolved speculative race (or None).
+        self.race_outcome: dict | None = None
         if mode == "auto":
             # Cluster mode only pays when shards can retire variables
             # in-shard; otherwise every shard would just build an
             # unquantified ψ ∧ cluster product and leave all the real
-            # work (and more) to the join.
+            # work (and more) to the join.  In between — some variables
+            # retire but most stay shared — neither decomposition
+            # dominates on paper, so race them on the first constraint.
             retirable = sum(len(lv) for lv in self.assignment.local_vars)
-            mode = "cluster" if retirable else "split"
+            part_supp: set[int] = set()
+            for p in parts:
+                part_supp |= mgr.support(p)
+            contested = (set(qvars) & part_supp) - set(csupp)
+            if retirable == 0:
+                mode = "split"
+            elif retirable >= 0.5 * len(contested):
+                mode = "cluster"
+            else:
+                mode = "race"
         self.mode = mode
         self._plan_ids: list[int] = []
         self._shards: list[int] = []
-        if mode == "cluster":
-            for k, cluster in enumerate(self.assignment.clusters):
-                handles = load_parts(pool, k, mgr, [parts[i] for i in cluster])
-                plan_id = make_plan(
-                    pool, k, mgr, handles, self.assignment.local_vars[k], csupp
-                )
-                self._plan_ids.append(plan_id)
-                self._shards.append(k)
-            self._shared = list(self.assignment.shared_vars)
-        else:
-            # Split mode: every shard owns all parts + the full plan;
-            # run() deals constraint slices across them.
-            for k in range(pool.num_shards):
-                handles = load_parts(pool, k, mgr, parts)
-                plan_id = make_plan(pool, k, mgr, handles, qvars, csupp)
-                self._plan_ids.append(plan_id)
-                self._shards.append(k)
-            self._shared = []
+        self._race_setups: dict[str, dict] = {}
+        if mode in ("cluster", "race"):
+            self._race_setups["cluster"] = self._setup_cluster(parts, csupp)
+        if mode in ("split", "race"):
+            self._race_setups["split"] = self._setup_split(parts, qvars, csupp)
+        if mode in ("cluster", "split"):
+            self._adopt(mode)
+
+    def _setup_cluster(self, parts: Sequence[int], csupp: list[int]) -> dict:
+        pool, mgr = self.pool, self.mgr
+        plan_ids: list[int] = []
+        shards: list[int] = []
+        handles_by_shard: dict[int, list[int]] = {}
+        for k, cluster in enumerate(self.assignment.clusters):
+            handles = load_parts(pool, k, mgr, [parts[i] for i in cluster])
+            plan_id = make_plan(
+                pool, k, mgr, handles, self.assignment.local_vars[k], csupp
+            )
+            plan_ids.append(plan_id)
+            shards.append(k)
+            handles_by_shard[k] = handles
+        return {
+            "plan_ids": plan_ids,
+            "shards": shards,
+            "shared": list(self.assignment.shared_vars),
+            "handles": handles_by_shard,
+        }
+
+    def _setup_split(
+        self, parts: Sequence[int], qvars: list[int], csupp: list[int]
+    ) -> dict:
+        # Split mode: every shard owns all parts + the full plan;
+        # run() deals constraint slices across them.
+        pool, mgr = self.pool, self.mgr
+        plan_ids: list[int] = []
+        shards: list[int] = []
+        handles_by_shard: dict[int, list[int]] = {}
+        for k in range(pool.num_shards):
+            handles = load_parts(pool, k, mgr, parts)
+            plan_id = make_plan(pool, k, mgr, handles, qvars, csupp)
+            plan_ids.append(plan_id)
+            shards.append(k)
+            handles_by_shard[k] = handles
+        return {
+            "plan_ids": plan_ids,
+            "shards": shards,
             # Constraint variables eligible as slice splitters, topmost
             # level first (indices, so reordering keeps this valid).
-            self._split_candidates = list(csupp)
+            "candidates": list(csupp),
+            "handles": handles_by_shard,
+        }
+
+    def _adopt(self, which: str) -> None:
+        """Point the active-join attributes at one of the loaded setups."""
+        setup = self._race_setups[which]
+        self._plan_ids = setup["plan_ids"]
+        self._shards = setup["shards"]
+        if which == "cluster":
+            self._shared = setup["shared"]
+        else:
+            self._split_candidates = setup["candidates"]
+
+    def _commit(self, winner: str) -> None:
+        """End a race: adopt ``winner`` and free the loser's parts."""
+        loser = "split" if winner == "cluster" else "cluster"
+        self._adopt(winner)
+        self.mode = winner
+        setup = self._race_setups.pop(loser, None)
+        if setup is not None:
+            # The loser's plans are never run again; freeing its part
+            # handles releases the (canonically shared) nodes its refs
+            # were keeping alive.
+            for shard, handles in setup["handles"].items():
+                self.pool.call(shard, ("free", handles))
+
+    def resolve_race(self, constraint: int) -> int:
+        """Run ``constraint`` through both joins and commit the winner.
+
+        Times the conjunctive cluster join against the disjunctive
+        split join on one real constraint, verifies the two images are
+        edge-identical (they must be — both are exact — so a mismatch
+        raises :class:`ShardError`), commits to the faster one for every
+        subsequent :meth:`run`, and frees the loser's worker-side parts.
+        Returns the image of ``constraint``.
+
+        Call this standalone (no pending pipe traffic): both runs are
+        blocking round trips.
+        """
+        if self.mode != "race":
+            raise ShardError(f"resolve_race: mode is {self.mode!r}, not 'race'")
+        if constraint == FALSE:
+            # Nothing to learn from an empty constraint; stay racing.
+            return FALSE
+        self._adopt("cluster")
+        t0 = time.perf_counter()
+        r_cluster = self._run_cluster(constraint)
+        t_cluster = time.perf_counter() - t0
+        self._adopt("split")
+        t0 = time.perf_counter()
+        r_split = self._run_split(constraint)
+        t_split = time.perf_counter() - t0
+        if r_cluster != r_split:
+            raise ShardError(
+                "speculative join race: cluster and split joins disagree "
+                "(both are exact; this is a sharding bug)"
+            )
+        winner = "cluster" if t_cluster <= t_split else "split"
+        self.race_outcome = {
+            "winner": winner,
+            "cluster_seconds": t_cluster,
+            "split_seconds": t_split,
+        }
+        self._commit(winner)
+        return r_cluster
 
     # ------------------------------------------------------------------ #
 
@@ -283,6 +414,8 @@ class ShardedImage:
         """
         if constraint == FALSE:
             return FALSE
+        if self.mode == "race":
+            return self.resolve_race(constraint)
         if self.mode == "cluster":
             return self._run_cluster(constraint)
         return self._run_split(constraint)
@@ -387,6 +520,13 @@ class ShardedImage:
         The join math is identical to :meth:`run`, so the batched
         resident path is result-identical to the in-process image.
         """
+        if self.mode == "race":
+            # The batched protocol pipelines further commands behind
+            # these submissions, so there is no safe point to run two
+            # blocking timed joins here; commit to the cluster setup
+            # (the heuristic found real in-shard retirement, or the
+            # race would not have been armed).
+            self._commit("cluster")
         if self.mode == "cluster":
             return self._submit_resident_cluster(items)
         return self._submit_resident_split(items)
@@ -459,6 +599,80 @@ class ShardedImage:
             return results
 
         return collect
+
+    # -- the work-stealing batch dispatcher ------------------------------ #
+
+    def run_resident_batch(
+        self, items: Sequence[tuple[int, int]], *, window: int = 2
+    ) -> list[int]:
+        """Image a resident batch with dynamic work stealing (blocking).
+
+        Split mode only (any other mode falls back to
+        :meth:`submit_resident` + collect, which is already optimal for
+        the cluster join).  The batch's cofactor slices are dealt
+        round-robin into per-shard queues, each shard keeps up to
+        ``window`` single-slice ``expand_batch`` commands in flight, and
+        the coordinator collects from whichever worker finishes first
+        (:meth:`~repro.shard.pool.ShardPool.wait_any`).  A shard whose
+        own queue drains **steals** the tail of the most-loaded peer's
+        queue — a resident ψ is named by the same handle on every
+        worker, so the stolen slice is re-dispatched as a ``(handle,
+        bits)`` spec with no BDD transfer.  :attr:`steals` counts the
+        re-dispatched slices.
+
+        The per-item result is the OR of its slice images; OR is
+        commutative and associative and BDDs are canonical, so the
+        result is identical to the statically dealt join whatever
+        placement and completion order the stealing produced.
+
+        Must be called with no other traffic pending on the pool: the
+        dispatcher owns every watched pipe until the batch completes.
+        """
+        if self.mode != "split":
+            collect = self.submit_resident(items)
+            return collect()
+        pool, mgr = self.pool, self.mgr
+        num = len(self._shards)
+        queues: list[deque] = [deque() for _ in range(num)]
+        cursor = 0
+        for i, (handle, constraint) in enumerate(items):
+            for _, spec in self._slice_pairs(constraint):
+                queues[cursor % num].append((i, handle, spec))
+                cursor += 1
+        results = [FALSE] * len(items)
+        inflight: list[deque] = [deque() for _ in range(num)]
+
+        def top_up(pos: int) -> None:
+            while len(inflight[pos]) < window:
+                if queues[pos]:
+                    i, handle, spec = queues[pos].popleft()
+                else:
+                    donor = max(range(num), key=lambda p: len(queues[p]))
+                    if not queues[donor]:
+                        return
+                    # Steal from the tail: the head slices are about to
+                    # be dispatched locally by the donor itself.
+                    i, handle, spec = queues[donor].pop()
+                    self.steals += 1
+                pool.submit(
+                    self._shards[pos],
+                    ("expand_batch", self._plan_ids[pos], [(handle, spec)]),
+                )
+                inflight[pos].append(i)
+
+        for pos in range(num):
+            top_up(pos)
+        shard_pos = {shard: pos for pos, shard in enumerate(self._shards)}
+        while any(inflight):
+            busy = [self._shards[p] for p in range(num) if inflight[p]]
+            for shard in pool.wait_any(busy):
+                pos = shard_pos[shard]
+                (snap,) = pool.collect(shard)
+                i = inflight[pos].popleft()
+                (img,) = load_nodes(mgr, snap)
+                results[i] = mgr.apply_or(results[i], img)
+                top_up(pos)
+        return results
 
     def worker_stats(self) -> list[dict]:
         """Per-shard manager statistics for the shards this image uses."""

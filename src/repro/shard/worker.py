@@ -72,6 +72,16 @@ Commands
 ``("sift",)``
     Force one in-place sifting pass (handles, resident entries and
     plans all keep their edges); reply with swap/size counters.
+``("sift_profile",)``
+    Force one in-place sifting pass **and** reply with the resulting
+    variable order (the worker's *order profile*) alongside the swap
+    counters.  This is per-shard order autonomy: each worker sifts its
+    own resident partition independently of the coordinator and its
+    peers — the name-keyed ``dump_nodes`` wire format makes transfers
+    between differently-ordered managers sound, and image plans hold
+    variable indices, which in-place sifting never invalidates.  The
+    pool records profiles so a ``reset`` can re-declare each worker's
+    variables in its own proven order.
 ``("shutdown",)``
     Acknowledge and exit the loop.
 """
@@ -260,6 +270,7 @@ class _WorkerState:
             "handles": len(self.handles),
             "resident": len(self.resident),
             "plans": len(self.plans),
+            "order_profile": self.mgr.var_order(),
         }
 
     def op_gc(self) -> int:
@@ -273,6 +284,11 @@ class _WorkerState:
             "size_after": result.size_after,
             "vars_sifted": result.vars_sifted,
         }
+
+    def op_sift_profile(self) -> dict:
+        out = self.op_sift()
+        out["order"] = self.mgr.var_order()
+        return out
 
 
 def worker_main(conn, config: dict) -> None:
@@ -299,6 +315,7 @@ def worker_main(conn, config: dict) -> None:
         "stats": state.op_stats,
         "gc": state.op_gc,
         "sift": state.op_sift,
+        "sift_profile": state.op_sift_profile,
     }
     while True:
         try:

@@ -63,6 +63,7 @@ def test_different_split_separates() -> None:
         ("shards", 2),
         ("frontier", "bfs"),
         ("batch", 8),
+        ("product_order", "interleaved"),
     ],
 )
 def test_every_solver_flag_separates(flag: str, value) -> None:

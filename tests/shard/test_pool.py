@@ -126,3 +126,51 @@ def test_worker_own_policies() -> None:
         stats = pool.stats()[0]
         assert stats["gc_runs"] == 0
         assert pool.call(0, ("gc",)) == 0  # nothing to reclaim yet
+
+
+class TestOrderProfiles:
+    """Per-shard order autonomy: sift_profile, stats, reset reuse."""
+
+    def test_sift_profiles_record_per_shard_orders(self, mgr) -> None:
+        f = mgr.apply_iff(
+            mgr.var_node(mgr.var_index("a")), mgr.var_node(mgr.var_index("d"))
+        )
+        with ShardPool(2, VARS) as pool:
+            h = pool.new_handle()
+            pool.call(0, ("load", h, dump_nodes(mgr, [f])))
+            replies = pool.sift_profiles()
+            assert len(replies) == 2
+            for shard, reply in enumerate(replies):
+                assert sorted(reply["order"]) == sorted(VARS)
+                assert pool.profiles[shard] == reply["order"]
+                assert reply["swaps"] >= 0
+
+    def test_stats_report_order_profile(self, mgr) -> None:
+        with ShardPool(1, VARS) as pool:
+            assert pool.stats()[0]["order_profile"] == VARS
+
+    def test_reset_reuses_matching_profiles(self, mgr) -> None:
+        with ShardPool(1, VARS) as pool:
+            pool.profiles[0] = ["d", "c", "b", "a"]
+            pool.reset(VARS, reuse_profiles=True)
+            assert pool.stats()[0]["order_profile"] == ["d", "c", "b", "a"]
+            # A plain reset restores the coordinator's order.
+            pool.reset(VARS)
+            assert pool.stats()[0]["order_profile"] == VARS
+
+    def test_reset_drops_mismatched_profiles(self, mgr) -> None:
+        with ShardPool(1, VARS) as pool:
+            pool.profiles[0] = ["z", "c", "b", "a"]  # not a permutation
+            pool.reset(VARS, reuse_profiles=True)
+            assert pool.stats()[0]["order_profile"] == VARS
+            assert 0 not in pool.profiles
+
+    def test_resident_functions_survive_profile_sift(self, mgr) -> None:
+        a, d = mgr.var_index("a"), mgr.var_index("d")
+        f = mgr.apply_xor(mgr.var_node(a), mgr.var_node(d))
+        with ShardPool(1, VARS) as pool:
+            h = pool.new_handle()
+            pool.call(0, ("retain", h, dump_nodes(mgr, [f])))
+            pool.sift_profiles()
+            (back,) = load_nodes(mgr, pool.call(0, ("dump", h)))
+            assert back == f

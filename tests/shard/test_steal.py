@@ -1,0 +1,183 @@
+"""Work-stealing dispatch and the speculative join race.
+
+The disjunctive split join is placement-independent: OR is commutative
+and associative and BDDs are canonical, so however the work-stealing
+dispatcher re-routes cofactor slices, the joined image must be
+edge-identical to the in-process reference.  These tests force steals
+deterministically (by pinning the dispatcher's ``wait_any`` to one
+shard) and pin the race-mode contract: both joins agree, the winner is
+committed, and the loser's worker-side parts are freed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bdd import BddManager, dump_nodes
+from repro.shard import ShardPool, ShardedImage
+from repro.shard.pool import ShardError
+from repro.symb.image import image_partitioned
+
+N_VARS = 8
+
+
+def relation_manager():
+    mgr = BddManager()
+    xs, ys = [], []
+    for i in range(N_VARS):
+        xs.append(mgr.add_var(f"x{i}"))
+        ys.append(mgr.add_var(f"y{i}"))
+    return mgr, xs, ys
+
+
+def make_parts(mgr, xs, ys, spec):
+    parts = []
+    for i, deps in spec:
+        f = 1
+        for d in deps:
+            f = mgr.apply_and(f, mgr.var_node(xs[d]))
+        parts.append(mgr.apply_iff(mgr.var_node(ys[i]), f))
+    return parts
+
+
+def split_image(pool, mgr, xs, parts):
+    return ShardedImage(
+        pool, mgr, parts, xs[:4], set(xs[:4]), mode="split"
+    )
+
+
+def retain_everywhere(pool, mgr, handle, edge):
+    blob = dump_nodes(mgr, [edge])
+    for shard in range(pool.num_shards):
+        pool.submit(shard, ("retain", handle, blob))
+    for shard in range(pool.num_shards):
+        pool.collect(shard)
+
+
+def constraints_with_slices(mgr, xs):
+    """Constraints whose support spans several split candidates."""
+    out = []
+    for k in range(3):
+        psi = 1
+        for v in xs[k : k + 3]:
+            psi = mgr.apply_or(mgr.var_node(v), psi ^ 1) ^ (k & 1)
+        psi = mgr.apply_or(psi, mgr.var_node(xs[(k + 4) % 4]))
+        if psi not in (0, 1):
+            out.append(psi)
+    assert out
+    return out
+
+
+class TestWorkStealing:
+    def test_batch_matches_static_join(self) -> None:
+        mgr, xs, ys = relation_manager()
+        parts = make_parts(
+            mgr, xs, ys, [(0, [0]), (1, [0, 1]), (2, [2, 3]), (3, [3])]
+        )
+        with ShardPool(2, mgr.var_order()) as pool:
+            img = split_image(pool, mgr, xs, parts)
+            psis = constraints_with_slices(mgr, xs)
+            items = []
+            for psi in psis:
+                handle = pool.new_handle()
+                retain_everywhere(pool, mgr, handle, psi)
+                items.append((handle, psi))
+            results = img.run_resident_batch(items)
+            for psi, got in zip(psis, results):
+                assert got == image_partitioned(mgr, parts, psi, xs[:4])
+
+    def test_forced_steals_produce_identical_images(self) -> None:
+        """Pin the dispatcher to shard 0: it drains its own queue, then
+        must steal shard 1's pending slices — and the OR-join must not
+        notice the re-placement."""
+        mgr, xs, ys = relation_manager()
+        parts = make_parts(
+            mgr, xs, ys, [(0, [0]), (1, [0, 1]), (2, [2, 3]), (3, [3])]
+        )
+        with ShardPool(2, mgr.var_order()) as pool:
+            img = split_image(pool, mgr, xs, parts)
+            psis = constraints_with_slices(mgr, xs)
+            items = []
+            for psi in psis:
+                handle = pool.new_handle()
+                retain_everywhere(pool, mgr, handle, psi)
+                items.append((handle, psi))
+            # Always service the first busy shard; collect() still
+            # blocks on that shard's FIFO, so this only skews routing.
+            original = pool.wait_any
+            pool.wait_any = lambda shards: [shards[0]]
+            try:
+                results = img.run_resident_batch(items, window=1)
+            finally:
+                pool.wait_any = original
+            assert img.steals > 0
+            for psi, got in zip(psis, results):
+                assert got == image_partitioned(mgr, parts, psi, xs[:4])
+
+    def test_steal_counter_starts_at_zero(self) -> None:
+        mgr, xs, ys = relation_manager()
+        parts = make_parts(mgr, xs, ys, [(0, [0])])
+        with ShardPool(1, mgr.var_order()) as pool:
+            img = split_image(pool, mgr, xs, parts)
+            assert img.steals == 0
+
+
+class TestSpeculativeRace:
+    def _race_setup(self):
+        mgr, xs, ys = relation_manager()
+        # x0..x2 shared by every part, x3 private to the last: one of
+        # four contested variables retires in-shard — the genuinely
+        # unsure regime where auto arms the race.
+        parts = make_parts(
+            mgr, xs, ys, [(0, [0, 1, 2]), (1, [0, 1, 2]), (2, [0, 1, 2, 3])]
+        )
+        return mgr, xs, parts
+
+    def test_auto_arms_race_when_unsure(self) -> None:
+        mgr, xs, parts = self._race_setup()
+        with ShardPool(2, mgr.var_order()) as pool:
+            img = ShardedImage(pool, mgr, parts, xs[:4], set())
+            assert img.mode == "race"
+
+    def test_resolve_race_commits_winner_and_agrees(self) -> None:
+        mgr, xs, parts = self._race_setup()
+        psi = mgr.apply_or(mgr.var_node(xs[0]), mgr.var_node(xs[3]))
+        expected = image_partitioned(mgr, parts, psi, xs[:4])
+        with ShardPool(2, mgr.var_order()) as pool:
+            img = ShardedImage(pool, mgr, parts, xs[:4], set(), mode="race")
+            assert img.run(psi) == expected
+            assert img.mode in ("cluster", "split")
+            assert img.race_outcome is not None
+            assert img.race_outcome["winner"] == img.mode
+            assert img.race_outcome["cluster_seconds"] >= 0
+            assert img.race_outcome["split_seconds"] >= 0
+            # The committed join keeps working after the race.
+            assert img.run(psi) == expected
+
+    def test_false_constraint_does_not_resolve(self) -> None:
+        mgr, xs, parts = self._race_setup()
+        with ShardPool(2, mgr.var_order()) as pool:
+            img = ShardedImage(pool, mgr, parts, xs[:4], set(), mode="race")
+            assert img.run(0) == 0
+            assert img.mode == "race"
+            assert img.race_outcome is None
+
+    def test_resolve_race_requires_race_mode(self) -> None:
+        mgr, xs, ys = relation_manager()
+        parts = make_parts(mgr, xs, ys, [(0, [0])])
+        with ShardPool(1, mgr.var_order()) as pool:
+            img = ShardedImage(pool, mgr, parts, xs[:1], set(), mode="split")
+            with pytest.raises(ShardError, match="resolve_race"):
+                img.resolve_race(1)
+
+    def test_submit_resident_commits_cluster(self) -> None:
+        mgr, xs, parts = self._race_setup()
+        psi = mgr.var_node(xs[0])
+        with ShardPool(2, mgr.var_order()) as pool:
+            img = ShardedImage(pool, mgr, parts, xs[:4], set(), mode="race")
+            handle = pool.new_handle()
+            retain_everywhere(pool, mgr, handle, psi)
+            collect = img.submit_resident([(handle, psi)])
+            assert img.mode == "cluster"
+            (result,) = collect()
+            assert result == image_partitioned(mgr, parts, psi, xs[:4])

@@ -164,6 +164,73 @@ class TestFilteredRuns:
         assert "and_or_chain" not in out
 
 
+class TestProductOrderVariants:
+    def test_listing_shows_interleave_variants(self) -> None:
+        listing = driver.list_workloads()
+        assert "solve@interleave" in listing
+        assert "johnson12@interleave" in listing
+        assert "twin16x4@interleave+batch8" in listing
+        assert "twin12_8@interleave+batch8" in listing
+        assert "twin12_8@batch8" in listing
+
+    def test_interleave_rows_gated_on_stacked_runs(self) -> None:
+        """An interleaved *run* compares whole-suite orders; only the
+        default stacked run emits the paired @interleave variant rows."""
+        stacked = driver.table1_row_names(False, product_order="stacked")
+        inter = driver.table1_row_names(False, product_order="interleaved")
+        assert "johnson12@interleave" in stacked
+        assert "twin12_8@interleave+batch8" in stacked
+        assert "johnson12@interleave" not in inter
+        assert "twin12_8@interleave+batch8" not in inter
+        # Base rows survive under either product order.
+        assert "johnson12" in inter
+        assert "twin12_8@batch8" in inter
+
+    def test_smoke_suppresses_interleave_variants(self) -> None:
+        assert "johnson12@interleave" not in driver.table1_row_names(True)
+
+
+class TestEnvLimitedStatus:
+    def _rows(self):
+        return [
+            {"name": "indep_images@shards2", "size": 12, "wall_s": 0.4,
+             "peak_live_nodes": 100},
+            {"name": "rename", "size": 12, "wall_s": 0.1,
+             "peak_live_nodes": 100},
+        ]
+
+    def test_shard_rows_env_limited_across_core_counts(
+        self, monkeypatch
+    ) -> None:
+        monkeypatch.setattr(driver.os, "cpu_count", lambda: 1)
+        baseline = {"meta": {"cpu_count": 64}, "results": self._rows()}
+        rows = driver.compare_to_baseline(self._rows(), baseline)
+        by_name = {r["name"]: r for r in rows}
+        shard = by_name["indep_images@shards2"]
+        assert shard["status"] == "env-limited"
+        assert shard["ratio"] is None and shard["norm_ratio"] is None
+        # Non-shard rows on the same machine still compare normally.
+        assert by_name["rename"]["status"] == "compared"
+
+    def test_same_multicore_counts_compare_normally(self, monkeypatch) -> None:
+        monkeypatch.setattr(driver.os, "cpu_count", lambda: 64)
+        baseline = {"meta": {"cpu_count": 64}, "results": self._rows()}
+        rows = driver.compare_to_baseline(self._rows(), baseline)
+        assert all(r["status"] == "compared" for r in rows)
+
+    def test_markdown_renders_env_limited(self, monkeypatch, tmp_path) -> None:
+        monkeypatch.setattr(driver.os, "cpu_count", lambda: 1)
+        path = tmp_path / "base.json"
+        path.write_text(
+            json.dumps({"meta": {"cpu_count": 64}, "results": self._rows()})
+        )
+        md = driver.format_markdown_diff(self._rows(), path, 1.5)
+        line = next(
+            ln for ln in md.splitlines() if "| indep_images@shards2 |" in ln
+        )
+        assert "environment-limited (cpus 64 → 1)" in line
+
+
 class TestMeta:
     def test_records_environment(self) -> None:
         meta = driver.meta(False)

@@ -135,6 +135,23 @@ class TestSolve:
         assert "batches=" in out
         assert "True" in out  # verification still passes
 
+    def test_solve_interleaved_product_order(self, blif_file, capsys) -> None:
+        code = main(
+            [
+                "solve",
+                "--blif",
+                blif_file,
+                "--x-latches",
+                "G6",
+                "--product-order",
+                "interleaved",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "csf_states=7" in out
+        assert "True" in out  # verification passes under either order
+
     def test_solve_sharded_batched(self, blif_file, capsys) -> None:
         code = main(
             [
