@@ -75,6 +75,7 @@ from contextlib import contextmanager
 
 from repro.bdd.policy import GcPolicy, ReorderPolicy
 from repro.errors import BddError, BddNodeLimit, BddOrderError
+from repro.obs.trace import span as obs_span
 
 #: Edge of the constant FALSE function (terminal node, positive polarity).
 FALSE = 0
@@ -1935,7 +1936,12 @@ class BddManager:
         (:func:`repro.bdd.reorder.sift`), so every edge held by a caller
         — including ``roots`` and all pinned references — remains valid.
         """
-        roots = list(roots)
+        with obs_span("gc_sweep", live_before=self._nb[0]) as sweep_span:
+            reclaimed = self._collect_garbage(list(roots))
+            sweep_span.set(reclaimed=reclaimed, live=self._nb[0])
+        return reclaimed
+
+    def _collect_garbage(self, roots: list[int]) -> int:
         nb = self._nb
         live_before = nb[0]
         if live_before > self._peak_live:
@@ -1996,12 +2002,16 @@ class BddManager:
             from repro.bdd.reorder import sift
 
             policy = self.reorder_policy
-            result = sift(
-                self,
-                roots,
-                max_growth=policy.max_growth,
-                max_vars=policy.max_vars,
-            )
+            with obs_span("sift", trigger="gc") as sift_span:
+                result = sift(
+                    self,
+                    roots,
+                    max_growth=policy.max_growth,
+                    max_vars=policy.max_vars,
+                )
+                sift_span.set(
+                    swaps=result.swaps, size_after=result.size_after
+                )
             self._reorder_runs += 1
             self._reorder_swaps += result.swaps
             policy.record_reorder(nb[0])
@@ -2179,7 +2189,10 @@ class BddManager:
         """
         from repro.bdd.reorder import sift
 
-        return sift(self, roots, max_growth=max_growth, max_vars=max_vars)
+        with obs_span("sift", trigger="explicit") as sift_span:
+            result = sift(self, roots, max_growth=max_growth, max_vars=max_vars)
+            sift_span.set(swaps=result.swaps, size_after=result.size_after)
+        return result
 
     def dump_nodes(self, roots: Sequence[int]) -> dict:
         """Snapshot the shared DAG of ``roots`` (``repro-bdd-nodes/1``).

@@ -42,12 +42,13 @@ from repro.bdd.manager import BddManager
 from repro.bdd.policy import GcPolicy, ReorderPolicy
 from repro.bench import circuits
 from repro.network.bddbuild import build_network_bdds
+from repro.obs.trace import current_tracer, install_tracer, uninstall_tracer
 from repro.symb.reach import network_reachable_states
 
 REPO_ROOT = Path(__file__).resolve().parents[3]
 
-SCHEMA_KERNEL = "repro-bench-kernel/3"
-SCHEMA_TABLE1 = "repro-bench-table1/7"
+SCHEMA_KERNEL = "repro-bench-kernel/4"
+SCHEMA_TABLE1 = "repro-bench-table1/8"
 
 #: Table 1 cases re-run with ``--reorder auto`` as dedicated ``@auto``
 #: rows: the paper-scale instances where dynamic reordering is the
@@ -472,6 +473,31 @@ KERNEL_WORKLOADS = [
 ]
 
 
+def _phase_breakdown(start: int) -> dict | None:
+    """Aggregate tracer spans since event index ``start`` into seconds.
+
+    Returns ``None`` when no tracer is installed (the row then carries
+    no ``phases`` key).  Worker-relayed ``shard:*`` spans run
+    concurrently with coordinator spans, so the totals are per-phase
+    sums, not a partition of wall time.
+    """
+    tracer = current_tracer()
+    if tracer is None:
+        return None
+    totals: dict[str, float] = {}
+    for event in tracer.events(start):
+        if event.get("ph") == "X":
+            name = event["name"]
+            totals[name] = totals.get(name, 0.0) + event["dur"] / 1e6
+    return {name: round(secs, 6) for name, secs in sorted(totals.items())}
+
+
+def _trace_mark() -> int:
+    """Current tracer event index (0 when tracing is off)."""
+    tracer = current_tracer()
+    return len(tracer) if tracer is not None else 0
+
+
 def _workload_available(name: str) -> bool:
     """Whether a kernel workload can run *honestly* on this machine.
 
@@ -548,6 +574,7 @@ def run_kernel(
         stats: dict = {}
         hit_rate = 0.0
         backend = "python"
+        trace_start = _trace_mark()
         for _ in range(repeats):
             gc.collect()
             t0 = time.perf_counter()
@@ -558,12 +585,14 @@ def run_kernel(
                 stats = mgr.stats
                 hit_rate = mgr.cache_hit_rate()
                 backend = getattr(mgr, "backend_name", "python")
+        phases = _phase_breakdown(trace_start)
         results.append(
             {
                 "name": name,
                 "backend": backend,
                 "size": n,
                 "wall_s": round(best, 6),
+                **({"phases": phases} if phases is not None else {}),
                 "peak_live_nodes": stats.get("peak_live_nodes", 0),
                 "live_nodes": stats.get("live_nodes", 0),
                 "cache_hit_rate": round(hit_rate, 4),
@@ -648,6 +677,7 @@ def _run_table1_case(
         )
         limit = ResourceLimit(max_seconds=case.max_seconds, max_nodes=case.max_nodes)
         gc.collect()
+        trace_start = _trace_mark()
         t0 = time.perf_counter()
         try:
             problem = build_latch_split_problem(
@@ -673,10 +703,12 @@ def _run_table1_case(
             continue
         elapsed = time.perf_counter() - t0
         mgr_stats = problem.manager.stats
+        phases = _phase_breakdown(trace_start)
         row["methods"][method] = {
             "cnc": False,
             "cache_key": key,
             "wall_s": round(elapsed, 4),
+            **({"phases": phases} if phases is not None else {}),
             "csf_states": result.csf_states,
             "subsets": result.stats.subsets if result.stats else None,
             "batches": result.stats.batches if result.stats else None,
@@ -1247,6 +1279,16 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        help=(
+            "write a Chrome trace-event JSON of the whole run to this "
+            "file (also enables span phases on the kernel rows; without "
+            "it only the ungated table1 rows are traced)"
+        ),
+    )
+    parser.add_argument(
         "--baseline",
         type=Path,
         default=None,
@@ -1298,6 +1340,13 @@ def main(argv: list[str] | None = None) -> int:
     args.out_dir.mkdir(parents=True, exist_ok=True)
     repeats = args.repeats if args.repeats is not None else (2 if args.smoke else 5)
     filtered = bool(args.only or args.skip)
+    # Tracing policy: --trace traces everything (the user asked for a
+    # trace and accepts the overhead inside timed regions).  Without it
+    # the kernel suite — the one the regression gate compares — runs
+    # with tracing fully disabled (a global None check per span site),
+    # and a tracer is installed only for the ungated table1 suite so
+    # its rows still record per-phase breakdowns.
+    run_tracer = install_tracer() if args.trace else None
 
     rc = 0
     run_kernel_suite = any(
@@ -1340,6 +1389,8 @@ def main(argv: list[str] | None = None) -> int:
         )
     )
     if run_table1_suite:
+        if current_tracer() is None:
+            install_tracer()  # table1 rows are ungated; record phases
         print("== table1 benchmarks ==", flush=True)
         table1_rows = run_table1_bench(
             args.smoke,
@@ -1366,9 +1417,14 @@ def main(argv: list[str] | None = None) -> int:
         print(f"wrote {out}")
 
     if not run_kernel_suite and not run_table1_suite:
+        uninstall_tracer()
         print("no workloads match --only/--skip; nothing run", file=sys.stderr)
         return 2
 
+    if run_tracer is not None:
+        run_tracer.export(str(args.trace))
+        print(f"wrote {args.trace} ({len(run_tracer)} events)")
+    uninstall_tracer()
     return rc
 
 

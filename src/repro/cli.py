@@ -42,7 +42,26 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=__version__)
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_obs_flags(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument(
+            "--trace",
+            metavar="FILE",
+            help="write a Chrome trace-event JSON span trace to this file",
+        )
+        cmd.add_argument(
+            "--log-level",
+            default="warning",
+            choices=("debug", "info", "warning", "error"),
+            help="structured-log threshold for repro.* loggers",
+        )
+        cmd.add_argument(
+            "--log-json",
+            action="store_true",
+            help="emit structured logs as JSON lines",
+        )
+
     solve = sub.add_parser("solve", help="compute the CSF of a latch split")
+    add_obs_flags(solve)
     solve.add_argument("--blif", required=True, help="input circuit (BLIF)")
     solve.add_argument(
         "--x-latches",
@@ -136,6 +155,7 @@ def _build_parser() -> argparse.ArgumentParser:
     info.add_argument("--blif", required=True)
 
     reach = sub.add_parser("reach", help="symbolic reachability analysis")
+    add_obs_flags(reach)
     reach.add_argument("--blif", required=True)
     reach.add_argument(
         "--no-schedule",
@@ -195,6 +215,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
+    )
+    serve.add_argument(
+        "--log-level",
+        default="warning",
+        choices=("debug", "info", "warning", "error"),
+        help="structured-log threshold for repro.* loggers",
+    )
+    serve.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit structured logs as JSON lines",
     )
 
     submit = sub.add_parser("submit", help="submit a solve to a running server")
@@ -260,6 +291,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--cache", action="store_true", help="show cache statistics"
     )
     jobs.add_argument(
+        "--metrics",
+        action="store_true",
+        help="dump the server's Prometheus /metrics exposition",
+    )
+    jobs.add_argument(
         "--shutdown", action="store_true", help="gracefully stop the server"
     )
 
@@ -274,11 +310,29 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _setup_obs(args: argparse.Namespace):
+    """Configure logging and (optionally) install a tracer for a command."""
+    from repro.obs.log import configure
+    from repro.obs.trace import install_tracer
+
+    configure(args.log_level, json_lines=args.log_json)
+    return install_tracer() if args.trace else None
+
+
+def _export_trace(tracer, path: str) -> None:
+    from repro.obs.trace import uninstall_tracer
+
+    tracer.export(path)
+    uninstall_tracer()
+    print(f"  trace written to {path} ({len(tracer)} events)")
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     from repro.network.blif import read_blif
     from repro.eqn.solver import solve_latch_split, verify_solution
     from repro.util.limits import ResourceLimit
 
+    tracer = _setup_obs(args)
     net = read_blif(args.blif)
     x_latches = [name for name in args.x_latches.split(",") if name]
     if args.shards > 1 and args.method != "partitioned":
@@ -330,6 +384,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             f"reorders={mgr_stats['reorder_runs']} "
             f"swaps={mgr_stats['reorder_swaps']}"
         )
+    if tracer is not None:
+        _export_trace(tracer, args.trace)
     if not args.no_verify:
         report = verify_solution(result)
         print(f"  verification: {report.summary()}")
@@ -402,6 +458,7 @@ def _cmd_reach(args: argparse.Namespace) -> int:
     from repro.network.blif import read_blif
     from repro.symb.reach import network_reachable_states
 
+    tracer = _setup_obs(args)
     net = read_blif(args.blif)
     mgr = create_manager(
         args.backend,
@@ -428,12 +485,16 @@ def _cmd_reach(args: argparse.Namespace) -> int:
             f"reclaim_ratio_avg={stats['reclaim_ratio_avg']:.2f} "
             f"reorders={stats['reorder_runs']} swaps={stats['reorder_swaps']}"
         )
+    if tracer is not None:
+        _export_trace(tracer, args.trace)
     return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs.log import configure
     from repro.serve.server import serve
 
+    configure(args.log_level, json_lines=args.log_json)
     return serve(
         args.host,
         args.port,
@@ -528,6 +589,9 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
             f"(max_entries={stats['max_entries']})"
         )
         return 0
+    if args.metrics:
+        print(client.metrics(), end="")
+        return 0
     if args.job:
         job = client.job(args.job)
         print(
@@ -538,6 +602,11 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
             print(f"  error: {job['error']}")
         if job.get("result"):
             print(f"  result: {job['result']}")
+        if job.get("metrics"):
+            parts = ", ".join(
+                f"{key}={value}" for key, value in sorted(job["metrics"].items())
+            )
+            print(f"  metrics: {parts}")
         for event in client.events(args.job)["events"]:
             print(f"  [{event['seq']}] {event}")
         return 0

@@ -72,6 +72,7 @@ from repro.bdd.io import dump_nodes, load_nodes
 from repro.bdd.backends.protocol import BddBackend
 from repro.bdd.manager import FALSE
 from repro.errors import EquationError
+from repro.obs.trace import span as obs_span
 from repro.symb.image import image_partitioned, image_with_plan, plan_image
 from repro.eqn.problem import EquationProblem
 from repro.eqn.subset import SubsetEdge, expand_batch_pinned
@@ -437,7 +438,8 @@ class PartitionedOracle:
         """Expand a frontier batch (the driver's batched oracle protocol)."""
         if self._pool is not None:
             return self._expand_batch_sharded(psis)
-        return expand_batch_pinned(self.mgr, psis, self._expand_one)
+        with obs_span("expand_batch", size=len(psis)):
+            return expand_batch_pinned(self.mgr, psis, self._expand_one)
 
     def _expand_one(self, psi: int) -> tuple[list[SubsetEdge], int]:
         mgr = self.mgr
@@ -516,16 +518,20 @@ class PartitionedOracle:
         # 1. Residency: each new ψ is serialized exactly once and
         #    retained in every worker's resident registry.
         retained: list[int] = []
-        for psi in psis:
-            if psi in self._psi_handles:
-                continue
-            handle = pool.new_handle()
-            blob = dump_nodes(mgr, [psi])
-            self._psi_serialized[psi] = self._psi_serialized.get(psi, 0) + 1
-            for k in range(nshards):
-                pool.submit(k, ("retain", handle, blob))
-            self._psi_handles[psi] = handle
-            retained.append(handle)
+        with obs_span("psi_retain", batch=len(psis)) as retain_span:
+            for psi in psis:
+                if psi in self._psi_handles:
+                    continue
+                handle = pool.new_handle()
+                blob = dump_nodes(mgr, [psi])
+                self._psi_serialized[psi] = (
+                    self._psi_serialized.get(psi, 0) + 1
+                )
+                for k in range(nshards):
+                    pool.submit(k, ("retain", handle, blob))
+                self._psi_handles[psi] = handle
+                retained.append(handle)
+            retain_span.set(serialized=len(retained))
         self._resident_peak = max(self._resident_peak, len(self._psi_handles))
         handles = [self._psi_handles[psi] for psi in psis]
 
@@ -535,12 +541,13 @@ class PartitionedOracle:
         p_results: list[int] | None = None
         collect_p = None
         if stealing:
-            for _handle in retained:
-                for k in range(nshards):
-                    pool.collect(k)
-            p_results = self._p_sharded.run_resident_batch(
-                list(zip(handles, psis))
-            )
+            with obs_span("p_images", mode="steal", batch=len(psis)):
+                for _handle in retained:
+                    for k in range(nshards):
+                        pool.collect(k)
+                p_results = self._p_sharded.run_resident_batch(
+                    list(zip(handles, psis))
+                )
         else:
             collect_p = self._p_sharded.submit_resident(
                 list(zip(handles, psis))
@@ -592,18 +599,20 @@ class PartitionedOracle:
 
         # -- collect, in per-pipe submission order ---------------------- #
         if not stealing:
-            for _handle in retained:
-                for k in range(nshards):
-                    pool.collect(k)
-            p_results = collect_p()
-        for j, misses in q_submitted:
-            shard, _plan_id = self._q_remote[j]
-            snaps = pool.collect(shard)
-            for (key, idxs), snap in zip(misses, snaps):
-                (q_j,) = load_nodes(mgr, snap)
-                self._q_insert(j, key, q_j)
-                for i in idxs:
-                    q_vals[i][j] = q_j
+            with obs_span("p_images", mode="static", batch=len(psis)):
+                for _handle in retained:
+                    for k in range(nshards):
+                        pool.collect(k)
+                p_results = collect_p()
+        with obs_span("q_images", outputs=len(q_submitted)):
+            for j, misses in q_submitted:
+                shard, _plan_id = self._q_remote[j]
+                snaps = pool.collect(shard)
+                for (key, idxs), snap in zip(misses, snaps):
+                    (q_j,) = load_nodes(mgr, snap)
+                    self._q_insert(j, key, q_j)
+                    for i in idxs:
+                        q_vals[i][j] = q_j
         for k in range(nshards):
             pool.collect(k)
 

@@ -22,6 +22,7 @@ from repro.eqn.problem import EquationProblem, build_problem
 from repro.eqn.subset import SubsetStats, subset_construct
 from repro.network.netlist import Network
 from repro.network.transform import LatchSplit, latch_split
+from repro.obs.trace import span as obs_span
 from repro.util.limits import ResourceLimit
 from repro.util.timer import Stopwatch
 
@@ -136,7 +137,8 @@ def solve_equation(
     if limit is not None:
         limit.restart()
     if method == "explicit":
-        csf, trace = solve_explicit(problem)
+        with obs_span("solve", method=method):
+            csf, trace = solve_explicit(problem)
         return SolveResult(
             problem=problem,
             method=method,
@@ -146,35 +148,42 @@ def solve_equation(
             explicit_trace=trace,
             options={"schedule": schedule, "trim": trim},
         )
-    if method == "partitioned":
-        oracle = PartitionedOracle(
-            problem,
-            schedule=schedule,
-            trim=trim,
-            shards=shards,
-            shard_opts=shard_opts,
-            pool=pool,
-        )
-    else:
-        oracle = MonolithicOracle(problem, trim=trim)
-    try:
-        solution, stats = subset_construct(
-            oracle,
-            problem,
-            limit=limit,
-            strategy=frontier,
-            batch_size=batch,
-            progress=progress,
-            cancel=cancel,
-            checkpoint=checkpoint,
-            checkpoint_every=checkpoint_every,
-            resume=resume,
-        )
-    finally:
-        closer = getattr(oracle, "close", None)
-        if closer is not None:
-            closer()
-    csf = extract_csf(solution, problem.u_names)
+    with obs_span(
+        "solve", method=method, shards=shards, batch=batch, frontier=frontier
+    ) as solve_span:
+        if method == "partitioned":
+            with obs_span("oracle_setup", shards=shards):
+                oracle = PartitionedOracle(
+                    problem,
+                    schedule=schedule,
+                    trim=trim,
+                    shards=shards,
+                    shard_opts=shard_opts,
+                    pool=pool,
+                )
+        else:
+            with obs_span("oracle_setup", shards=0):
+                oracle = MonolithicOracle(problem, trim=trim)
+        try:
+            solution, stats = subset_construct(
+                oracle,
+                problem,
+                limit=limit,
+                strategy=frontier,
+                batch_size=batch,
+                progress=progress,
+                cancel=cancel,
+                checkpoint=checkpoint,
+                checkpoint_every=checkpoint_every,
+                resume=resume,
+            )
+        finally:
+            closer = getattr(oracle, "close", None)
+            if closer is not None:
+                closer()
+        with obs_span("extract_csf"):
+            csf = extract_csf(solution, problem.u_names)
+        solve_span.set(subsets=stats.subsets, batches=stats.batches)
     return SolveResult(
         problem=problem,
         method=method,
@@ -242,14 +251,15 @@ def solve_latch_split(
     """
     split = latch_split(net, x_latches, u_signals=u_signals)
     max_nodes = limit.max_nodes if limit is not None else None
-    problem = build_problem(
-        split,
-        max_nodes=max_nodes,
-        reorder=reorder,
-        gc=gc,
-        backend=backend,
-        product_order=product_order,
-    )
+    with obs_span("build_problem", network=net.name, backend=backend):
+        problem = build_problem(
+            split,
+            max_nodes=max_nodes,
+            reorder=reorder,
+            gc=gc,
+            backend=backend,
+            product_order=product_order,
+        )
     return solve_equation(
         problem,
         method=method,

@@ -52,6 +52,7 @@ from repro.bdd.manager import FALSE, TRUE, BddManager
 from repro.errors import EquationError, SolveCancelled
 from repro.automata.automaton import Automaton
 from repro.eqn.problem import EquationProblem
+from repro.obs.trace import span as obs_span
 from repro.util.limits import ResourceLimit
 
 #: Frontier orderings accepted by :class:`FrontierScheduler`.
@@ -464,34 +465,40 @@ def subset_construct(
         if cancel is not None and cancel():
             raise SolveCancelled("solve cancelled at batch boundary")
         budget.check_time()
-        batch = frontier.take(effective_batch)
-        if expand_batch is not None:
-            results = expand_batch(batch)
-        else:
-            results = [oracle.expand(psi) for psi in batch]
-        stats.batches += 1
-        for psi, (edges, dca_cond) in zip(batch, results):
-            src = ids[psi]
-            for edge in edges:
-                dst = subset_id(edge.successor, edge.accepting)
-                aut.add_edge(src, dst, edge.cond)
-                if gc_enabled and edge.cond != FALSE:
-                    # Pin the *stored* label: add_edge merges parallel
-                    # edges with OR, so the bucket value is what must
-                    # stay alive.
-                    mgr.ref(aut.edges[src][dst])
-                stats.edges += 1
-            if dca_cond != FALSE:
-                if dca_id is None:
-                    dca_id = aut.add_state("DCA", accepting=True)
-                    aut.add_edge(dca_id, dca_id, TRUE)
-                aut.add_edge(src, dca_id, dca_cond)
-                if gc_enabled:
-                    mgr.ref(aut.edges[src][dca_id])
-                stats.dca_edges += 1
-        stats.peak_nodes = max(stats.peak_nodes, len(mgr))
-        if gc_enabled:
-            mgr.maybe_collect_garbage()
+        with obs_span("frontier_batch", batch=stats.batches + 1) as batch_span:
+            batch = frontier.take(effective_batch)
+            if expand_batch is not None:
+                results = expand_batch(batch)
+            else:
+                results = [oracle.expand(psi) for psi in batch]
+            stats.batches += 1
+            for psi, (edges, dca_cond) in zip(batch, results):
+                src = ids[psi]
+                for edge in edges:
+                    dst = subset_id(edge.successor, edge.accepting)
+                    aut.add_edge(src, dst, edge.cond)
+                    if gc_enabled and edge.cond != FALSE:
+                        # Pin the *stored* label: add_edge merges parallel
+                        # edges with OR, so the bucket value is what must
+                        # stay alive.
+                        mgr.ref(aut.edges[src][dst])
+                    stats.edges += 1
+                if dca_cond != FALSE:
+                    if dca_id is None:
+                        dca_id = aut.add_state("DCA", accepting=True)
+                        aut.add_edge(dca_id, dca_id, TRUE)
+                    aut.add_edge(src, dca_id, dca_cond)
+                    if gc_enabled:
+                        mgr.ref(aut.edges[src][dca_id])
+                    stats.dca_edges += 1
+            stats.peak_nodes = max(stats.peak_nodes, len(mgr))
+            if gc_enabled:
+                mgr.maybe_collect_garbage()
+            batch_span.set(
+                size=len(batch),
+                subsets=stats.subsets,
+                frontier=len(frontier),
+            )
         if progress is not None:
             progress(_progress_event(mgr, oracle, stats, frontier))
         if (
@@ -500,9 +507,12 @@ def subset_construct(
             and stats.batches % checkpoint_every == 0
             and frontier
         ):
-            checkpoint(
-                _construction_snapshot(mgr, aut, ids, frontier, stats, dca_id)
-            )
+            with obs_span("checkpoint_write", batch=stats.batches):
+                checkpoint(
+                    _construction_snapshot(
+                        mgr, aut, ids, frontier, stats, dca_id
+                    )
+                )
     run_stats = getattr(oracle, "run_stats", None)
     if run_stats is not None:
         stats.extra.update(run_stats())

@@ -1,0 +1,145 @@
+"""Structured logging on the stdlib :mod:`logging` module.
+
+The runtime previously had *no* logging: a shard worker that failed a
+command packed the traceback into its reply and said nothing locally,
+and executor errors surfaced only as job events.  This module gives
+every layer one logger family (``repro.*``) with structured fields::
+
+    from repro.obs.log import get_logger
+
+    log = get_logger("repro.shard.worker")
+    log.error("command failed", op="expand_batch", pid=1234)
+
+:func:`configure` (wired to the ``--log-level`` CLI flag and ``repro
+serve --verbose``) installs a handler on the ``repro`` root with either
+a human-readable line format or JSON lines (``json_lines=True``) —
+one JSON object per line with wall *and* monotonic timestamps, so log
+records can be correlated with trace spans and job events.
+
+Unconfigured, the loggers inherit the stdlib default (warnings and
+errors to stderr), so library users see failures without any setup.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import time
+
+__all__ = ["configure", "get_logger", "StructuredLogger", "JsonLinesFormatter"]
+
+#: Name of the family root every repro logger hangs below.
+ROOT = "repro"
+
+LEVELS = ("debug", "info", "warning", "error", "critical")
+
+
+class JsonLinesFormatter(logging.Formatter):
+    """One JSON object per record: timestamps, level, message, fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        entry = {
+            "ts": record.created,
+            "mono": time.perf_counter(),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        fields = getattr(record, "fields", None)
+        if fields:
+            entry.update(fields)
+        if record.exc_info and record.exc_info[0] is not None:
+            entry["exc"] = self.formatException(record.exc_info)
+        return json.dumps(entry, default=str)
+
+
+class _TextFormatter(logging.Formatter):
+    """Human-readable lines with ``key=value`` structured fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        base = super().format(record)
+        fields = getattr(record, "fields", None)
+        if fields:
+            rendered = " ".join(f"{k}={v!r}" for k, v in fields.items())
+            base = f"{base} [{rendered}]"
+        return base
+
+
+class StructuredLogger:
+    """Thin wrapper adding ``**fields`` to the stdlib logger methods."""
+
+    def __init__(self, logger: logging.Logger) -> None:
+        self._logger = logger
+
+    @property
+    def name(self) -> str:
+        return self._logger.name
+
+    def isEnabledFor(self, level: int) -> bool:
+        return self._logger.isEnabledFor(level)
+
+    def _log(self, level: int, msg: str, fields: dict, exc_info=None) -> None:
+        if self._logger.isEnabledFor(level):
+            self._logger.log(
+                level, msg, extra={"fields": fields}, exc_info=exc_info
+            )
+
+    def debug(self, msg: str, **fields) -> None:
+        self._log(logging.DEBUG, msg, fields)
+
+    def info(self, msg: str, **fields) -> None:
+        self._log(logging.INFO, msg, fields)
+
+    def warning(self, msg: str, **fields) -> None:
+        self._log(logging.WARNING, msg, fields)
+
+    def error(self, msg: str, **fields) -> None:
+        self._log(logging.ERROR, msg, fields)
+
+    def exception(self, msg: str, **fields) -> None:
+        self._log(logging.ERROR, msg, fields, exc_info=True)
+
+
+def get_logger(name: str = ROOT) -> StructuredLogger:
+    """A structured logger below the ``repro`` family root."""
+    if name != ROOT and not name.startswith(ROOT + "."):
+        name = f"{ROOT}.{name}"
+    return StructuredLogger(logging.getLogger(name))
+
+
+def configure(
+    level: str = "warning",
+    *,
+    json_lines: bool = False,
+    stream=None,
+) -> logging.Handler:
+    """Install one handler on the ``repro`` root (replacing previous).
+
+    Parameters
+    ----------
+    level:
+        Threshold name (``"debug"`` ... ``"critical"``), as accepted by
+        the ``--log-level`` CLI flag.
+    json_lines:
+        Emit :class:`JsonLinesFormatter` JSON objects instead of text.
+    stream:
+        Target stream (default ``sys.stderr``).
+    """
+    if level.lower() not in LEVELS:
+        raise ValueError(
+            f"unknown log level {level!r} (choose from {', '.join(LEVELS)})"
+        )
+    root = logging.getLogger(ROOT)
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    handler = logging.StreamHandler(stream)
+    if json_lines:
+        handler.setFormatter(JsonLinesFormatter())
+    else:
+        handler.setFormatter(
+            _TextFormatter("%(asctime)s %(levelname)s %(name)s: %(message)s")
+        )
+    root.addHandler(handler)
+    root.setLevel(getattr(logging, level.upper()))
+    root.propagate = False
+    return handler

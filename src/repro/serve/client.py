@@ -36,6 +36,20 @@ class ServeClient:
     def health(self) -> dict:
         return self._request("GET", "/healthz")
 
+    def metrics(self) -> str:
+        """The server's Prometheus text exposition (not JSON)."""
+        request = urllib.request.Request(
+            f"{self.base_url}/metrics", method="GET"
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return resp.read().decode("utf-8")
+        except urllib.error.URLError as exc:
+            raise ServeError(
+                f"cannot reach server at {self.base_url}: "
+                f"{getattr(exc, 'reason', exc)}"
+            ) from exc
+
     def cache(self) -> dict:
         return self._request("GET", "/cache")
 

@@ -21,9 +21,52 @@ import threading
 import traceback
 
 from repro.errors import ReproError, SolveCancelled
+from repro.obs.log import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import span as obs_span
 from repro.serve.jobs import Job, JobRegistry
 from repro.serve.payload import dump_result
 from repro.serve.store import ResultStore
+
+_log = get_logger("repro.serve.executor")
+
+
+def register_serve_metrics(metrics: MetricsRegistry) -> MetricsRegistry:
+    """Pre-register the server's metric families (so ``/metrics`` shows
+    every family at 0 before the first job) and return the registry."""
+    metrics.counter(
+        "repro_solves_total", "Solve jobs finished, by terminal status."
+    )
+    metrics.histogram(
+        "repro_solve_seconds", "Wall-clock solver time per completed job."
+    )
+    metrics.counter(
+        "repro_cache_hits_total", "Submits answered from the result cache."
+    )
+    metrics.counter(
+        "repro_cache_misses_total", "Submits that had to run the solver."
+    )
+    metrics.counter(
+        "repro_steals_total", "Work-stealing dispatches across shard workers."
+    )
+    metrics.counter(
+        "repro_memo_hits_total", "Completion-memo hits in the subset construction."
+    )
+    metrics.counter("repro_gc_runs_total", "Kernel garbage-collection sweeps.")
+    metrics.counter(
+        "repro_reorder_runs_total", "Dynamic variable-reordering (sift) runs."
+    )
+    metrics.counter(
+        "repro_psi_serializations_total",
+        "Constraint BDDs serialized to shard workers.",
+    )
+    metrics.counter(
+        "repro_shard_commands_total", "Shard worker commands, by operation."
+    )
+    metrics.gauge("repro_queue_depth", "Jobs waiting for the executor thread.")
+    metrics.gauge("repro_cache_entries", "Entries in the result cache store.")
+    metrics.gauge("repro_uptime_seconds", "Seconds since the server started.")
+    return metrics
 
 
 class SolveExecutor:
@@ -35,6 +78,7 @@ class SolveExecutor:
         store: ResultStore,
         *,
         batch_hook=None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.registry = registry
         self.store = store
@@ -42,6 +86,9 @@ class SolveExecutor:
         #: progress event, from the solver thread.  The e2e cancellation
         #: test blocks here mid-solve, cancels over HTTP, then releases.
         self.batch_hook = batch_hook
+        self.metrics = register_serve_metrics(
+            metrics if metrics is not None else MetricsRegistry()
+        )
         self._queue: "queue.Queue[Job | None]" = queue.Queue()
         self._pool = None
         self._thread = threading.Thread(
@@ -71,6 +118,11 @@ class SolveExecutor:
         """The warm pool (tests assert on its ``op_counts``)."""
         return self._pool
 
+    @property
+    def queue_depth(self) -> int:
+        """Jobs waiting for the executor thread (health endpoint)."""
+        return self._queue.qsize()
+
     # ------------------------------------------------------------------ #
 
     def _loop(self) -> None:
@@ -81,13 +133,17 @@ class SolveExecutor:
             try:
                 self._run(job)
             except BaseException:  # pragma: no cover - belt and braces
+                _log.exception("executor loop error", job=job.id)
                 self.registry.set_status(
                     job, "failed", error=traceback.format_exc()
                 )
 
     def _run(self, job: Job) -> None:
+        solves = self.metrics.counter("repro_solves_total", "")
         if job.cancel_event.is_set():
+            _log.info("job cancelled before start", job=job.id)
             self.registry.set_status(job, "cancelled")
+            solves.inc(status="cancelled")
             return
         cached = self.store.get(job.key)
         if cached is not None:
@@ -95,25 +151,64 @@ class SolveExecutor:
             job.cached = True
             job.summary = _result_summary(cached, cached=True)
             self.registry.set_status(job, "done")
+            self.metrics.counter("repro_cache_hits_total", "").inc()
             return
         self.registry.set_status(job, "running")
         try:
             payload = self._solve(job)
         except SolveCancelled:
+            _log.info("job cancelled mid-solve", job=job.id)
             self.registry.set_status(job, "cancelled")
+            solves.inc(status="cancelled")
             return
         except ReproError as exc:
+            _log.warning(
+                "job failed",
+                job=job.id,
+                error=f"{type(exc).__name__}: {exc}",
+            )
             self.registry.set_status(
                 job, "failed", error=f"{type(exc).__name__}: {exc}"
             )
+            solves.inc(status="failed")
             return
         except Exception:
+            _log.exception("job crashed", job=job.id)
             self.registry.set_status(job, "failed", error=traceback.format_exc())
+            solves.inc(status="failed")
             return
         self.store.put(job.key, payload)
         self.store.drop_checkpoint(job.key)
         job.summary = _result_summary(payload, cached=False)
+        job.metrics = _job_metrics(payload)
+        self._record_metrics(payload)
         self.registry.set_status(job, "done")
+        _log.info(
+            "job done",
+            job=job.id,
+            seconds=payload["seconds"],
+            csf_states=payload["csf_states"],
+        )
+
+    def _record_metrics(self, payload: dict) -> None:
+        """Federate one finished solve's stats into the registry."""
+        m = self.metrics
+        m.counter("repro_solves_total", "").inc(status="done")
+        m.histogram("repro_solve_seconds", "").observe(payload["seconds"])
+        m.counter("repro_cache_misses_total", "").inc()
+        extra = (payload.get("stats") or {}).get("extra") or {}
+        for family, key in (
+            ("repro_steals_total", "work_steals"),
+            ("repro_memo_hits_total", "completion_memo_hits"),
+            ("repro_gc_runs_total", "gc_runs"),
+            ("repro_reorder_runs_total", "reorder_runs"),
+            ("repro_psi_serializations_total", "psi_serializations"),
+        ):
+            amount = extra.get(key) or 0
+            if amount:
+                m.counter(family, "").inc(amount)
+        for op, count in (extra.get("pool_op_counts") or {}).items():
+            m.counter("repro_shard_commands_total", "").inc(count, op=op)
 
     # ------------------------------------------------------------------ #
 
@@ -128,14 +223,15 @@ class SolveExecutor:
         net = parse_blif(spec["blif"])
         split = latch_split(net, spec["x_latches"], u_signals=spec["u_signals"])
         max_nodes = options.get("max_nodes")
-        problem = build_problem(
-            split,
-            max_nodes=max_nodes,
-            reorder=spec["reorder"],
-            gc=spec["gc"],
-            backend=options.get("backend", "python"),
-            product_order=spec.get("product_order", "stacked"),
-        )
+        with obs_span("build_problem", network=net.name, job=job.id):
+            problem = build_problem(
+                split,
+                max_nodes=max_nodes,
+                reorder=spec["reorder"],
+                gc=spec["gc"],
+                backend=options.get("backend", "python"),
+                product_order=spec.get("product_order", "stacked"),
+            )
         limit = None
         if options.get("max_seconds") is not None or max_nodes is not None:
             limit = ResourceLimit(
@@ -230,4 +326,20 @@ def _result_summary(payload: dict, *, cached: bool) -> dict:
         "cached": cached,
         "method": payload["method"],
         "cache_key": payload["cache_key"],
+    }
+
+
+def _job_metrics(payload: dict) -> dict:
+    """Per-job counter snapshot shown in job status and ``repro jobs``."""
+    stats = payload.get("stats") or {}
+    extra = stats.get("extra") or {}
+    return {
+        "solve_seconds": payload["seconds"],
+        "subsets": stats.get("subsets", 0),
+        "batches": stats.get("batches", 0),
+        "peak_nodes": stats.get("peak_nodes", 0),
+        "memo_hits": extra.get("completion_memo_hits", 0),
+        "steals": extra.get("work_steals", 0),
+        "gc_runs": extra.get("gc_runs", 0),
+        "psi_serializations": extra.get("psi_serializations", 0),
     }

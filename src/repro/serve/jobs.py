@@ -49,6 +49,7 @@ class Job:
     started_at: float | None = None
     finished_at: float | None = None
     summary: dict | None = None  # csf_states / seconds / ... once done
+    metrics: dict | None = None  # per-job counter snapshot once done
     events: list[dict] = field(default_factory=list)
     cancel_event: threading.Event = field(default_factory=threading.Event)
 
@@ -66,6 +67,7 @@ class Job:
             "finished_at": self.finished_at,
             "events": len(self.events),
             "result": self.summary,
+            "metrics": self.metrics,
         }
 
 
@@ -115,9 +117,20 @@ class JobRegistry:
         self.add_event(job, {"type": "status", "status": status, "error": error})
 
     def add_event(self, job: Job, event: dict) -> dict:
-        """Append an event, stamping its sequence number and timestamp."""
+        """Append an event, stamping its sequence number and timestamps.
+
+        Events carry both clocks: ``ts`` (wall, ``time.time()``) for
+        display, and ``mono`` (``time.perf_counter()``) so event-stream
+        deltas can be compared against solver timings without wall-clock
+        drift/adjustment skew.
+        """
         with self._lock:
-            stamped = {"seq": len(job.events) + 1, "ts": time.time(), **event}
+            stamped = {
+                "seq": len(job.events) + 1,
+                "ts": time.time(),
+                "mono": time.perf_counter(),
+                **event,
+            }
             job.events.append(stamped)
         return stamped
 

@@ -6,12 +6,15 @@ handler threads do only JSON plumbing — every solve runs on the single
 answered synchronously in the submit path (a repeat solve never touches
 the executor, the pool, or any BDD heavier than the payload decode).
 
-API (all bodies and replies are JSON):
+API (all bodies and replies are JSON, except ``/metrics`` which is
+Prometheus text exposition format 0.0.4):
 
 ====== ========================== =======================================
 Method Path                       Meaning
 ====== ========================== =======================================
-GET    ``/healthz``               liveness + job counts
+GET    ``/healthz``               liveness, version, uptime, queue depth
+GET    ``/metrics``               Prometheus text exposition (counters,
+                                  gauges, histograms; see repro.obs)
 GET    ``/cache``                 store entry count / bytes / checkpoints
 POST   ``/jobs``                  submit a job spec; replies id + status
 GET    ``/jobs``                  all job summaries
@@ -30,12 +33,15 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
+from repro._version import __version__
 from repro.errors import ServeError
+from repro.obs.metrics import MetricsRegistry
 from repro.serve.executor import SolveExecutor, _result_summary
 from repro.serve.jobs import JobRegistry
 from repro.serve.keys import FLAG_DEFAULTS, cache_key, job_spec
 from repro.serve.payload import load_result, result_kiss
 from repro.serve.store import ResultStore
+from repro.util.timer import Stopwatch
 
 #: Default bind for ``repro serve`` and the client tools.
 DEFAULT_HOST = "127.0.0.1"
@@ -60,8 +66,10 @@ class ServeApp:
     ) -> None:
         self.store = ResultStore(cache_dir, max_entries=max_entries)
         self.registry = JobRegistry()
+        self.metrics = MetricsRegistry()
+        self.uptime = Stopwatch()
         self.executor = SolveExecutor(
-            self.registry, self.store, batch_hook=batch_hook
+            self.registry, self.store, batch_hook=batch_hook, metrics=self.metrics
         )
         self.executor.start()
 
@@ -100,6 +108,7 @@ class ServeApp:
             job.summary = _result_summary(cached, cached=True)
             self.registry.add_event(job, {"type": "cache_hit", "cache_key": key})
             self.registry.set_status(job, "done")
+            self.metrics.counter("repro_cache_hits_total", "").inc()
             return job
         job = self.registry.create(spec, key, options=options)
         self.registry.add_event(job, {"type": "queued", "cache_key": key})
@@ -134,6 +143,26 @@ class ServeApp:
         self.registry.add_event(job, {"type": "cancel_requested"})
         return job.summary_dict()
 
+    def health(self) -> dict:
+        """Liveness payload: version, uptime and load, plus job counts."""
+        return {
+            "ok": True,
+            "version": __version__,
+            "uptime_seconds": round(self.uptime.elapsed(), 3),
+            "queue_depth": self.executor.queue_depth,
+            "cache_entries": self.store.stats()["entries"],
+            "jobs": self.registry.counts(),
+        }
+
+    def render_metrics(self) -> str:
+        """The registry in exposition format, gauges refreshed first."""
+        self.metrics.gauge("repro_queue_depth", "").set(self.executor.queue_depth)
+        self.metrics.gauge("repro_cache_entries", "").set(
+            self.store.stats()["entries"]
+        )
+        self.metrics.gauge("repro_uptime_seconds", "").set(self.uptime.elapsed())
+        return self.metrics.render()
+
 
 class _Handler(BaseHTTPRequestHandler):
     """Routes requests to the :class:`ServeApp` on the server object."""
@@ -159,6 +188,14 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _reply_text(self, text: str, content_type: str, status: int = 200) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def _body(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
         raw = self.rfile.read(length) if length else b"{}"
@@ -171,6 +208,13 @@ class _Handler(BaseHTTPRequestHandler):
         url = urlparse(self.path)
         parts = [p for p in url.path.split("/") if p]
         try:
+            if method == "GET" and parts == ["metrics"]:
+                # Prometheus scrapes expect the text exposition format,
+                # not JSON — the one non-JSON endpoint.
+                self._reply_text(
+                    self.app.render_metrics(), "text/plain; version=0.0.4"
+                )
+                return
             handler = self._route(method, parts)
             if handler is None:
                 self._reply({"error": f"no route {method} {url.path}"}, 404)
@@ -193,7 +237,7 @@ class _Handler(BaseHTTPRequestHandler):
         app = self.app
         if method == "GET":
             if parts == ["healthz"]:
-                return lambda q: {"ok": True, "jobs": app.registry.counts()}
+                return lambda q: app.health()
             if parts == ["cache"]:
                 return lambda q: app.store.stats()
             if parts == ["jobs"]:

@@ -88,6 +88,8 @@ from dataclasses import dataclass
 
 from repro.bdd.io import dump_nodes, load_nodes
 from repro.bdd.manager import FALSE, BddManager
+from repro.obs.trace import instant as obs_instant
+from repro.obs.trace import span as obs_span
 from repro.shard.pool import ShardError, ShardPool
 from repro.symb.image import image_partitioned
 from repro.symb.schedule import schedule_supports
@@ -381,13 +383,15 @@ class ShardedImage:
             # Nothing to learn from an empty constraint; stay racing.
             return FALSE
         self._adopt("cluster")
-        t0 = time.perf_counter()
-        r_cluster = self._run_cluster(constraint)
-        t_cluster = time.perf_counter() - t0
+        with obs_span("race_cluster_leg"):
+            t0 = time.perf_counter()
+            r_cluster = self._run_cluster(constraint)
+            t_cluster = time.perf_counter() - t0
         self._adopt("split")
-        t0 = time.perf_counter()
-        r_split = self._run_split(constraint)
-        t_split = time.perf_counter() - t0
+        with obs_span("race_split_leg"):
+            t0 = time.perf_counter()
+            r_split = self._run_split(constraint)
+            t_split = time.perf_counter() - t0
         if r_cluster != r_split:
             raise ShardError(
                 "speculative join race: cluster and split joins disagree "
@@ -399,6 +403,12 @@ class ShardedImage:
             "cluster_seconds": t_cluster,
             "split_seconds": t_split,
         }
+        obs_instant(
+            "race_resolved",
+            winner=winner,
+            cluster_seconds=t_cluster,
+            split_seconds=t_split,
+        )
         self._commit(winner)
         return r_cluster
 
@@ -422,28 +432,29 @@ class ShardedImage:
 
     def _run_cluster(self, constraint: int) -> int:
         mgr = self.mgr
-        blob = dump_nodes(mgr, [constraint])
-        for shard, plan_id in zip(self._shards, self._plan_ids):
-            self.pool.submit(shard, ("image", plan_id, blob))
-        partials = []
-        dead = False
-        for shard in self._shards:
-            snapshot = self.pool.collect(shard)
+        with obs_span("image_cluster", shards=len(self._shards)):
+            blob = dump_nodes(mgr, [constraint])
+            for shard, plan_id in zip(self._shards, self._plan_ids):
+                self.pool.submit(shard, ("image", plan_id, blob))
+            partials = []
+            dead = False
+            for shard in self._shards:
+                snapshot = self.pool.collect(shard)
+                if dead:
+                    continue
+                (partial,) = load_nodes(mgr, snapshot)
+                if partial == FALSE:
+                    dead = True
+                    continue
+                partials.append(partial)
             if dead:
-                continue
-            (partial,) = load_nodes(mgr, snapshot)
-            if partial == FALSE:
-                dead = True
-                continue
-            partials.append(partial)
-        if dead:
-            return FALSE
-        # The join: each partial already contains ψ (idempotent ∧), so
-        # the fold's constraint is TRUE and only the shared variables
-        # remain to quantify.
-        return image_partitioned(
-            mgr, partials, 1, self._shared, schedule=True
-        )
+                return FALSE
+            # The join: each partial already contains ψ (idempotent ∧), so
+            # the fold's constraint is TRUE and only the shared variables
+            # remain to quantify.
+            return image_partitioned(
+                mgr, partials, 1, self._shared, schedule=True
+            )
 
     def _slice_pairs(self, constraint: int) -> list[tuple[int, dict[str, int]]]:
         """Disjoint cofactor slices of ``constraint``, one per shard.
@@ -485,19 +496,22 @@ class ShardedImage:
 
     def _run_split(self, constraint: int) -> int:
         mgr = self.mgr
-        slices = self._slices(constraint)
-        submitted: list[int] = []
-        for i, s in enumerate(slices):
-            shard = i % len(self._shards)
-            self.pool.submit(
-                shard, ("image", self._plan_ids[shard], dump_nodes(mgr, [s]))
-            )
-            submitted.append(shard)
-        result = FALSE
-        for shard in submitted:
-            (img,) = load_nodes(mgr, self.pool.collect(shard))
-            result = mgr.apply_or(result, img)
-        return result
+        with obs_span("image_split", shards=len(self._shards)) as split_span:
+            slices = self._slices(constraint)
+            split_span.set(slices=len(slices))
+            submitted: list[int] = []
+            for i, s in enumerate(slices):
+                shard = i % len(self._shards)
+                self.pool.submit(
+                    shard,
+                    ("image", self._plan_ids[shard], dump_nodes(mgr, [s])),
+                )
+                submitted.append(shard)
+            result = FALSE
+            for shard in submitted:
+                (img,) = load_nodes(mgr, self.pool.collect(shard))
+                result = mgr.apply_or(result, img)
+            return result
 
     # -- the resident-handle batched protocol --------------------------- #
 
@@ -633,6 +647,10 @@ class ShardedImage:
             return collect()
         pool, mgr = self.pool, self.mgr
         num = len(self._shards)
+        steal_span = obs_span(
+            "steal_batch", items=len(items), shards=num, window=window
+        )
+        steals_before = self.steals
         queues: list[deque] = [deque() for _ in range(num)]
         cursor = 0
         for i, (handle, constraint) in enumerate(items):
@@ -660,18 +678,20 @@ class ShardedImage:
                 )
                 inflight[pos].append(i)
 
-        for pos in range(num):
-            top_up(pos)
-        shard_pos = {shard: pos for pos, shard in enumerate(self._shards)}
-        while any(inflight):
-            busy = [self._shards[p] for p in range(num) if inflight[p]]
-            for shard in pool.wait_any(busy):
-                pos = shard_pos[shard]
-                (snap,) = pool.collect(shard)
-                i = inflight[pos].popleft()
-                (img,) = load_nodes(mgr, snap)
-                results[i] = mgr.apply_or(results[i], img)
+        with steal_span:
+            for pos in range(num):
                 top_up(pos)
+            shard_pos = {shard: pos for pos, shard in enumerate(self._shards)}
+            while any(inflight):
+                busy = [self._shards[p] for p in range(num) if inflight[p]]
+                for shard in pool.wait_any(busy):
+                    pos = shard_pos[shard]
+                    (snap,) = pool.collect(shard)
+                    i = inflight[pos].popleft()
+                    (img,) = load_nodes(mgr, snap)
+                    results[i] = mgr.apply_or(results[i], img)
+                    top_up(pos)
+            steal_span.set(slices=cursor, steals=self.steals - steals_before)
         return results
 
     def worker_stats(self) -> list[dict]:

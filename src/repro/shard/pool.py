@@ -21,6 +21,7 @@ from collections.abc import Sequence
 from multiprocessing.connection import wait as _conn_wait
 
 from repro.errors import ReproError
+from repro.obs.trace import current_tracer
 from repro.shard.worker import worker_main
 
 
@@ -133,15 +134,28 @@ class ShardPool:
         self.op_counts[msg[0]] += 1
 
     def collect(self, shard: int):
-        """Receive one pending reply from ``shard`` (FIFO order)."""
+        """Receive one pending reply from ``shard`` (FIFO order).
+
+        When a tracer is installed (:func:`repro.obs.trace.install_tracer`)
+        the worker's per-command timing stamp — the third reply element —
+        is merged into the coordinator trace as a span on that worker's
+        pid-tagged track; stamp-less two-element replies stay accepted.
+        """
         if self._pending[shard] <= 0:
             raise ShardError(f"shard {shard} has no pending reply")
         try:
-            status, payload = self._conns[shard].recv()
+            reply = self._conns[shard].recv()
         except (EOFError, OSError) as exc:
             self._pending[shard] = 0
             raise ShardError(f"shard {shard} died mid-command: {exc}") from exc
         self._pending[shard] -= 1
+        status, payload = reply[0], reply[1]
+        if len(reply) > 2 and reply[2] is not None:
+            tracer = current_tracer()
+            if tracer is not None:
+                meta = dict(reply[2])
+                meta["shard"] = shard
+                tracer.add_worker_event(meta)
         if status != "ok":
             raise ShardError(f"shard {shard} failed:\n{payload}")
         return payload

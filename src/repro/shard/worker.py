@@ -9,7 +9,13 @@ table, GC policy and reorder policy, entirely independent of the
 coordinator's — and serves commands until told to shut down.
 
 Every command is a tuple ``(op, *args)``; every reply is ``("ok",
-payload)`` or ``("err", traceback_text)``.  BDDs cross the pipe as
+payload, meta)`` or ``("err", traceback_text, meta)``, where ``meta``
+is the worker's per-command timing stamp — ``{"op", "pid", "t0",
+"t1"}`` in the shared :func:`time.perf_counter` timebase — that
+:meth:`ShardPool.collect <repro.shard.pool.ShardPool.collect>` relays
+onto the coordinator's trace as a pid-tagged per-worker track (the
+pool tolerates two-element replies, so the wire stays compatible both
+ways).  BDDs cross the pipe as
 packed-array snapshots (:func:`repro.bdd.io.dump_nodes`); inside the
 worker they live in a *handle registry* (small ints chosen by the
 coordinator), each pinned with ``mgr.ref`` so worker-side garbage
@@ -88,12 +94,17 @@ Commands
 
 from __future__ import annotations
 
+import os
+import time
 import traceback
 
 from repro.bdd.backends import create_manager
 from repro.bdd.policy import GcPolicy, ReorderPolicy
 from repro.errors import ReproError
+from repro.obs.log import get_logger
 from repro.symb.image import image_with_plan, plan_image
+
+_log = get_logger("repro.shard.worker")
 
 
 class _WorkerState:
@@ -291,12 +302,25 @@ class _WorkerState:
         return out
 
 
+def _command_meta(op: str, t0: float) -> dict:
+    """The timing stamp attached to every reply (see module docstring)."""
+    return {
+        "op": op,
+        "pid": os.getpid(),
+        "t0": t0,
+        "t1": time.perf_counter(),
+    }
+
+
 def worker_main(conn, config: dict) -> None:
     """Run one worker's command loop until ``shutdown`` or pipe closure.
 
-    Exceptions raised by a command are caught and reported as ``("err",
-    traceback)`` replies, so a bad command never kills the worker; only
-    losing the pipe (coordinator death) or ``shutdown`` ends the loop.
+    Exceptions raised by a command are caught, logged through
+    :mod:`repro.obs.log` (previously they were silent worker-side) and
+    reported as ``("err", traceback, meta)`` replies, so a bad command
+    never kills the worker; only losing the pipe (coordinator death) or
+    ``shutdown`` ends the loop.  Every reply — success or error —
+    carries the per-command timing stamp for the coordinator's trace.
     """
     state = _WorkerState(config)
     ops = {
@@ -327,13 +351,18 @@ def worker_main(conn, config: dict) -> None:
             conn.send(("ok", None))
             break
         handler = ops.get(op)
+        t0 = time.perf_counter()
         try:
             if handler is None:
                 raise ReproError(f"unknown shard command {op!r}")
-            conn.send(("ok", handler(*msg[1:])))
+            payload = handler(*msg[1:])
+            conn.send(("ok", payload, _command_meta(op, t0)))
         except BaseException:
+            _log.exception("shard command failed", op=op, pid=os.getpid())
             try:
-                conn.send(("err", traceback.format_exc()))
+                conn.send(
+                    ("err", traceback.format_exc(), _command_meta(op, t0))
+                )
             except (OSError, BrokenPipeError):  # pragma: no cover
                 break
     conn.close()

@@ -19,6 +19,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Sequence
 
 from repro.bdd.manager import FALSE, TRUE, BddManager, QuantSet
+from repro.obs.trace import span as obs_span
 from repro.symb.schedule import schedule_parts
 
 
@@ -114,16 +115,18 @@ def plan_image(
     revalidate their level caches lazily, so a plan stays valid across
     GC-triggered in-place reordering.
     """
-    qvars = list(quantify)
-    plan = schedule_parts(
-        mgr, parts, qvars, constraint_support=constraint_support
-    )
-    planned = set()
-    for _, retire in plan:
-        planned.update(retire)
-    leftover = [v for v in qvars if v not in planned]
-    interned = [(part, mgr.quant_set(retire)) for part, retire in plan]
-    return interned, mgr.quant_set(leftover)
+    with obs_span("plan_image", parts=len(parts)) as plan_span:
+        qvars = list(quantify)
+        plan = schedule_parts(
+            mgr, parts, qvars, constraint_support=constraint_support
+        )
+        planned = set()
+        for _, retire in plan:
+            planned.update(retire)
+        leftover = [v for v in qvars if v not in planned]
+        interned = [(part, mgr.quant_set(retire)) for part, retire in plan]
+        plan_span.set(steps=len(interned), leftover=len(leftover))
+        return interned, mgr.quant_set(leftover)
 
 
 def image_with_plan(

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from repro.bdd import sat_count
 from repro.bdd.manager import FALSE, BddManager
 from repro.network.bddbuild import NetworkBdds
+from repro.obs.trace import span as obs_span
 from repro.symb import image as image_mod
 from repro.symb.image import image_partitioned
 from repro.symb.relation import PartitionedRelation, transition_relation
@@ -102,22 +103,24 @@ def reachable_states(
     try:
         while frontier != FALSE:
             iterations += 1
-            if sharded is not None:
-                img_ns = sharded.run(frontier)
-            elif plan is not None:
-                img_ns = image_mod.image_with_plan(
-                    mgr, plan, leftover, frontier, gc=True
-                )
-            else:
-                img_ns = image_partitioned(
-                    mgr, parts, frontier, quantify, schedule=False, gc=True
-                )
-            img_cs = mgr.rename(img_ns, rename)
-            mgr.deref(frontier)
-            frontier = mgr.ref(mgr.apply_diff(img_cs, reached))
-            mgr.deref(reached)
-            reached = mgr.ref(mgr.apply_or(reached, img_cs))
-            mgr.maybe_collect_garbage()
+            with obs_span("reach_iteration", iteration=iterations) as it_span:
+                if sharded is not None:
+                    img_ns = sharded.run(frontier)
+                elif plan is not None:
+                    img_ns = image_mod.image_with_plan(
+                        mgr, plan, leftover, frontier, gc=True
+                    )
+                else:
+                    img_ns = image_partitioned(
+                        mgr, parts, frontier, quantify, schedule=False, gc=True
+                    )
+                img_cs = mgr.rename(img_ns, rename)
+                mgr.deref(frontier)
+                frontier = mgr.ref(mgr.apply_diff(img_cs, reached))
+                mgr.deref(reached)
+                reached = mgr.ref(mgr.apply_or(reached, img_cs))
+                mgr.maybe_collect_garbage()
+                it_span.set(live_nodes=len(mgr))
     finally:
         if pool is not None:
             pool.close()

@@ -9,10 +9,10 @@ Table 1 harness converts into a "CNC" table entry.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.errors import TimeLimit
+from repro.util.timer import Stopwatch
 
 
 @dataclass
@@ -30,15 +30,15 @@ class ResourceLimit:
 
     max_seconds: float | None = None
     max_nodes: int | None = None
-    _start: float = field(default_factory=time.perf_counter, repr=False)
+    _clock: Stopwatch = field(default_factory=Stopwatch, repr=False, compare=False)
 
     def restart(self) -> None:
         """Restart the wall-clock budget."""
-        self._start = time.perf_counter()
+        self._clock.restart()
 
     def elapsed(self) -> float:
         """Seconds since construction or :meth:`restart`."""
-        return time.perf_counter() - self._start
+        return self._clock.elapsed()
 
     def check_time(self) -> None:
         """Raise :class:`~repro.errors.TimeLimit` when over budget."""

@@ -1,0 +1,85 @@
+"""Tests for the structured logging layer."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.log import ROOT, configure, get_logger
+
+
+@pytest.fixture(autouse=True)
+def _clean_root():
+    """Leave the ``repro`` root unconfigured after every test."""
+    yield
+    root = logging.getLogger(ROOT)
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    root.setLevel(logging.NOTSET)
+    root.propagate = True
+
+
+class TestGetLogger:
+    def test_names_are_prefixed_into_the_family(self) -> None:
+        assert get_logger("shard.worker").name == "repro.shard.worker"
+        assert get_logger("repro.serve").name == "repro.serve"
+        assert get_logger().name == "repro"
+
+
+class TestTextFormat:
+    def test_fields_render_as_key_value(self) -> None:
+        stream = io.StringIO()
+        configure("info", stream=stream)
+        get_logger("test").warning("shard died", op="expand_batch", pid=42)
+        line = stream.getvalue()
+        assert "shard died" in line
+        assert "op='expand_batch'" in line and "pid=42" in line
+
+    def test_level_threshold(self) -> None:
+        stream = io.StringIO()
+        configure("warning", stream=stream)
+        log = get_logger("test")
+        log.info("quiet")
+        log.warning("loud")
+        assert "quiet" not in stream.getvalue()
+        assert "loud" in stream.getvalue()
+
+    def test_unknown_level_rejected(self) -> None:
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure("chatty")
+
+
+class TestJsonLines:
+    def test_one_json_object_per_line(self) -> None:
+        stream = io.StringIO()
+        configure("debug", json_lines=True, stream=stream)
+        log = get_logger("test")
+        log.debug("first", a=1)
+        log.error("second")
+        lines = [json.loads(x) for x in stream.getvalue().splitlines()]
+        assert [entry["msg"] for entry in lines] == ["first", "second"]
+        first = lines[0]
+        assert first["level"] == "debug"
+        assert first["logger"] == "repro.test"
+        assert first["a"] == 1
+        # Both clocks, for correlating with traces and job events.
+        assert isinstance(first["ts"], float) and isinstance(first["mono"], float)
+
+    def test_exception_carries_traceback(self) -> None:
+        stream = io.StringIO()
+        configure("info", json_lines=True, stream=stream)
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError:
+            get_logger("test").exception("shard command failed", op="plan")
+        (entry,) = [json.loads(x) for x in stream.getvalue().splitlines()]
+        assert entry["op"] == "plan"
+        assert "RuntimeError: boom" in entry["exc"]
+
+    def test_reconfigure_replaces_handler(self) -> None:
+        configure("info", stream=io.StringIO())
+        configure("info", stream=io.StringIO())
+        assert len(logging.getLogger(ROOT).handlers) == 1

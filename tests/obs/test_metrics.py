@@ -1,0 +1,157 @@
+"""Tests for the metrics registry and the Prometheus exposition format."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    parse_exposition,
+)
+
+
+class TestCounter:
+    def test_inc_and_labels(self) -> None:
+        reg = MetricsRegistry()
+        c = reg.counter("repro_solves_total", "Completed solves.")
+        c.inc()
+        c.inc(2, backend="python")
+        assert c.value() == 1
+        assert c.value(backend="python") == 2
+
+    def test_counters_never_decrease(self) -> None:
+        c = MetricsRegistry().counter("x_total", "x")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_set_to_federates_cumulative_sources(self) -> None:
+        c = MetricsRegistry().counter("x_total", "x")
+        c.set_to(10)
+        c.set_to(7)  # a stale snapshot never moves it backwards
+        assert c.value() == 10
+
+    def test_get_or_create_is_idempotent(self) -> None:
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", "x")
+        assert reg.counter("x_total", "ignored") is a
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x_total", "now a gauge?")
+
+    def test_bad_names_rejected(self) -> None:
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("bad name", "x")
+        c = reg.counter("ok_total", "x")
+        with pytest.raises(ValueError):
+            c.inc(**{"0bad": "v"})
+
+
+class TestGauge:
+    def test_set_inc_dec(self) -> None:
+        g = MetricsRegistry().gauge("repro_queue_depth", "Queue depth.")
+        g.set(5)
+        g.inc()
+        g.dec(2)
+        assert g.value() == 4
+
+
+class TestHistogram:
+    def test_buckets_are_cumulative(self) -> None:
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_solve_seconds", "Solve time.", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(50.0)  # beyond the last bound: +Inf only
+        samples = {
+            (name, dict(key).get("le")): value
+            for name, key, value in h.samples()
+            if name.endswith("_bucket")
+        }
+        assert samples[("repro_solve_seconds_bucket", "0.1")] == 1
+        assert samples[("repro_solve_seconds_bucket", "1")] == 2
+        assert samples[("repro_solve_seconds_bucket", "+Inf")] == 3
+        count = [v for n, _, v in h.samples() if n.endswith("_count")]
+        total = [v for n, _, v in h.samples() if n.endswith("_sum")]
+        assert count == [3.0]
+        assert total == [pytest.approx(50.55)]
+
+    def test_default_buckets_sorted(self) -> None:
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestRenderRoundTrip:
+    def make_registry(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        c = reg.counter("repro_solves_total", "Completed solves.")
+        c.inc(3, status="done")
+        c.inc(1, status="failed")
+        reg.gauge("repro_queue_depth", "Jobs waiting.").set(2)
+        h = reg.histogram("repro_solve_seconds", "Solve time.", buckets=(0.1, 1.0))
+        h.observe(0.25)
+        reg.counter(
+            "repro_escapes_total", 'Weird "label" values.'
+        ).inc(1, path='a"b\\c\nd')
+        return reg
+
+    def test_round_trip_through_parser(self) -> None:
+        reg = self.make_registry()
+        text = reg.render()
+        families = parse_exposition(text)  # raises on any grammar violation
+        assert families["repro_solves_total"]["type"] == "counter"
+        assert families["repro_solves_total"]["help"] == "Completed solves."
+        solves = {
+            labels.get("status"): value
+            for _, labels, value in families["repro_solves_total"]["samples"]
+        }
+        assert solves == {"done": 3.0, "failed": 1.0}
+        assert families["repro_queue_depth"]["type"] == "gauge"
+        hist = families["repro_solve_seconds"]
+        bucket_values = [
+            value
+            for name, labels, value in hist["samples"]
+            if name.endswith("_bucket")
+        ]
+        assert bucket_values == [0.0, 1.0, 1.0]  # cumulative over (0.1, 1, +Inf)
+        # Escaped label values survive the round trip byte-for-byte.
+        (sample,) = families["repro_escapes_total"]["samples"]
+        assert sample[1]["path"] == 'a"b\\c\nd'
+
+    def test_unseen_families_render_at_zero(self) -> None:
+        reg = MetricsRegistry()
+        reg.counter("repro_cache_hits_total", "Cache hits.")
+        families = parse_exposition(reg.render())
+        (sample,) = families["repro_cache_hits_total"]["samples"]
+        assert sample[2] == 0.0
+
+    def test_parser_rejects_bad_grammar(self) -> None:
+        with pytest.raises(ValueError, match="bad sample line"):
+            parse_exposition("this is { not a metric\n")
+        with pytest.raises(ValueError, match="unknown type"):
+            parse_exposition("# TYPE x summary\n")
+        with pytest.raises(ValueError, match="bad value"):
+            parse_exposition("x_total twelve\n")
+
+    def test_inf_rendering(self) -> None:
+        reg = MetricsRegistry()
+        reg.gauge("x", "x").set(math.inf)
+        assert "x +Inf" in reg.render()
+        parse_exposition(reg.render())
+
+
+class TestSnapshot:
+    def test_snapshot_shapes(self) -> None:
+        reg = MetricsRegistry()
+        reg.counter("plain_total", "x").inc(2)
+        labelled = reg.counter("labelled_total", "x")
+        labelled.inc(1, op="load")
+        labelled.inc(4, op="plan")
+        h = reg.histogram("h_seconds", "x")
+        h.observe(1.5)
+        h.observe(2.5)
+        snap = reg.snapshot()
+        assert snap["plain_total"] == 2.0
+        assert snap["labelled_total"] == {"op=load": 1.0, "op=plan": 4.0}
+        assert snap["h_seconds"] == {"count": 2.0, "sum": 4.0}

@@ -206,6 +206,85 @@ class TestCancellation:
             fixture.close()
 
 
+class TestObservability:
+    def test_healthz_is_enriched(self, served) -> None:
+        health = served.client.health()
+        assert health["ok"] is True
+        assert "jobs" in health  # CI polls these two keys
+        assert health["version"]
+        assert health["uptime_seconds"] >= 0
+        assert health["queue_depth"] == 0
+        assert health["cache_entries"] == 0
+        served.client.wait(served.client.submit(SHARDED)["id"], timeout=60)
+        assert served.client.health()["cache_entries"] == 1
+
+    def test_metrics_exposition_counts_solves_hits_and_steals(
+        self, served
+    ) -> None:
+        from repro.obs.metrics import parse_exposition
+
+        # A fresh scrape already exposes the acceptance families, at 0.
+        families = parse_exposition(served.client.metrics())
+        for family in (
+            "repro_solves_total",
+            "repro_cache_hits_total",
+            "repro_steals_total",
+        ):
+            assert family in families, family
+
+        served.client.wait(served.client.submit(SHARDED)["id"], timeout=60)
+        assert served.client.submit(SHARDED)["cached"] is True  # born done
+        families = parse_exposition(served.client.metrics())
+
+        def total(name: str) -> float:
+            return sum(v for _, _, v in families[name]["samples"])
+
+        solves = {
+            labels.get("status"): value
+            for _, labels, value in families["repro_solves_total"]["samples"]
+        }
+        assert solves.get("done") == 1.0
+        assert total("repro_cache_hits_total") == 1.0
+        assert total("repro_cache_misses_total") == 1.0
+        assert total("repro_steals_total") >= 0.0
+        # The sharded solve's relayed command counts land per-op.
+        shard_ops = {
+            labels["op"]: value
+            for _, labels, value in families["repro_shard_commands_total"][
+                "samples"
+            ]
+        }
+        assert shard_ops.get("expand_batch", 0) > 0
+        # Histogram observed exactly the one uncached solve.
+        hist = families["repro_solve_seconds"]["samples"]
+        (count,) = [v for n, _, v in hist if n.endswith("_count")]
+        assert count == 1.0
+        assert families["repro_uptime_seconds"]["type"] == "gauge"
+
+    def test_job_status_carries_metrics_snapshot(self, served) -> None:
+        job = served.client.submit(SHARDED)
+        done = served.client.wait(job["id"], timeout=60)
+        metrics = done["metrics"]
+        assert metrics["solve_seconds"] > 0
+        assert metrics["subsets"] > 0
+        assert metrics["batches"] > 0
+        # Pending jobs carry none; the listing includes the snapshot too.
+        listed = {j["id"]: j for j in served.client.jobs()}
+        assert listed[job["id"]]["metrics"] == metrics
+
+    def test_events_carry_wall_and_monotonic_stamps(self, served) -> None:
+        job = served.client.submit(SHARDED)
+        served.client.wait(job["id"], timeout=60)
+        events = served.client.events(job["id"])["events"]
+        assert events
+        for event in events:
+            assert event["ts"] > 1e9  # wall clock (epoch seconds)
+            assert 0 < event["mono"] < 1e9  # perf_counter seconds
+        # Monotonic stamps are ordered even if wall time steps.
+        monos = [e["mono"] for e in events]
+        assert monos == sorted(monos)
+
+
 class TestBackendOption:
     def test_backend_submission_hits_the_backendless_cache(self, served) -> None:
         """``backend`` is a runtime option: it reaches the executor but

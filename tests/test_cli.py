@@ -175,6 +175,87 @@ class TestSolve:
         # The ψ-transfer accounting is printed for sharded runs.
         assert "psi_serializations" in out
 
+    def test_solve_sharded_trace_export(
+        self, blif_file, tmp_path, capsys
+    ) -> None:
+        """Acceptance: one ``solve --shards 2 --trace out.json`` writes a
+        Chrome-trace-loadable file with coordinator and worker spans."""
+        import json
+
+        from repro.obs.trace import current_tracer, validate_trace, worker_pids
+
+        out = tmp_path / "out.json"
+        code = main(
+            [
+                "solve",
+                "--blif",
+                blif_file,
+                "--x-latches",
+                "G6,G7",
+                "--shards",
+                "2",
+                "--batch",
+                "4",
+                "--trace",
+                str(out),
+                "--no-verify",
+            ]
+        )
+        assert code == 0
+        assert current_tracer() is None  # CLI uninstalls after export
+        assert f"trace written to {out}" in capsys.readouterr().out
+        data = json.loads(out.read_text())
+        assert validate_trace(data, require_workers=True) == []
+        assert len(worker_pids(data)) == 2
+        names = {
+            e["name"] for e in data["traceEvents"] if e.get("ph") == "X"
+        }
+        assert {"solve", "frontier_batch", "shard:expand_batch"} <= names
+
+    def test_reach_trace_export(self, blif_file, tmp_path, capsys) -> None:
+        import json
+
+        from repro.obs.trace import validate_trace
+
+        out = tmp_path / "reach.json"
+        code = main(
+            ["reach", "--blif", blif_file, "--trace", str(out)]
+        )
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert validate_trace(data) == []
+        names = {
+            e["name"] for e in data["traceEvents"] if e.get("ph") == "X"
+        }
+        assert "reach_iteration" in names
+
+    def test_log_level_flag_routes_structured_logs(
+        self, blif_file, capsys
+    ) -> None:
+        import json as json_mod
+        import logging
+
+        code = main(
+            [
+                "solve",
+                "--blif",
+                blif_file,
+                "--x-latches",
+                "G6",
+                "--no-verify",
+                "--log-level",
+                "debug",
+                "--log-json",
+            ]
+        )
+        assert code == 0
+        root = logging.getLogger("repro")
+        assert root.level == logging.DEBUG  # configure() took effect
+        err = capsys.readouterr().err
+        for line in err.splitlines():
+            if line.startswith("{"):
+                json_mod.loads(line)  # any emitted log lines are JSON
+
     def test_frontier_choices_match_strategies(self) -> None:
         """The CLI's literal --frontier choices must track STRATEGIES."""
         from repro.cli import _build_parser
@@ -337,3 +418,82 @@ class TestBench:
         assert diff.startswith("## Kernel benchmark diff")
         payload = json.loads((tmp_path / "BENCH_kernel.json").read_text())
         assert {r["name"] for r in payload["results"]} >= {"and_or_chain", "deep_chain"}
+
+    def test_table1_rows_carry_phase_breakdowns(self, tmp_path, capsys) -> None:
+        """Default (untraced) table1 rows still record per-phase time —
+        the ungated suite auto-installs a tracer for its own rows."""
+        import json
+
+        code = main(
+            [
+                "bench",
+                "--smoke",
+                "--only",
+                "table1/s27",
+                "--repeats",
+                "1",
+                "--out-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        payload = json.loads((tmp_path / "BENCH_table1.json").read_text())
+        assert payload["schema"] == "repro-bench-table1/8"
+        (row,) = payload["results"]
+        for method in ("partitioned", "monolithic"):
+            phases = row["methods"][method]["phases"]
+            assert phases["solve"] > 0
+            assert "frontier_batch" in phases
+            # Phase wall time never exceeds the row's measured wall time
+            # by more than nesting double-counts allow; sanity-check the
+            # headline phase against it.
+            assert phases["solve"] <= row["methods"][method]["wall_s"] * 1.5
+
+    def test_kernel_rows_untraced_by_default(self, tmp_path, capsys) -> None:
+        """The regression-gated kernel suite runs with tracing off
+        unless --trace opts in, so the gate never sees tracer overhead."""
+        import json
+
+        code = main(
+            [
+                "bench",
+                "--smoke",
+                "--only",
+                "kernel",
+                "--repeats",
+                "1",
+                "--out-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        payload = json.loads((tmp_path / "BENCH_kernel.json").read_text())
+        assert payload["schema"] == "repro-bench-kernel/4"
+        assert all("phases" not in r for r in payload["results"])
+
+    def test_bench_trace_flag_exports_run_trace(self, tmp_path, capsys) -> None:
+        import json
+
+        from repro.obs.trace import validate_trace
+
+        out = tmp_path / "bench-trace.json"
+        code = main(
+            [
+                "bench",
+                "--smoke",
+                "--only",
+                "kernel",
+                "--repeats",
+                "1",
+                "--out-dir",
+                str(tmp_path),
+                "--trace",
+                str(out),
+            ]
+        )
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert validate_trace(data) == []
+        # Opting in traces the kernel suite too: rows gain phases.
+        payload = json.loads((tmp_path / "BENCH_kernel.json").read_text())
+        assert any("phases" in r for r in payload["results"])

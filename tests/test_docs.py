@@ -163,6 +163,47 @@ def test_serving_docs_cover_the_operational_surface() -> None:
         assert token in operations, f"operations.md is missing {token!r}"
 
 
+def test_api_reference_page_covers_obs() -> None:
+    """The observability layer's mkdocstrings page."""
+    obs = (DOCS / "api" / "obs.md").read_text()
+    for directive in (
+        "::: repro.obs.trace",
+        "::: repro.obs.metrics",
+        "::: repro.obs.log",
+    ):
+        assert directive in obs
+
+
+def test_observability_docs_cover_the_surface() -> None:
+    """The prose page must document the flags and the span catalogue."""
+    page = (DOCS / "observability.md").read_text()
+    for token in (
+        "--trace",
+        "--log-level",
+        "--log-json",
+        "chrome://tracing",
+        "shard-worker-",
+        "frontier_batch",
+        "gc_sweep",
+        "validate_trace",
+        "--require-workers",
+        "/metrics",
+        "phases",
+        "MetricsRegistry",
+    ):
+        assert token in page, f"observability.md is missing {token!r}"
+    # The operations page owns the scrape config and family table.
+    operations = (DOCS / "operations.md").read_text()
+    for token in (
+        "/metrics",
+        "scrape_configs",
+        "repro_solves_total",
+        "repro_cache_hits_total",
+        "repro_steals_total",
+    ):
+        assert token in operations, f"operations.md is missing {token!r}"
+
+
 def test_api_reference_modules_exist() -> None:
     """Every ``::: module`` directive must point at an importable module.
 
