@@ -21,6 +21,8 @@
 
 from __future__ import annotations
 
+import struct
+import sys
 from array import array
 from collections.abc import Mapping, Sequence
 
@@ -29,6 +31,9 @@ from repro.errors import BddError
 
 #: Version tag of the packed-array snapshot format.
 NODES_FORMAT = "repro-bdd-nodes/1"
+
+#: Magic prefix of the single-function binary blob format.
+FUNCTION_MAGIC = b"repro-bdd-fn/1\n"
 
 
 def to_dot(
@@ -195,6 +200,85 @@ def dump_nodes(mgr: BddManager, roots: Sequence[int]) -> dict:
         "hi": hi_col,
         "roots": array("q", [pack(r) for r in roots]),
     }
+
+
+def dump_function_packed(mgr: BddManager, f: int) -> bytes:
+    """Serialise one function as a compact self-describing binary blob.
+
+    This is the spill format of the bounded-memory runtime
+    (:mod:`repro.eqn.residency`): one evicted ψ costs exactly one blob,
+    not a registry snapshot.  The layout is::
+
+        FUNCTION_MAGIC
+        <QQQ little-endian: names length, node count, packed root ref>
+        names, NUL-separated, UTF-8
+        var column   (node count × int64, little-endian)
+        lo column    (node count × int64, little-endian)
+        hi column    (node count × int64, little-endian)
+
+    Columns and packed refs are exactly those of :func:`dump_nodes`
+    restricted to a single root.  The children-first traversal order is
+    determined by the *structure* of ``f`` alone (never by node
+    addresses), so two managers holding the same function under the same
+    variable order produce byte-identical blobs — which is what makes
+    the spill store content-addressable: identical sibling ψ share one
+    blob on disk.
+
+    ``mgr`` may be any :class:`~repro.bdd.backends.protocol.BddBackend`
+    — the snapshot is taken through the protocol's ``dump_nodes``
+    method, so native shard workers spill the same way the reference
+    kernel does.
+    """
+    snap = mgr.dump_nodes([f])
+    names_blob = "\x00".join(snap["names"]).encode("utf-8")
+    cols = [
+        col if isinstance(col, array) else array("q", col)
+        for col in (snap["var"], snap["lo"], snap["hi"])
+    ]
+    if sys.byteorder != "little":  # pragma: no cover - exotic platforms
+        cols = [array("q", col) for col in cols]
+        for col in cols:
+            col.byteswap()
+    header = struct.pack(
+        "<QQQ", len(names_blob), len(snap["var"]), snap["roots"][0]
+    )
+    return b"".join(
+        [FUNCTION_MAGIC, header, names_blob] + [col.tobytes() for col in cols]
+    )
+
+
+def load_function_packed(mgr: BddManager, blob: bytes) -> int:
+    """Rebuild a function serialised by :func:`dump_function_packed`.
+
+    Like :func:`load_nodes`, children are recombined with ITE, so the
+    destination manager may hold any variable order; with a preserved
+    order the rebuild degenerates to pure unique-table lookups.
+    """
+    if not blob.startswith(FUNCTION_MAGIC):
+        raise BddError("unknown packed-function blob (bad magic)")
+    offset = len(FUNCTION_MAGIC)
+    names_len, n_nodes, root = struct.unpack_from("<QQQ", blob, offset)
+    offset += struct.calcsize("<QQQ")
+    names_blob = blob[offset : offset + names_len]
+    names = names_blob.decode("utf-8").split("\x00") if names_len else []
+    offset += names_len
+    cols = []
+    for _ in range(3):
+        col = array("q")
+        col.frombytes(blob[offset : offset + n_nodes * col.itemsize])
+        if sys.byteorder != "little":  # pragma: no cover - exotic platforms
+            col.byteswap()
+        cols.append(col)
+        offset += n_nodes * col.itemsize
+    data = {
+        "format": NODES_FORMAT,
+        "names": names,
+        "var": cols[0],
+        "lo": cols[1],
+        "hi": cols[2],
+        "roots": array("q", [root]),
+    }
+    return mgr.load_nodes(data)[0]
 
 
 def load_nodes(mgr: BddManager, data: Mapping) -> list[int]:

@@ -48,7 +48,7 @@ from repro.symb.reach import network_reachable_states
 REPO_ROOT = Path(__file__).resolve().parents[3]
 
 SCHEMA_KERNEL = "repro-bench-kernel/4"
-SCHEMA_TABLE1 = "repro-bench-table1/8"
+SCHEMA_TABLE1 = "repro-bench-table1/9"
 
 #: Table 1 cases re-run with ``--reorder auto`` as dedicated ``@auto``
 #: rows: the paper-scale instances where dynamic reordering is the
@@ -82,6 +82,20 @@ TABLE1_INTERLEAVE_VARIANTS = ("johnson12",)
 #: native adapter.  Results are identical by the conformance contract;
 #: only wall clock differs.
 TABLE1_BACKEND_VARIANTS = ("s27", "johnson8")
+
+#: Bench-only cases re-run under a resident-node budget as ``@budget``
+#: rows (partitioned flow only): the same BFS/batch-8 engine as the
+#: ``@batch8`` row, but with :class:`repro.eqn.residency.ResidencyManager`
+#: evicting cold ψ handles to the spill store once the resident set
+#: exceeds :data:`TABLE1_RESIDENT_BUDGET` nodes.  Results are
+#: byte-identical to the unbounded row; the row records the price
+#: (spills/reloads, wall clock) of the bounded peak.
+TABLE1_BUDGET_VARIANTS = ("twin16x4",)
+
+#: Resident ψ node budget for the ``@budget`` rows — far below the
+#: unbounded resident peak of the twin-ring cases, so the row genuinely
+#: exercises the evict/reload path instead of recording a no-op.
+TABLE1_RESIDENT_BUDGET = 2_048
 
 
 # --------------------------------------------------------------------- #
@@ -632,6 +646,8 @@ def _run_table1_case(
     batch: int = 1,
     backend: str = "python",
     product_order: str = "stacked",
+    resident_budget: int | None = None,
+    compose: bool = False,
 ) -> dict:
     from repro.eqn.problem import build_latch_split_problem
     from repro.eqn.solver import solve_equation
@@ -640,6 +656,7 @@ def _run_table1_case(
     from repro.util.limits import ResourceLimit
 
     net = case.network()
+    u_signals = list(case.u_signals) if case.u_signals else None
     row: dict = {
         "name": row_name,
         "io_cs": net.stats(),
@@ -651,10 +668,16 @@ def _run_table1_case(
         "batch": batch,
         "backend": backend,
         "product_order": product_order,
+        "resident_budget": resident_budget,
+        "compose": compose,
         "methods": {},
     }
-    # Only the partitioned flow shards; @shardsN rows skip the baseline.
-    methods = ("partitioned",) if shards > 1 else ("partitioned", "monolithic")
+    # Only the partitioned flow shards, spills, and composes; those
+    # variant rows skip the monolithic baseline (on the budget/compose
+    # cases it is an expected CNC anyway — burning the whole time budget
+    # to record a foregone conclusion).
+    partitioned_only = shards > 1 or resident_budget is not None or compose
+    methods = ("partitioned",) if partitioned_only else ("partitioned", "monolithic")
     for method in methods:
         # The same canonical problem hash the serve cache keys on: a row
         # and a served solve of the identical (circuit, split, flags)
@@ -666,6 +689,7 @@ def _run_table1_case(
         key = solve_cache_key(
             net,
             list(case.x_latches),
+            u_signals=u_signals,
             method=method,
             reorder=reorder,
             gc=gc_mode,
@@ -683,6 +707,7 @@ def _run_table1_case(
             problem = build_latch_split_problem(
                 net,
                 list(case.x_latches),
+                u_signals=u_signals,
                 max_nodes=case.max_nodes,
                 reorder=reorder,
                 gc=gc_mode,
@@ -696,6 +721,8 @@ def _run_table1_case(
                 shards=shards,
                 frontier=frontier,
                 batch=batch,
+                resident_budget=resident_budget,
+                compose=compose,
             )
         except ReproError:
             row["methods"][method] = {"cnc": True, "cache_key": key}
@@ -704,6 +731,26 @@ def _run_table1_case(
         elapsed = time.perf_counter() - t0
         mgr_stats = problem.manager.stats
         phases = _phase_breakdown(trace_start)
+        extra = result.stats.extra if result.stats else {}
+        residency_cols = (
+            {
+                "psi_spills": extra.get("psi_spills"),
+                "psi_reloads": extra.get("psi_reloads"),
+                "resident_evictions": extra.get("resident_evictions"),
+                "resident_nodes_peak": extra.get("resident_nodes_peak"),
+            }
+            if extra.get("resident_budget")
+            else {}
+        )
+        compose_cols = (
+            {
+                "compose_components": extra.get("compose_components"),
+                "compose_solved_latches": extra.get("compose_solved_latches"),
+                "compose_skipped_latches": extra.get("compose_skipped_latches"),
+            }
+            if result.options.get("compose")
+            else {}
+        )
         row["methods"][method] = {
             "cnc": False,
             "cache_key": key,
@@ -721,6 +768,8 @@ def _run_table1_case(
             "reclaim_ratio_avg": round(mgr_stats["reclaim_ratio_avg"], 4),
             "reorder_runs": mgr_stats["reorder_runs"],
             "reorder_swaps": mgr_stats["reorder_swaps"],
+            **residency_cols,
+            **compose_cols,
         }
         print(
             f"  table1/{row_name:14s} {method:12s} {elapsed * 1e3:9.1f} ms  "
@@ -763,7 +812,11 @@ def table1_row_names(
     ``product_order`` — an explicit ``--product-order interleaved`` run
     already records every base row interleaved.
     """
-    from repro.bench.suite import TABLE1_BENCH_ONLY_CASES, TABLE1_CASES
+    from repro.bench.suite import (
+        TABLE1_BENCH_ONLY_CASES,
+        TABLE1_CASES,
+        TABLE1_COMPOSE_CASES,
+    )
 
     names = [case.name for case in _table1_base_cases(smoke)]
     if not smoke:
@@ -786,6 +839,11 @@ def table1_row_names(
                 f"{case.name}@interleave+batch8"
                 for case in TABLE1_BENCH_ONLY_CASES
             ]
+        bench_only = {c.name for c in TABLE1_BENCH_ONLY_CASES}
+        names += [
+            f"{n}@budget" for n in TABLE1_BUDGET_VARIANTS if n in bench_only
+        ]
+        names += [f"{case.name}@compose" for case in TABLE1_COMPOSE_CASES]
         if backend == "python" and _workload_available("@buddy"):
             names += [
                 f"{n}@buddy" for n in TABLE1_BACKEND_VARIANTS if n in in_suite
@@ -929,6 +987,50 @@ def run_table1_bench(
                         product_order="interleaved",
                     )
                 )
+        # Memory-bounded rows: the same bench-only case through the same
+        # BFS/batch-8 engine, but with the resident ψ set capped — the
+        # row's spill/reload counters price the bounded peak against the
+        # unbounded @batch8 row next to it (the results themselves are
+        # byte-identical).
+        bench_only_by_name = {c.name: c for c in TABLE1_BENCH_ONLY_CASES}
+        for name in TABLE1_BUDGET_VARIANTS:
+            case = bench_only_by_name.get(name)
+            row_name = f"{name}@budget"
+            if case is None or not select("table1", row_name):
+                continue
+            rows.append(
+                _run_table1_case(
+                    case,
+                    reorder=reorder,
+                    gc_mode=gc_mode,
+                    row_name=row_name,
+                    frontier="bfs",
+                    batch=8,
+                    product_order=product_order,
+                    resident_budget=TABLE1_RESIDENT_BUDGET,
+                )
+            )
+        # Compositional rows: cases whose restricted U alphabet leaves a
+        # conforming letter-free component, solved via the component
+        # decomposition instead of the full product.  The same case
+        # would be recorded CNC (or tens of seconds) solved directly;
+        # the compose columns record what the decomposition skipped.
+        from repro.bench.suite import TABLE1_COMPOSE_CASES
+
+        for case in TABLE1_COMPOSE_CASES:
+            row_name = f"{case.name}@compose"
+            if not select("table1", row_name):
+                continue
+            rows.append(
+                _run_table1_case(
+                    case,
+                    reorder=reorder,
+                    gc_mode=gc_mode,
+                    row_name=row_name,
+                    product_order=product_order,
+                    compose=True,
+                )
+            )
         # Native-kernel rows: the same case on the BuDDy adapter, only
         # where the library actually loads (never the silent fallback),
         # and only when the run's own backend is the default — an
@@ -967,8 +1069,10 @@ def list_workloads(
     and smoke sizes, and Table 1 cases with the ``@auto`` (dynamic
     reordering), ``@shards2`` (sharded runtime), ``@batch8``
     (frontier-batched engine), ``@interleave`` (interleaved product
-    order) and ``@buddy`` (native BDD kernel, only run where the
-    library loads) variant rows the full run records alongside them.
+    order), ``@budget`` (resident-ψ node budget with LRU spill),
+    ``@compose`` (component-decomposed solve) and ``@buddy`` (native
+    BDD kernel, only run where the library loads) variant rows the full
+    run records alongside them.
     ``select`` (built from ``--only``/``--skip``) restricts the listing
     the same way it restricts a run.
     """
@@ -998,14 +1102,23 @@ def list_workloads(
         suffix = f"  (+ variants: {', '.join(variants)})" if variants else ""
         cnc = "  [mono expected CNC]" if case.expect_mono_cnc else ""
         lines.append(f"  table1/{case.name:14s} {case.paper_row}{cnc}{suffix}")
-    from repro.bench.suite import TABLE1_BENCH_ONLY_CASES
+    from repro.bench.suite import TABLE1_BENCH_ONLY_CASES, TABLE1_COMPOSE_CASES
 
     for case in TABLE1_BENCH_ONLY_CASES:
-        for row_name in (f"{case.name}@batch8", f"{case.name}@interleave+batch8"):
+        row_names = [f"{case.name}@batch8", f"{case.name}@interleave+batch8"]
+        if case.name in TABLE1_BUDGET_VARIANTS:
+            row_names.append(f"{case.name}@budget")
+        for row_name in row_names:
             if not select("table1", row_name):
                 continue
             lines.append(
                 f"  table1/{row_name:24s} {case.paper_row}  [bench-only row]"
+            )
+    for case in TABLE1_COMPOSE_CASES:
+        row_name = f"{case.name}@compose"
+        if select("table1", row_name):
+            lines.append(
+                f"  table1/{row_name:24s} {case.paper_row}  [compose row]"
             )
     return "\n".join(lines)
 

@@ -37,6 +37,11 @@ class SplitCase:
     max_nodes: int = 2_000_000
     expect_mono_cnc: bool = False
     notes: str = ""
+    #: Restricted ``U`` alphabet for the latch split.  ``None`` keeps the
+    #: default (every input and kept latch is visible to X); a compose
+    #: case must restrict it, or every component couples to X through
+    #: the shared ``(u, v)`` wires and no decomposition exists.
+    u_signals: Sequence[str] | None = None
 
     def network(self) -> Network:
         return self.make()
@@ -166,6 +171,32 @@ TABLE1_BENCH_ONLY_CASES: list[SplitCase] = [
             "the 8-ring leave 3072 subset states; completes under the "
             "default 2M-node budget with either --product-order, the "
             "regime the interleaved order targets"
+        ),
+    ),
+]
+
+
+#: Compositional-solve rows: like the bench-only cases these are
+#: recorded by the full run but excluded from :data:`TABLE1_CASES` (and
+#: from the bench-only ``@batch8`` variant machinery — a direct solve of
+#: ``twin20_4`` at this size is exactly what composition avoids paying
+#: for).  The restricted ``u_signals`` keeps the untouched ``a``-ring
+#: out of X's alphabet, so :func:`repro.eqn.compose.plan_components`
+#: finds it as a conforming letter-free component and the solver only
+#: subset-constructs the 4-latch ``b``-ring sub-equation.
+TABLE1_COMPOSE_CASES: list[SplitCase] = [
+    SplitCase(
+        name="twin20_4",
+        make=lambda: circuits.twin_rings(20, 4),
+        x_latches=("b1", "b3"),
+        u_signals=("enb", "b0", "b2"),
+        paper_row="compositional regime, 24 latches (20+4 rings)",
+        max_seconds=120.0,
+        expect_mono_cnc=True,
+        notes=(
+            "recorded twice: @compose solves only the b-ring "
+            "sub-equation after verifying the 20-latch a-ring conforms; "
+            "the direct row pays for the full 24-latch product"
         ),
     ),
 ]

@@ -137,6 +137,41 @@ def _build_parser() -> argparse.ArgumentParser:
             "the shared library is absent); results are identical"
         ),
     )
+    solve.add_argument(
+        "--u-signals",
+        help=(
+            "comma-separated original signals exposed to the unknown on "
+            "the u wires (default: all inputs plus all kept latches)"
+        ),
+    )
+    solve.add_argument(
+        "--resident-budget",
+        type=int,
+        default=None,
+        help=(
+            "bounded-memory residency: node budget for resident subset "
+            "states; cold expanded states spill to a content-addressed "
+            "store and the result stays byte-identical"
+        ),
+    )
+    solve.add_argument(
+        "--spill-dir",
+        default=None,
+        help=(
+            "directory for spilled subset states (default: a private "
+            "temporary directory, removed after the solve)"
+        ),
+    )
+    solve.add_argument(
+        "--compose",
+        action="store_true",
+        help=(
+            "compositional solving: when the split decomposes into "
+            "independent components with all (u,v) letters in one of "
+            "them, solve only that sub-equation (language-identical; "
+            "falls back to the direct solve otherwise)"
+        ),
+    )
     solve.add_argument("--no-verify", action="store_true", help="skip formal checks")
     solve.add_argument("--kiss-out", help="write the CSF as KISS2 to this file")
     solve.add_argument("--dot-out", help="write the CSF as Graphviz dot")
@@ -270,6 +305,24 @@ def _build_parser() -> argparse.ArgumentParser:
         help="persist a resumable frontier checkpoint every N batches",
     )
     submit.add_argument(
+        "--checkpoint-seconds",
+        type=float,
+        default=0.0,
+        help=(
+            "also checkpoint every S seconds of wall clock (whichever "
+            "cadence fires first; 0 disables)"
+        ),
+    )
+    submit.add_argument(
+        "--resident-budget",
+        type=int,
+        default=None,
+        help=(
+            "bounded-memory residency on the server (a runtime knob: "
+            "it never changes the result or the cache key)"
+        ),
+    )
+    submit.add_argument(
         "--no-resume",
         action="store_true",
         help="ignore any persisted checkpoint for this problem",
@@ -344,10 +397,14 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     limit = None
     if args.max_seconds is not None or args.max_nodes is not None:
         limit = ResourceLimit(max_seconds=args.max_seconds, max_nodes=args.max_nodes)
+    u_signals = None
+    if args.u_signals:
+        u_signals = [name for name in args.u_signals.split(",") if name]
     result = solve_latch_split(
         net,
         x_latches,
         method=args.method,
+        u_signals=u_signals,
         limit=limit,
         reorder=args.reorder,
         gc=args.gc,
@@ -356,6 +413,9 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         shards=args.shards,
         frontier=args.frontier,
         batch=args.batch,
+        resident_budget=args.resident_budget,
+        spill_dir=args.spill_dir,
+        compose=args.compose,
     )
     print(result.summary())
     if result.stats is not None:
@@ -376,6 +436,24 @@ def _cmd_solve(args: argparse.Namespace) -> int:
                 f"(max per subset "
                 f"{result.stats.extra['psi_serializations_max']})"
             )
+        if result.stats.extra.get("resident_budget"):
+            extra = result.stats.extra
+            print(
+                f"  residency: budget={extra['resident_budget']} "
+                f"spills={extra.get('psi_spills', 0)} "
+                f"reloads={extra.get('psi_reloads', 0)} "
+                f"evictions={extra.get('resident_evictions', 0)} "
+                f"resident_peak={extra.get('resident_nodes_peak', 0)}"
+            )
+        if result.options.get("compose"):
+            extra = result.stats.extra
+            print(
+                f"  compose: components={extra.get('compose_components')} "
+                f"solved_latches={extra.get('compose_solved_latches')} "
+                f"skipped_latches={extra.get('compose_skipped_latches')}"
+            )
+        elif args.compose:
+            print("  compose: not applicable (solved directly)")
     mgr_stats = result.problem.manager.stats
     if mgr_stats["gc_runs"] or mgr_stats["reorder_runs"]:
         print(
@@ -529,6 +607,10 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         body["max_nodes"] = args.max_nodes
     if args.checkpoint_every:
         body["checkpoint_every"] = args.checkpoint_every
+    if args.checkpoint_seconds:
+        body["checkpoint_seconds"] = args.checkpoint_seconds
+    if args.resident_budget is not None:
+        body["resident_budget"] = args.resident_budget
     if args.no_resume:
         body["resume"] = False
     client = ServeClient(args.url)

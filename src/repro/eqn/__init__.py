@@ -9,6 +9,12 @@ Public surface:
 * :func:`extract_csf` — prefix-closed input-progressive trimming.
 """
 
+from repro.eqn.compose import (
+    ComposePlan,
+    conjoin_solutions,
+    plan_components,
+    solve_compositional,
+)
 from repro.eqn.csf import csf_state_count, extract_csf
 from repro.eqn.implement import (
     Implementation,
@@ -29,6 +35,7 @@ from repro.eqn.problem import (
     build_latch_split_problem,
     build_problem,
 )
+from repro.eqn.residency import ResidencyManager, SpillStore
 from repro.eqn.solver import (
     METHODS,
     SolveResult,
@@ -50,6 +57,7 @@ from repro.eqn.verify import (
 )
 
 __all__ = [
+    "ComposePlan",
     "EquationProblem",
     "FrontierScheduler",
     "Implementation",
@@ -57,13 +65,16 @@ __all__ = [
     "STRATEGIES",
     "MonolithicOracle",
     "PartitionedOracle",
+    "ResidencyManager",
     "SolveResult",
+    "SpillStore",
     "SubsetEdge",
     "SubsetStats",
     "VerificationReport",
     "build_latch_split_problem",
     "build_problem",
     "compose_with_fixed",
+    "conjoin_solutions",
     "csf_state_count",
     "extract_csf",
     "extract_fsm",
@@ -71,7 +82,9 @@ __all__ = [
     "fsm_to_network",
     "implement_csf",
     "particular_solution_automaton",
+    "plan_components",
     "recompose_with_implementation",
+    "solve_compositional",
     "solve_equation",
     "solve_explicit",
     "solve_latch_split",

@@ -184,6 +184,7 @@ class PartitionedOracle:
         shard_opts = dict(shard_opts or {})
         self._steal = bool(shard_opts.pop("steal", True))
         sift_parts = bool(shard_opts.pop("sift_parts", False))
+        self._shard_opts = shard_opts
         if shards > 1:
             from repro.shard import ShardPool, ShardedImage
             from repro.shard.plan import load_parts, make_plan
@@ -309,6 +310,8 @@ class PartitionedOracle:
             stats["psi_serializations"] = sum(counts.values())
             stats["psi_serializations_max"] = max(counts.values(), default=0)
             stats["psi_resident_peak"] = self._resident_peak
+            # Snapshot the command counters *before* the stats broadcast
+            # below bumps them — callers assert on exact op counts.
             stats["pool_op_counts"] = dict(self._pool.op_counts)
             if self._p_sharded is not None:
                 stats["work_steals"] = self._p_sharded.steals
@@ -316,6 +319,16 @@ class PartitionedOracle:
                     stats["join_race"] = dict(self._p_sharded.race_outcome)
             if self._pool.profiles:
                 stats["shard_order_profiles"] = len(self._pool.profiles)
+            if self._shard_opts.get("resident_budget"):
+                spills = reloads = 0
+                for shard_stats in self._pool.stats():
+                    spills += shard_stats.get("psi_spills", 0)
+                    reloads += shard_stats.get("psi_reloads", 0)
+                # A worker spill is by definition an eviction from its
+                # resident registry, so the two totals coincide here.
+                stats["psi_spills"] = spills
+                stats["psi_reloads"] = reloads
+                stats["resident_evictions"] = spills
         return stats
 
     # -- the incremental completion step ------------------------------- #

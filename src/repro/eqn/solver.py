@@ -76,7 +76,11 @@ def solve_equation(
     cancel=None,
     checkpoint=None,
     checkpoint_every: int = 0,
+    checkpoint_seconds: float = 0.0,
     resume: dict | None = None,
+    resident_budget: int | None = None,
+    spill_dir: str | None = None,
+    compose: bool = False,
 ) -> SolveResult:
     """Solve a built problem with the chosen flow.
 
@@ -121,11 +125,30 @@ def solve_equation(
         pool across jobs).  Must already be reset to this problem's
         variable order and have ``shards`` workers; it is left running
         when the solve finishes.
-    progress / cancel / checkpoint / checkpoint_every / resume:
+    progress / cancel / checkpoint / checkpoint_every /
+    checkpoint_seconds / resume:
         Serving hooks forwarded to
         :func:`~repro.eqn.subset.subset_construct` (per-batch progress
         events, cooperative cancellation, resumable frontier
-        checkpoints).  Symbolic flows only.
+        checkpoints on a batch-count and/or wall-clock cadence —
+        whichever fires first).  Symbolic flows only.
+    resident_budget / spill_dir:
+        Bounded-memory residency (:mod:`repro.eqn.residency`): with a
+        node-count budget set, cold expanded subset states are spilled
+        to a content-addressed store — ``spill_dir`` when given, a
+        private temporary directory otherwise — and the solve is
+        byte-identical to the unbounded run at a bounded peak.  With
+        ``shards > 1`` the workers share the same store and budget for
+        their resident registries.
+    compose:
+        Compositional solving (:mod:`repro.eqn.compose`): when the
+        split's support graph decomposes into independent latch
+        components with all the ``(u, v)`` letters in one of them (and
+        the letter-free rest verified conformant), solve only the
+        letterful sub-equation — language-identical to the direct
+        solve, typically far smaller.  Falls back to the direct solve
+        when the decomposition does not apply.  Partitioned flow with
+        trimming only.
     """
     if method not in METHODS:
         raise EquationError(f"unknown method {method!r}; choose from {METHODS}")
@@ -133,6 +156,32 @@ def solve_equation(
         raise EquationError(
             f"--shards requires the partitioned flow, not {method!r}"
         )
+    if method == "explicit" and (resident_budget is not None or compose):
+        raise EquationError(
+            "--resident-budget/--compose apply to the symbolic flows only"
+        )
+    if compose:
+        if method != "partitioned" or not trim:
+            raise EquationError(
+                "--compose requires the partitioned flow with trimming"
+            )
+        from repro.eqn.compose import solve_compositional
+
+        result = solve_compositional(
+            problem,
+            limit=limit,
+            schedule=schedule,
+            shards=shards,
+            shard_opts=shard_opts,
+            frontier=frontier,
+            batch=batch,
+            resident_budget=resident_budget,
+            spill_dir=spill_dir,
+        )
+        if result is not None:
+            return result
+        # The decomposition does not apply — fall through to the
+        # direct solve (recorded in the options so callers can tell).
     watch = Stopwatch()
     if limit is not None:
         limit.restart()
@@ -148,42 +197,68 @@ def solve_equation(
             explicit_trace=trace,
             options={"schedule": schedule, "trim": trim},
         )
-    with obs_span(
-        "solve", method=method, shards=shards, batch=batch, frontier=frontier
-    ) as solve_span:
-        if method == "partitioned":
-            with obs_span("oracle_setup", shards=shards):
-                oracle = PartitionedOracle(
+    residency = None
+    if resident_budget is not None:
+        from repro.eqn.residency import ResidencyManager
+
+        residency = ResidencyManager(
+            problem.manager, resident_budget, spill_dir=spill_dir
+        )
+        if shards > 1:
+            # Workers run the same discipline over their resident
+            # registries, sharing the coordinator's store (content
+            # addressing makes concurrent writers idempotent).
+            shard_opts = dict(shard_opts or {})
+            shard_opts.setdefault("resident_budget", resident_budget)
+            shard_opts.setdefault("spill_dir", residency.store.root)
+    try:
+        with obs_span(
+            "solve",
+            method=method,
+            shards=shards,
+            batch=batch,
+            frontier=frontier,
+        ) as solve_span:
+            if method == "partitioned":
+                with obs_span("oracle_setup", shards=shards):
+                    oracle = PartitionedOracle(
+                        problem,
+                        schedule=schedule,
+                        trim=trim,
+                        shards=shards,
+                        shard_opts=shard_opts,
+                        pool=pool,
+                    )
+            else:
+                with obs_span("oracle_setup", shards=0):
+                    oracle = MonolithicOracle(problem, trim=trim)
+            try:
+                solution, stats = subset_construct(
+                    oracle,
                     problem,
-                    schedule=schedule,
-                    trim=trim,
-                    shards=shards,
-                    shard_opts=shard_opts,
-                    pool=pool,
+                    limit=limit,
+                    strategy=frontier,
+                    batch_size=batch,
+                    progress=progress,
+                    cancel=cancel,
+                    checkpoint=checkpoint,
+                    checkpoint_every=checkpoint_every,
+                    checkpoint_seconds=checkpoint_seconds,
+                    resume=resume,
+                    residency=residency,
                 )
-        else:
-            with obs_span("oracle_setup", shards=0):
-                oracle = MonolithicOracle(problem, trim=trim)
-        try:
-            solution, stats = subset_construct(
-                oracle,
-                problem,
-                limit=limit,
-                strategy=frontier,
-                batch_size=batch,
-                progress=progress,
-                cancel=cancel,
-                checkpoint=checkpoint,
-                checkpoint_every=checkpoint_every,
-                resume=resume,
-            )
-        finally:
-            closer = getattr(oracle, "close", None)
-            if closer is not None:
-                closer()
-        with obs_span("extract_csf"):
-            csf = extract_csf(solution, problem.u_names)
-        solve_span.set(subsets=stats.subsets, batches=stats.batches)
+            finally:
+                closer = getattr(oracle, "close", None)
+                if closer is not None:
+                    closer()
+            with obs_span("extract_csf"):
+                csf = extract_csf(solution, problem.u_names)
+            solve_span.set(subsets=stats.subsets, batches=stats.batches)
+    finally:
+        if residency is not None:
+            # After the oracle (and its pool) is down: a worker must
+            # never outlive the spill store it shares.
+            residency.close()
     return SolveResult(
         problem=problem,
         method=method,
@@ -198,6 +273,8 @@ def solve_equation(
             "frontier": frontier,
             "batch": batch,
             "product_order": getattr(problem, "product_order", "stacked"),
+            "resident_budget": resident_budget,
+            "compose": False,
         },
     )
 
@@ -224,7 +301,11 @@ def solve_latch_split(
     cancel=None,
     checkpoint=None,
     checkpoint_every: int = 0,
+    checkpoint_seconds: float = 0.0,
     resume: dict | None = None,
+    resident_budget: int | None = None,
+    spill_dir: str | None = None,
+    compose: bool = False,
 ) -> SolveResult:
     """Split ``net``, then solve for the CSF of the moved latches.
 
@@ -275,7 +356,11 @@ def solve_latch_split(
         cancel=cancel,
         checkpoint=checkpoint,
         checkpoint_every=checkpoint_every,
+        checkpoint_seconds=checkpoint_seconds,
         resume=resume,
+        resident_budget=resident_budget,
+        spill_dir=spill_dir,
+        compose=compose,
     )
 
 

@@ -41,6 +41,7 @@ expansions would be unsound under opportunistic GC).
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from collections.abc import Callable
 from dataclasses import dataclass, field
@@ -354,7 +355,9 @@ def subset_construct(
     cancel: Callable[[], bool] | None = None,
     checkpoint: Callable[[dict], None] | None = None,
     checkpoint_every: int = 0,
+    checkpoint_seconds: float = 0.0,
     resume: dict | None = None,
+    residency: "object | None" = None,
 ) -> tuple[Automaton, SubsetStats]:
     """Run the modified subset construction and build the solution.
 
@@ -391,17 +394,31 @@ def subset_construct(
         :class:`~repro.errors.SolveCancelled`, which unwinds through
         the caller's ``finally`` blocks so oracle and pool teardown
         always run.
-    ``checkpoint`` / ``checkpoint_every``
-        Every ``checkpoint_every`` batches (while the frontier is
-        non-empty), ``checkpoint`` receives a resumable snapshot dict
+    ``checkpoint`` / ``checkpoint_every`` / ``checkpoint_seconds``
+        Every ``checkpoint_every`` batches *or* every
+        ``checkpoint_seconds`` of wall clock — whichever fires first,
+        each on its own cadence — while the frontier is non-empty,
+        ``checkpoint`` receives a resumable snapshot dict
         (:data:`CHECKPOINT_FORMAT`) capturing subsets, edges, frontier
         and counters with all BDDs in one packed
-        :func:`~repro.bdd.io.dump_nodes` blob.
+        :func:`~repro.bdd.io.dump_nodes` blob.  Either cadence may be
+        zero (disabled); the wall clock restarts after every snapshot,
+        however it was triggered.
     ``resume``
         A snapshot from a previous run: the construction restarts from
         its frontier instead of ψ0.  The snapshot must come from the
         same problem and frontier strategy; the restored initial ψ is
         checked against ``oracle.initial()``.
+
+    ``residency`` is an optional
+    :class:`~repro.eqn.residency.ResidencyManager`: at every batch
+    boundary, cold *expanded* subset states beyond its node budget are
+    spilled to disk and their pins dropped; successor candidates then
+    deduplicate against the spilled states by content key, so the
+    construction (and its KISS output) is byte-identical to the
+    unbounded run — only peak memory changes.  Requires a GC-aware
+    oracle (one exposing ``live_roots``); checkpoints transparently
+    reload every spilled state first, so snapshots stay complete.
     """
     mgr = problem.manager
     budget = limit if limit is not None else ResourceLimit.unlimited()
@@ -433,16 +450,35 @@ def subset_construct(
     if gc_enabled:
         for root in roots_fn():
             mgr.ref(root)
+    if residency is not None and not gc_enabled:
+        raise EquationError(
+            "a resident budget needs a GC-aware oracle (one exposing "
+            "live_roots): without pins, eviction cannot free anything"
+        )
 
     def subset_id(psi: int, accepting: bool) -> int:
         sid = ids.get(psi)
-        if sid is None:
-            sid = aut.add_state(f"q{len(ids)}", accepting=accepting)
-            ids[psi] = sid
-            frontier.push(psi)
-            stats.subsets += 1
-            if gc_enabled:
-                mgr.ref(psi)
+        if sid is not None:
+            if residency is not None:
+                residency.touch(psi)
+            return sid
+        if residency is not None:
+            # The candidate may equal a state that was spilled out of
+            # ``ids``; dedup by content key keeps the construction
+            # identical to the unbounded run.
+            sid = residency.lookup(psi)
+            if sid is not None:
+                return sid
+        # Named by discovery count (not ``len(ids)``, which shrinks under
+        # residency eviction — the numbering must match the unbounded run).
+        sid = aut.add_state(f"q{stats.subsets}", accepting=accepting)
+        ids[psi] = sid
+        frontier.push(psi)
+        stats.subsets += 1
+        if gc_enabled:
+            mgr.ref(psi)
+        if residency is not None:
+            residency.admit(psi, sid)
         return sid
 
     dca_id: int | None = None
@@ -457,10 +493,17 @@ def subset_construct(
                 "checkpoint does not match this problem: restored initial "
                 "subset differs from the oracle's ψ0"
             )
+        if residency is not None:
+            pending = set(frontier.pending())
+            for psi, sid in ids.items():
+                residency.admit(psi, sid)
+                if psi not in pending:
+                    residency.mark_expanded(psi)
     expand_batch = getattr(oracle, "expand_batch", None)
     # Oracles without the batch protocol cannot pin intermediates across
     # sibling expansions, so they are driven one ψ at a time.
     effective_batch = batch_size if expand_batch is not None else 1
+    last_checkpoint = time.monotonic()
     while frontier:
         if cancel is not None and cancel():
             raise SolveCancelled("solve cancelled at batch boundary")
@@ -492,7 +535,20 @@ def subset_construct(
                         mgr.ref(aut.edges[src][dca_id])
                     stats.dca_edges += 1
             stats.peak_nodes = max(stats.peak_nodes, len(mgr))
-            if gc_enabled:
+            evicted: list[int] = []
+            if residency is not None:
+                for psi in batch:
+                    residency.mark_expanded(psi)
+                evicted = residency.enforce()
+                for psi in evicted:
+                    del ids[psi]
+                    mgr.deref(psi)
+            if evicted:
+                # Eviction only pays off if the nodes actually go away;
+                # the adaptive policy's growth floors may never arm at
+                # budget-sized scales, so collect explicitly.
+                mgr.collect_garbage()
+            elif gc_enabled:
                 mgr.maybe_collect_garbage()
             batch_span.set(
                 size=len(batch),
@@ -501,21 +557,41 @@ def subset_construct(
             )
         if progress is not None:
             progress(_progress_event(mgr, oracle, stats, frontier))
-        if (
-            checkpoint is not None
-            and checkpoint_every > 0
-            and stats.batches % checkpoint_every == 0
-            and frontier
-        ):
+        ckpt_due = checkpoint is not None and frontier and (
+            (checkpoint_every > 0 and stats.batches % checkpoint_every == 0)
+            or (
+                checkpoint_seconds > 0
+                and time.monotonic() - last_checkpoint >= checkpoint_seconds
+            )
+        )
+        if ckpt_due:
             with obs_span("checkpoint_write", batch=stats.batches):
+                if residency is not None:
+                    # A snapshot must carry every subset state: reload
+                    # the spilled ones (they come back evictable, so the
+                    # next batch boundary re-bounds the working set).
+                    for psi, sid in residency.restore_all():
+                        ids[psi] = sid
+                        mgr.ref(psi)
+                        residency.admit(psi, sid)
+                        residency.mark_expanded(psi)
                 checkpoint(
                     _construction_snapshot(
                         mgr, aut, ids, frontier, stats, dca_id
                     )
                 )
+            last_checkpoint = time.monotonic()
     run_stats = getattr(oracle, "run_stats", None)
     if run_stats is not None:
         stats.extra.update(run_stats())
+    if residency is not None:
+        for key, value in residency.stats().items():
+            if key in ("psi_spills", "psi_reloads", "resident_evictions"):
+                # Shard workers report the same counters through the
+                # oracle; the totals are coordinator + workers.
+                stats.extra[key] = stats.extra.get(key, 0) + value
+            else:
+                stats.extra[key] = value
     return aut, stats
 
 

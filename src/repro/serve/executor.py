@@ -61,6 +61,18 @@ def register_serve_metrics(metrics: MetricsRegistry) -> MetricsRegistry:
         "Constraint BDDs serialized to shard workers.",
     )
     metrics.counter(
+        "repro_psi_spills_total",
+        "Resident subset states spilled to the content-addressed store.",
+    )
+    metrics.counter(
+        "repro_psi_reloads_total",
+        "Spilled subset states reloaded on a later touch.",
+    )
+    metrics.counter(
+        "repro_resident_evictions_total",
+        "Resident-table evictions under a node budget.",
+    )
+    metrics.counter(
         "repro_shard_commands_total", "Shard worker commands, by operation."
     )
     metrics.gauge("repro_queue_depth", "Jobs waiting for the executor thread.")
@@ -203,6 +215,9 @@ class SolveExecutor:
             ("repro_gc_runs_total", "gc_runs"),
             ("repro_reorder_runs_total", "reorder_runs"),
             ("repro_psi_serializations_total", "psi_serializations"),
+            ("repro_psi_spills_total", "psi_spills"),
+            ("repro_psi_reloads_total", "psi_reloads"),
+            ("repro_resident_evictions_total", "resident_evictions"),
         ):
             amount = extra.get(key) or 0
             if amount:
@@ -270,7 +285,11 @@ class SolveExecutor:
                 )
         pool = None
         if spec["method"] == "partitioned" and spec["shards"] > 1:
-            pool = self._ensure_pool(problem.manager, spec["shards"])
+            pool = self._ensure_pool(
+                problem.manager,
+                spec["shards"],
+                resident_budget=options.get("resident_budget"),
+            )
         result = solve_equation(
             problem,
             method=spec["method"],
@@ -283,13 +302,20 @@ class SolveExecutor:
             pool=pool,
             progress=on_progress,
             cancel=job.cancel_event.is_set,
-            checkpoint=on_checkpoint if options.get("checkpoint_every") else None,
+            checkpoint=(
+                on_checkpoint
+                if options.get("checkpoint_every")
+                or options.get("checkpoint_seconds")
+                else None
+            ),
             checkpoint_every=int(options.get("checkpoint_every") or 0),
+            checkpoint_seconds=float(options.get("checkpoint_seconds") or 0.0),
             resume=resume,
+            resident_budget=options.get("resident_budget"),
         )
         return dump_result(result, cache_key=job.key)
 
-    def _ensure_pool(self, mgr, shards: int):
+    def _ensure_pool(self, mgr, shards: int, *, resident_budget=None):
         """Reset the warm pool for this problem, re-forking when needed."""
         from repro.shard.pool import ShardError, ShardPool
 
@@ -298,6 +324,10 @@ class SolveExecutor:
             "gc": mgr.gc_policy.mode,
             "reorder": mgr.reorder_policy.mode,
             "backend": getattr(mgr, "backend_name", "python"),
+            # A runtime knob like the rest: workers spill their resident
+            # registries to private stores under this budget (and the
+            # next job's reset clears it again when unset).
+            "resident_budget": resident_budget,
         }
         if self._pool is not None and self._pool.num_shards == shards:
             try:
@@ -342,4 +372,6 @@ def _job_metrics(payload: dict) -> dict:
         "steals": extra.get("work_steals", 0),
         "gc_runs": extra.get("gc_runs", 0),
         "psi_serializations": extra.get("psi_serializations", 0),
+        "psi_spills": extra.get("psi_spills", 0),
+        "psi_reloads": extra.get("psi_reloads", 0),
     }

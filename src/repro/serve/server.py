@@ -51,7 +51,15 @@ DEFAULT_PORT = 8642
 #: these participate in the cache key; ``backend`` is validated by
 #: :func:`~repro.serve.keys.job_spec` and then excluded — backends are
 #: byte-identical, so it is a runtime knob, not part of the problem).
-OPTION_FIELDS = ("max_seconds", "max_nodes", "checkpoint_every", "resume", "backend")
+OPTION_FIELDS = (
+    "max_seconds",
+    "max_nodes",
+    "checkpoint_every",
+    "checkpoint_seconds",
+    "resume",
+    "backend",
+    "resident_budget",
+)
 
 
 class ServeApp:

@@ -45,6 +45,14 @@ class ShardPool:
         Per-shard manager policies (every worker gets its own
         :class:`~repro.bdd.policy.GcPolicy` /
         :class:`~repro.bdd.policy.ReorderPolicy` instance).
+    resident_budget, spill_dir:
+        Bounded-memory residency for the workers' resident ψ registries
+        (see :mod:`repro.shard.worker`): with a node-count budget set,
+        each worker spills least-recently-touched resident entries to a
+        content-addressed store — ``spill_dir`` when given (shared
+        across workers; content addressing makes concurrent writers
+        idempotent), a private temporary directory otherwise — and
+        reloads them transparently on the next touch.
     backend:
         BDD backend every shard manager is constructed on
         (:func:`repro.bdd.backends.create_manager`): a native backend
@@ -67,6 +75,8 @@ class ShardPool:
         reorder: str = "off",
         max_nodes: int | None = None,
         backend: str = "python",
+        resident_budget: int | None = None,
+        spill_dir: str | None = None,
         start_method: str = "fork",
     ) -> None:
         if num_shards < 1:
@@ -80,6 +90,8 @@ class ShardPool:
             "reorder": reorder,
             "max_nodes": max_nodes,
             "backend": backend,
+            "resident_budget": resident_budget,
+            "spill_dir": spill_dir,
         }
         self._conns = []
         self._procs = []

@@ -95,6 +95,50 @@ class TestSolverLevel:
         assert resumed.stats.subsets == cold.stats.subsets
         assert done_before > 0
 
+    def test_checkpoint_seconds_fires_without_batch_cadence(
+        self, reference_kiss
+    ) -> None:
+        """A wall-clock cadence alone must produce snapshots."""
+        snapshots = []
+        result = solve_latch_split(
+            parse_blif(S27_BLIF),
+            X,
+            batch=1,
+            checkpoint=snapshots.append,
+            checkpoint_seconds=1e-6,  # every batch boundary is "due"
+        )
+        assert snapshots, "wall-clock cadence never fired"
+        assert all(s["format"] == CHECKPOINT_FORMAT for s in snapshots)
+        assert write_kiss(result.csf) == reference_kiss
+
+    def test_whichever_cadence_fires_first(self) -> None:
+        """A huge batch cadence must not mask a due wall-clock one."""
+        snapshots = []
+        solve_latch_split(
+            parse_blif(S27_BLIF),
+            X,
+            batch=1,
+            checkpoint=snapshots.append,
+            checkpoint_every=10**6,
+            checkpoint_seconds=1e-6,
+        )
+        assert snapshots
+
+    def test_checkpoint_restores_spilled_states(self, reference_kiss) -> None:
+        """Snapshots under a resident budget carry the *full* table.
+
+        Eviction must be invisible to resume: the driver reloads every
+        spilled ψ before snapshotting, so a solve resumed from a
+        budgeted run's checkpoint completes byte-identically.
+        """
+        snapshots = self.cancelled_run(stop_after=3, resident_budget=1)
+        snapshot = snapshots[-1]
+        resumed = solve_latch_split(
+            parse_blif(S27_BLIF), X, batch=1, resume=snapshot, resident_budget=1
+        )
+        assert write_kiss(resumed.csf) == reference_kiss
+        assert resumed.stats.extra["resident_budget"] == 1
+
     def test_resume_under_a_different_strategy_is_rejected(self) -> None:
         snapshot = self.cancelled_run(stop_after=2)[-1]
         from repro.errors import EquationError

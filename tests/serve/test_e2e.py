@@ -229,6 +229,9 @@ class TestObservability:
             "repro_solves_total",
             "repro_cache_hits_total",
             "repro_steals_total",
+            "repro_psi_spills_total",
+            "repro_psi_reloads_total",
+            "repro_resident_evictions_total",
         ):
             assert family in families, family
 
@@ -305,3 +308,34 @@ class TestBackendOption:
             served.client.submit(
                 {"blif": S27_BLIF, "x_latches": X, "backend": "cudd"}
             )
+
+
+class TestResidencyOptions:
+    def test_budgeted_solve_feeds_the_spill_metrics(self, served) -> None:
+        """A submission under a resident budget spills for real, and the
+        counters surface in ``/metrics`` and in the job summary."""
+        from repro.obs.metrics import parse_exposition
+
+        body = {"blif": S27_BLIF, "x_latches": X, "resident_budget": 1}
+        job = served.client.submit(body)
+        served.client.wait(job["id"], timeout=60)
+        summary = served.client.job(job["id"])
+        assert summary["status"] == "done"
+        families = parse_exposition(served.client.metrics())
+
+        def total(name: str) -> float:
+            return sum(v for _, _, v in families[name]["samples"])
+
+        assert total("repro_psi_spills_total") > 0
+        assert total("repro_resident_evictions_total") > 0
+
+    def test_residency_options_do_not_change_the_key(self, served) -> None:
+        """``resident_budget``/``checkpoint_seconds`` bound the runtime,
+        not the result — a budgeted resubmission is born done."""
+        first = served.client.submit(SHARDED)
+        served.client.wait(first["id"], timeout=60)
+        second = served.client.submit(
+            {**SHARDED, "resident_budget": 40, "checkpoint_seconds": 30.0}
+        )
+        assert second["cached"] is True
+        assert second["cache_key"] == first["cache_key"]

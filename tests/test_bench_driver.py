@@ -190,6 +190,31 @@ class TestProductOrderVariants:
         assert "johnson12@interleave" not in driver.table1_row_names(True)
 
 
+class TestResidencyAndComposeVariants:
+    def test_listing_shows_budget_and_compose_rows(self) -> None:
+        listing = driver.list_workloads()
+        assert "twin16x4@budget" in listing
+        assert "twin20_4@compose" in listing
+        assert "[compose row]" in listing
+
+    def test_rows_planned_only_in_full_runs(self) -> None:
+        full = driver.table1_row_names(False)
+        assert "twin16x4@budget" in full
+        assert "twin20_4@compose" in full
+        smoke = driver.table1_row_names(True)
+        assert "twin16x4@budget" not in smoke
+        assert "twin20_4@compose" not in smoke
+
+    def test_compose_case_restricts_u_signals(self) -> None:
+        """The compose case must carry a restricted U alphabet — the
+        default split couples every component to X and the planner
+        would (correctly) decline, leaving a misleading direct row."""
+        from repro.bench.suite import TABLE1_COMPOSE_CASES
+
+        for case in TABLE1_COMPOSE_CASES:
+            assert case.u_signals, case.name
+
+
 class TestEnvLimitedStatus:
     def _rows(self):
         return [

@@ -219,6 +219,37 @@ def test_api_reference_modules_exist() -> None:
             importlib.import_module(module)
 
 
+def test_api_reference_page_covers_residency_and_compose() -> None:
+    """The bounded-memory layer's mkdocstrings page."""
+    streaming = (DOCS / "api" / "streaming.md").read_text()
+    for directive in (
+        "::: repro.eqn.residency",
+        "::: repro.eqn.compose",
+    ):
+        assert directive in streaming
+
+
+def test_streaming_docs_cover_the_surface() -> None:
+    """The prose page must document the flags and the invariants."""
+    page = (DOCS / "streaming.md").read_text()
+    for token in (
+        "--resident-budget",
+        "--spill-dir",
+        "--checkpoint-seconds",
+        "--compose",
+        "--u-signals",
+        "content-addressed",
+        "psi_spill",
+        "psi_reload",
+        "repro_psi_spills_total",
+        "spill_rehashes",
+        "plan_components",
+        "twin16x4@budget",
+        "twin20_4@compose",
+    ):
+        assert token in page, f"streaming.md is missing {token!r}"
+
+
 def test_internal_links_resolve() -> None:
     """Relative .md links between docs pages must point at real files."""
     for page in DOCS.rglob("*.md"):
